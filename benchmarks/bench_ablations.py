@@ -1,0 +1,62 @@
+"""Benchmarks for the two ablations (not in the paper; DESIGN.md §7).
+
+A1 — vertex ordering: CSC construction under degree / min-in-out / random
+orders.  A2 — couple-vertex skipping + index reduction vs naive labeling of
+the explicit bipartite graph.
+"""
+
+import pytest
+
+from repro.core.csc import CSCIndex
+from repro.graph.bipartite import bipartite_conversion, bipartite_order
+from repro.labeling.hpspc import HPSPCIndex
+from repro.labeling.ordering import (
+    degree_order,
+    min_in_out_order,
+    random_order,
+)
+
+ORDERINGS = {
+    "degree": degree_order,
+    "min_in_out": min_in_out_order,
+    "random": lambda g: random_order(g, seed=13),
+}
+
+
+@pytest.mark.parametrize("ordering", sorted(ORDERINGS))
+def test_ablation_a1_ordering(benchmark, dataset_graph, dataset_name,
+                              ordering):
+    order = ORDERINGS[ordering](dataset_graph)
+    index = benchmark.pedantic(
+        lambda: CSCIndex.build(dataset_graph, order),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    benchmark.extra_info.update(
+        dataset=dataset_name, ordering=ordering,
+        entries=index.total_entries(),
+    )
+
+
+def test_ablation_a2_naive_gb(benchmark, dataset_graph, dataset_order,
+                              dataset_name):
+    gb = bipartite_conversion(dataset_graph)
+    lifted = bipartite_order(dataset_order)
+    index = benchmark.pedantic(
+        lambda: HPSPCIndex.build(gb, lifted),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    benchmark.extra_info.update(
+        dataset=dataset_name, entries=index.total_entries()
+    )
+
+
+def test_ablation_a2_claim_reduction(dataset_graph, dataset_order, csc_index,
+                                     dataset_name):
+    """Reduced CSC must store far fewer entries than naive Gb labeling."""
+    gb = bipartite_conversion(dataset_graph)
+    naive = HPSPCIndex.build(gb, bipartite_order(dataset_order))
+    ratio = naive.total_entries() / max(1, csc_index.total_entries())
+    assert ratio > 1.4, (
+        f"{dataset_name}: naive/CSC entry ratio {ratio:.2f}, expected the "
+        "reduction to save well over 40%"
+    )

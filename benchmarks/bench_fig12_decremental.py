@@ -1,0 +1,74 @@
+"""Figure 12 benchmarks: decremental maintenance per edge-degree cluster
+(the paper runs this on G04 only; the dataset fixture spread keeps the
+same protocol per graph).
+
+Each cluster benchmark deletes its edges and re-inserts them (restore),
+timing only the whole delete+restore round; the experiment harness
+(repro.experiments.fig12) separates the two phases for the report.
+"""
+
+import pytest
+
+from repro.core.csc import CSCIndex
+from repro.core.maintenance import delete_edge, insert_edge
+from repro.workloads.clusters import CLUSTER_NAMES
+from repro.workloads.updates import cluster_edges_by_degree, random_edge_batch
+
+BATCH = 15
+
+
+@pytest.fixture(scope="module")
+def deletion_setup(dataset_graph, dataset_order):
+    graph = dataset_graph.copy()
+    index = CSCIndex.build(graph, dataset_order)
+    batch = random_edge_batch(graph, BATCH, seed=5).edges
+    clusters = cluster_edges_by_degree(graph, batch)
+    return index, clusters
+
+
+@pytest.mark.parametrize("cluster_name", CLUSTER_NAMES)
+def test_fig12a_deletion_cluster(benchmark, deletion_setup, cluster_name,
+                                 dataset_name):
+    index, clusters = deletion_setup
+    edges = clusters[cluster_name]
+    if not edges:
+        pytest.skip(f"cluster {cluster_name} empty in this batch")
+
+    def run():
+        removed = 0
+        for tail, head in edges:
+            removed += delete_edge(index, tail, head).entries_removed
+            insert_edge(index, tail, head)
+        return removed
+
+    removed = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info.update(
+        dataset=dataset_name,
+        cluster=cluster_name,
+        edges=len(edges),
+        entries_removed=removed,
+    )
+
+
+def test_fig12_claim_deletion_slower_than_insertion(deletion_setup,
+                                                    dataset_name):
+    """Cross-figure claim: decremental updates cost much more than
+    incremental ones (paper: seconds vs milliseconds)."""
+    import time
+
+    index, clusters = deletion_setup
+    edges = [e for name in CLUSTER_NAMES for e in clusters[name]][:6]
+    if not edges:
+        pytest.skip("no edges in batch")
+    delete_time = insert_time = 0.0
+    for tail, head in edges:
+        start = time.perf_counter()
+        delete_edge(index, tail, head)
+        delete_time += time.perf_counter() - start
+        start = time.perf_counter()
+        insert_edge(index, tail, head)
+        insert_time += time.perf_counter() - start
+    assert delete_time > insert_time, (
+        f"{dataset_name}: deletions ({delete_time:.4f}s) not slower than "
+        f"insertions ({insert_time:.4f}s)"
+    )

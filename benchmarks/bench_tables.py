@@ -1,0 +1,31 @@
+"""Benchmarks regenerating the paper's tables (II, III, IV) and the
+Figure 13 case study — cheap end-to-end sanity points for the suite."""
+
+from repro.experiments.case_study import run as run_case_study
+from repro.experiments.tables import run_table2, run_table3, run_table4
+
+
+def test_table2_regeneration(benchmark):
+    result = benchmark(run_table2)
+    assert result.data["all_match"]
+
+
+def test_table3_regeneration(benchmark):
+    result = benchmark(run_table3)
+    assert result.data["all_match"]
+
+
+def test_table4_regeneration(benchmark, profile):
+    result = benchmark.pedantic(
+        lambda: run_table4(profile=profile),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    assert len(result.rows) == 9
+
+
+def test_fig13_case_study(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_case_study(n=400, m=2000, rings=25, ring_size=4),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    assert len(result.data["flagged"]) == 2

@@ -1,0 +1,66 @@
+"""Shared configuration for the benchmark suite.
+
+Environment knobs:
+
+* ``REPRO_BENCH_PROFILE`` — dataset scale (``tiny`` default, ``small`` for
+  the paper-shaped runs, ``medium`` for long runs);
+* ``REPRO_BENCH_DATASETS`` — comma-separated dataset subset (default: a
+  representative spread; ``all`` runs all nine).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.csc import CSCIndex
+from repro.graph.datasets import DATASET_ORDER, DATASETS
+from repro.labeling.hpspc import HPSPCIndex
+from repro.labeling.ordering import degree_order
+
+#: Default subset: one graph per family tier (p2p, wiki-talk, dense web).
+DEFAULT_DATASETS = ["G04", "WKT", "WBB"]
+
+
+def bench_profile() -> str:
+    return os.environ.get("REPRO_BENCH_PROFILE", "tiny")
+
+
+def bench_datasets() -> list[str]:
+    raw = os.environ.get("REPRO_BENCH_DATASETS", "")
+    if not raw:
+        return DEFAULT_DATASETS
+    if raw.strip().lower() == "all":
+        return list(DATASET_ORDER)
+    return [name.strip() for name in raw.split(",") if name.strip()]
+
+
+@pytest.fixture(scope="session")
+def profile() -> str:
+    return bench_profile()
+
+
+@pytest.fixture(scope="session", params=bench_datasets())
+def dataset_name(request) -> str:
+    return request.param
+
+
+@pytest.fixture(scope="session")
+def dataset_graph(dataset_name, profile):
+    return DATASETS[dataset_name].build(profile, seed=7)
+
+
+@pytest.fixture(scope="session")
+def dataset_order(dataset_graph):
+    return degree_order(dataset_graph)
+
+
+@pytest.fixture(scope="session")
+def hpspc_index(dataset_graph, dataset_order):
+    return HPSPCIndex.build(dataset_graph, dataset_order)
+
+
+@pytest.fixture(scope="session")
+def csc_index(dataset_graph, dataset_order):
+    return CSCIndex.build(dataset_graph, dataset_order)

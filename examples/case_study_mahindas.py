@@ -1,0 +1,53 @@
+"""Reproduction of the paper's Section VI-D case study (Figure 13).
+
+The paper runs SCCnt over the MAHINDAS economic network, sizes vertices by
+shortest-cycle count and colors them by cycle length, then filters the top
+accounts (281, 241, 169, 1159, 888) as laundering candidates.  MAHINDAS is
+offline-unavailable, so this reproduction uses the planted-ring stand-in
+and renders the Figure 13 "subgraph centering at the hub" as text.
+
+Run:  python examples/case_study_mahindas.py
+"""
+
+from repro.experiments.case_study import run
+
+
+def main() -> None:
+    result = run()
+    print(result.render())
+
+    scenario = result.data["scenario"]
+    counter_top = result.data["top"]
+    print("\n== Figure 13 view: the subgraph centered at the hub ==")
+    hub = scenario.hub
+    hub_count = result.data["hub_count"]
+    print(
+        f"center: account {hub} — {hub_count.count} shortest cycles of "
+        f"length {hub_count.length}"
+    )
+    # The paper's Figure 13 lists "all the shortest cycles through vertex
+    # 169"; cycle_subgraph extracts exactly that object.
+    from repro.graph.subgraph import cycle_subgraph
+
+    view = cycle_subgraph(scenario.graph, hub)
+    print(
+        f"cycle subgraph: {view.graph.n} accounts, {view.graph.m} "
+        f"transactions (union of all shortest cycles through {hub})"
+    )
+    for ring_id, ring in sorted(scenario.rings.items())[:8]:
+        arrows = " -> ".join(str(v) for v in ring + [hub])
+        print(f"  ring {ring_id:>2}: {arrows}")
+    if len(scenario.rings) > 8:
+        print(f"  ... and {len(scenario.rings) - 8} more rings")
+
+    print("\n== screening verdict ==")
+    flagged = result.data["flagged"]
+    print(
+        f"criminal accounts flagged in the top-{len(counter_top)}: "
+        f"{sorted(flagged)} (expected: hub {scenario.hub} and collector "
+        f"{scenario.collector})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Fraud detection (paper Application 1 + Section VI-D case study).
+
+Builds a synthetic transaction network with a planted money-laundering
+cell (the Figure 1 motif: criminal hub -> agents/mules -> collector ->
+hub), screens accounts by shortest-cycle count, and then watches the cell
+grow a new ring in real time through the dynamic index.
+
+Run:  python examples/fraud_detection.py
+"""
+
+from repro import ShortestCycleCounter
+from repro.workloads.fraud import make_transaction_network
+
+
+def main() -> None:
+    scenario = make_transaction_network(
+        n=1200, m=7500, rings=30, ring_size=4, seed=11
+    )
+    print(
+        f"transaction network: {scenario.n} accounts, "
+        f"{scenario.graph.m} transactions, "
+        f"{len(scenario.rings)} planted laundering rings"
+    )
+
+    counter = ShortestCycleCounter.build(scenario.graph)
+
+    print("\n== screening: top accounts by shortest-cycle count ==")
+    for rank, (account, result) in enumerate(counter.top_suspicious(8), 1):
+        if account == scenario.hub:
+            role = "criminal hub (C1)"
+        elif account == scenario.collector:
+            role = "collector (C2)"
+        elif scenario.is_planted(account):
+            role = "mule"
+        else:
+            role = ""
+        print(
+            f"  #{rank}: account {account:<5} "
+            f"{result.count:>3} cycles of length {result.length:<3} {role}"
+        )
+
+    hub_result = counter.count(scenario.hub)
+    print(
+        f"\nhub account {scenario.hub}: {hub_result.count} shortest cycles "
+        f"of length {hub_result.length} (one per planted ring)"
+    )
+
+    print("\n== live monitoring: the cell opens a new ring ==")
+    # Two fresh mule accounts relay hub -> m1 -> m2 -> collector.
+    used = scenario.ring_members
+    mules = [v for v in scenario.graph.vertices() if v not in used][:2]
+    edges = [
+        (scenario.hub, mules[0]),
+        (mules[0], mules[1]),
+        (mules[1], scenario.collector),
+    ]
+    for tail, head in edges:
+        stats = counter.insert_edge(tail, head)
+        print(
+            f"  txn {tail} -> {head}: update touched "
+            f"{stats.vertices_visited} vertices, "
+            f"+{stats.entries_added} label entries"
+        )
+    hub_after = counter.count(scenario.hub)
+    print(
+        f"hub now sits on {hub_after.count} shortest cycles "
+        f"(was {hub_result.count}) — the new ring was detected instantly"
+    )
+    assert hub_after.count == hub_result.count + 1
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Real-time alerting with CycleMonitor (the paper's deployment story).
+
+A compliance team watches an account population; whenever an account's
+shortest-cycle count first reaches the screening threshold, an alert
+fires.  The monitor maintains the CSC index incrementally, so alert
+latency is one index update plus one label merge per watched account.
+
+Run:  python examples/monitoring_alerts.py
+"""
+
+import random
+
+from repro.monitor import CycleMonitor
+from repro.workloads.fraud import make_transaction_network
+
+
+def main() -> None:
+    scenario = make_transaction_network(
+        n=600, m=3600, rings=10, ring_size=4, seed=31
+    )
+    graph = scenario.graph
+
+    # A compliance watch-list: the two accounts prior screening flagged
+    # (hub + collector) plus a few ordinary accounts as controls.  The
+    # threshold implements the paper's "pre-screening criterion ... a
+    # specified number of shortest cycles".
+    watchlist = [scenario.hub, scenario.collector, 3, 57, 101]
+    threshold = 12  # hub starts at 10 planted rings; alert on growth
+    monitor = CycleMonitor(
+        graph,
+        watch=watchlist,
+        threshold=threshold,
+        on_alert=lambda alert: print(
+            f"  ALERT: account {alert.vertex} reached "
+            f"{alert.count.count} shortest cycles of length "
+            f"{alert.count.length} (txn {alert.cause[0]} -> "
+            f"{alert.cause[1]})"
+        ),
+    )
+    print(
+        f"watch-list {watchlist}, threshold {threshold} cycles; "
+        f"hub starts at {monitor.counter.count(scenario.hub).count}"
+    )
+
+    # The cell gradually opens new rings; unrelated traffic interleaves.
+    rng = random.Random(7)
+    used = set(scenario.ring_members)
+    free = [v for v in graph.vertices() if v not in used]
+    print("\n== replaying the transaction stream ==")
+    for ring in range(4):
+        # noise: three random transactions
+        for _ in range(3):
+            while True:
+                a, b = rng.choice(free), rng.choice(free)
+                if a != b and not monitor.counter.graph.has_edge(a, b):
+                    break
+            monitor.insert(a, b)
+        # a new laundering chain hub -> m1 -> m2 -> collector
+        m1, m2 = free.pop(), free.pop()
+        print(f"step {ring}: new chain {scenario.hub}->{m1}->{m2}->"
+              f"{scenario.collector}")
+        monitor.insert(scenario.hub, m1)
+        monitor.insert(m1, m2)
+        monitor.insert(m2, scenario.collector)
+
+    print("\n== final screening board ==")
+    for account, result in monitor.top(5):
+        mark = " <- planted" if scenario.is_planted(account) else ""
+        print(
+            f"  account {account:<5} {result.count:>3} cycles "
+            f"of length {result.length}{mark}"
+        )
+    print(f"\nalerts fired: {len(monitor.alerts)}")
+
+
+if __name__ == "__main__":
+    main()

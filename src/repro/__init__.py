@@ -1,0 +1,69 @@
+"""repro — a reproduction of "Towards Real-Time Counting Shortest Cycles on
+Dynamic Graphs: A Hub Labeling Approach" (ICDE 2022).
+
+Public API
+----------
+* :class:`~repro.graph.digraph.DiGraph` — dynamic directed graph.
+* :class:`~repro.core.counter.ShortestCycleCounter` — build / query /
+  insert / delete / save / load; the system a downstream user adopts.
+* :class:`~repro.core.csc.CSCIndex` — the raw CSC index (Section IV).
+* :class:`~repro.labeling.hpspc.HPSPCIndex` — the HP-SPC baseline index.
+* :func:`~repro.baselines.bfs_cycle.bfs_cycle_count`,
+  :func:`~repro.baselines.hpspc_scc.hpspc_cycle_count` — baselines.
+* :mod:`repro.graph.generators`, :mod:`repro.graph.datasets` — workload
+  graphs; :mod:`repro.workloads` — query/update/fraud/p2p workloads.
+* :mod:`repro.experiments` — regeneration of every paper table and figure.
+"""
+
+from repro.analysis import (
+    CycleProfile,
+    cycle_length_distribution,
+    girth,
+    profile_graph,
+)
+from repro.baselines import (
+    HPSPCCycleCounter,
+    bfs_cycle_count,
+    enumerate_shortest_cycles,
+    hpspc_cycle_count,
+    naive_cycle_count,
+)
+from repro.monitor import Alert, CycleMonitor
+from repro.core import (
+    CSCIndex,
+    ShortestCycleCounter,
+    UpdateStats,
+    delete_edge,
+    insert_edge,
+)
+from repro.graph import DiGraph, bipartite_conversion
+from repro.labeling import HPSPCIndex, degree_order
+from repro.types import NO_CYCLE, CycleCount
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Alert",
+    "CSCIndex",
+    "CycleCount",
+    "CycleMonitor",
+    "CycleProfile",
+    "DiGraph",
+    "cycle_length_distribution",
+    "girth",
+    "profile_graph",
+    "HPSPCCycleCounter",
+    "HPSPCIndex",
+    "NO_CYCLE",
+    "ShortestCycleCounter",
+    "UpdateStats",
+    "bfs_cycle_count",
+    "bipartite_conversion",
+    "degree_order",
+    "delete_edge",
+    "enumerate_shortest_cycles",
+    "hpspc_cycle_count",
+    "insert_edge",
+    "naive_cycle_count",
+    "__version__",
+]

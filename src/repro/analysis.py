@@ -1,0 +1,88 @@
+"""Graph-analytics conveniences built on SCCnt.
+
+The paper's introduction motivates shortest-cycle counting with analyses
+beyond single queries: the girth of the graph, the distribution of shortest
+cycle lengths (studied for chemical/biological/neural networks), and
+whole-graph screens.  These helpers package those on top of a single CSC
+index build.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core.csc import CSCIndex
+from repro.graph.digraph import DiGraph
+from repro.types import CycleCount
+
+__all__ = [
+    "CycleProfile",
+    "profile_graph",
+    "girth",
+    "cycle_length_distribution",
+]
+
+
+@dataclass(frozen=True)
+class CycleProfile:
+    """Whole-graph shortest-cycle statistics from one index build."""
+
+    #: per-vertex SCCnt results
+    counts: dict[int, CycleCount]
+    #: the graph's girth (length of its overall shortest cycle); ``inf``
+    #: for acyclic graphs
+    girth: float
+    #: shortest-cycle length -> number of vertices with that length
+    length_distribution: dict[int, int]
+
+    @property
+    def cyclic_vertices(self) -> int:
+        """Number of vertices lying on at least one cycle."""
+        return sum(1 for c in self.counts.values() if c.has_cycle)
+
+    def vertices_with_length(self, length: int) -> list[int]:
+        """Vertices whose shortest cycles have the given length."""
+        return [
+            v for v, c in self.counts.items()
+            if c.has_cycle and c.length == length
+        ]
+
+    def top_by_count(self, k: int = 10) -> list[tuple[int, CycleCount]]:
+        """The ``k`` most-cycled vertices (the paper's screening list)."""
+        ranked = sorted(
+            self.counts.items(),
+            key=lambda item: (-item[1].count, item[1].length, item[0]),
+        )
+        return ranked[:k]
+
+
+def profile_graph(
+    graph: DiGraph, index: CSCIndex | None = None
+) -> CycleProfile:
+    """Compute SCCnt for every vertex plus aggregate statistics.
+
+    Supplies its own CSC index unless one is passed in (reuse an existing
+    index when profiling repeatedly on a dynamic graph).
+    """
+    if index is None:
+        index = CSCIndex.build(graph)
+    counts = {v: index.sccnt(v) for v in graph.vertices()}
+    lengths = Counter(
+        int(c.length) for c in counts.values() if c.has_cycle
+    )
+    graph_girth: float = min(lengths, default=float("inf"))
+    return CycleProfile(counts, graph_girth, dict(lengths))
+
+
+def girth(graph: DiGraph) -> float:
+    """Length of the shortest cycle anywhere in the graph (``inf`` if the
+    graph is acyclic) — the quantity classic shortest-cycle work computes
+    (Section I)."""
+    return profile_graph(graph).girth
+
+
+def cycle_length_distribution(graph: DiGraph) -> dict[int, int]:
+    """Histogram of per-vertex shortest-cycle lengths (how many vertices
+    have shortest cycles of each length)."""
+    return profile_graph(graph).length_distribution

@@ -1,0 +1,13 @@
+"""Baseline SCCnt implementations and test oracles."""
+
+from repro.baselines.bfs_cycle import bfs_cycle_count
+from repro.baselines.hpspc_scc import HPSPCCycleCounter, hpspc_cycle_count
+from repro.baselines.naive import enumerate_shortest_cycles, naive_cycle_count
+
+__all__ = [
+    "bfs_cycle_count",
+    "HPSPCCycleCounter",
+    "hpspc_cycle_count",
+    "enumerate_shortest_cycles",
+    "naive_cycle_count",
+]

@@ -1,0 +1,64 @@
+"""Brute-force oracles for tiny graphs.
+
+These are deliberately naive (exponential DFS enumeration) and structurally
+independent of every BFS- or label-based implementation in the package, so
+property-based tests can cross-validate four distinct ``SCCnt``
+implementations against each other.
+"""
+
+from __future__ import annotations
+
+from repro.graph.digraph import DiGraph
+from repro.types import NO_CYCLE, CycleCount
+
+__all__ = ["enumerate_shortest_cycles", "naive_cycle_count"]
+
+
+def enumerate_shortest_cycles(
+    graph: DiGraph, vq: int, max_length: int | None = None
+) -> list[list[int]]:
+    """All shortest cycles through ``vq`` as vertex sequences
+    ``[vq, ..., vq]``, by iterative-deepening DFS.
+
+    Only suitable for tiny graphs (exponential).  ``max_length`` defaults to
+    ``n`` (a simple cycle cannot be longer).
+    """
+    limit = graph.n if max_length is None else max_length
+    for length in range(2, limit + 1):
+        found: list[list[int]] = []
+        _dfs_exact(graph, vq, vq, length, [vq], {vq}, found)
+        if found:
+            return found
+    return []
+
+
+def _dfs_exact(
+    graph: DiGraph,
+    vq: int,
+    current: int,
+    remaining: int,
+    path: list[int],
+    on_path: set[int],
+    found: list[list[int]],
+) -> None:
+    if remaining == 0:
+        return
+    for u in graph.out_neighbors(current):
+        if u == vq:
+            if remaining == 1:
+                found.append(path + [vq])
+            continue
+        if remaining > 1 and u not in on_path:
+            path.append(u)
+            on_path.add(u)
+            _dfs_exact(graph, vq, u, remaining - 1, path, on_path, found)
+            path.pop()
+            on_path.discard(u)
+
+
+def naive_cycle_count(graph: DiGraph, vq: int) -> CycleCount:
+    """``SCCnt(vq)`` by exhaustive enumeration (test oracle)."""
+    cycles = enumerate_shortest_cycles(graph, vq)
+    if not cycles:
+        return NO_CYCLE
+    return CycleCount(len(cycles), len(cycles[0]) - 1)

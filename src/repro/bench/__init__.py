@@ -1,0 +1,6 @@
+"""Benchmark support: table rendering and timing helpers."""
+
+from repro.bench.tables import format_table, format_value
+from repro.bench.timing import time_call, time_per_item
+
+__all__ = ["format_table", "format_value", "time_call", "time_per_item"]

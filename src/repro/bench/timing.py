@@ -1,0 +1,34 @@
+"""Tiny timing helpers for the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Sequence
+
+__all__ = ["time_call", "time_per_item"]
+
+
+def time_call(fn: Callable[[], object]) -> tuple[float, object]:
+    """``(elapsed_seconds, result)`` of one call."""
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def time_per_item(
+    fn: Callable[[object], object],
+    items: Sequence[object],
+    repeat: int = 1,
+) -> float:
+    """Mean seconds per ``fn(item)`` over all items, ``repeat`` rounds.
+
+    Returns 0.0 for an empty item list.
+    """
+    if not items:
+        return 0.0
+    start = time.perf_counter()
+    for _ in range(repeat):
+        for item in items:
+            fn(item)
+    elapsed = time.perf_counter() - start
+    return elapsed / (len(items) * repeat)

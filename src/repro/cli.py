@@ -1,0 +1,178 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+* ``stats <edgelist>`` — graph statistics for a SNAP-style edge list;
+* ``build <edgelist> <index>`` — build a CSC index and persist it;
+* ``query <index> <vertex> [vertex ...]`` — SCCnt queries over a saved
+  index;
+* ``profile <edgelist>`` — whole-graph cycle profile (girth, length
+  distribution, top vertices);
+* ``datasets`` — list the built-in dataset stand-ins;
+* ``experiments [ids ...]`` — regenerate paper tables/figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+from repro.analysis import profile_graph
+from repro.bench.tables import format_table
+from repro.core.counter import ShortestCycleCounter
+from repro.graph.datasets import DATASET_ORDER, DATASETS, PAPER_SIZES
+from repro.graph.io import read_edge_list
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CSC: real-time shortest-cycle counting (ICDE 2022 "
+        "reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("stats", help="graph statistics for an edge list")
+    p.add_argument("edgelist")
+
+    p = sub.add_parser("build", help="build a CSC index and save it")
+    p.add_argument("edgelist")
+    p.add_argument("index")
+
+    p = sub.add_parser("query", help="SCCnt queries over a saved index")
+    p.add_argument("index")
+    p.add_argument("vertices", nargs="+", type=int)
+
+    p = sub.add_parser("profile", help="whole-graph cycle profile")
+    p.add_argument("edgelist")
+    p.add_argument("--top", type=int, default=10)
+
+    sub.add_parser("datasets", help="list built-in dataset stand-ins")
+
+    p = sub.add_parser("experiments", help="regenerate paper artifacts")
+    p.add_argument("ids", nargs="*", help="subset (e.g. table2 fig9)")
+    p.add_argument("--profile", default="small", dest="exp_profile")
+    return parser
+
+
+def _cmd_stats(args) -> int:
+    graph = read_edge_list(args.edgelist)
+    from repro.graph.datasets import dataset_statistics
+
+    stats = dataset_statistics(graph)
+    rows = [[key, value] for key, value in stats.items()]
+    print(format_table(["statistic", "value"], rows, title=args.edgelist))
+    return 0
+
+
+def _cmd_build(args) -> int:
+    graph = read_edge_list(args.edgelist)
+    start = time.perf_counter()
+    counter = ShortestCycleCounter.build(graph, copy_graph=False)
+    elapsed = time.perf_counter() - start
+    counter.save(args.index)
+    stats = counter.stats()
+    print(
+        f"built CSC index for n={stats['n']} m={stats['m']} in "
+        f"{elapsed:.2f}s ({stats['label_entries']} entries, "
+        f"{stats['size_bytes']} bytes) -> {args.index}"
+    )
+    return 0
+
+
+def _cmd_query(args) -> int:
+    counter = ShortestCycleCounter.load(args.index)
+    rows = []
+    for v in args.vertices:
+        if not 0 <= v < counter.graph.n:
+            print(f"vertex {v} out of range (n={counter.graph.n})",
+                  file=sys.stderr)
+            return 2
+        result = counter.count(v)
+        rows.append(
+            [v, result.count, result.length if result.has_cycle else "-"]
+        )
+    print(format_table(["vertex", "sccnt", "length"], rows))
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    graph = read_edge_list(args.edgelist)
+    profile = profile_graph(graph)
+    print(f"girth: {profile.girth}")
+    print(f"cyclic vertices: {profile.cyclic_vertices}/{graph.n}")
+    dist_rows = sorted(profile.length_distribution.items())
+    print(format_table(["cycle length", "vertices"], dist_rows))
+    top_rows = [
+        [v, c.count, c.length] for v, c in profile.top_by_count(args.top)
+    ]
+    print(format_table(["vertex", "sccnt", "length"], top_rows,
+                       title=f"top {args.top} by count"))
+    return 0
+
+
+def _cmd_datasets(_args) -> int:
+    rows = []
+    for name in DATASET_ORDER:
+        spec = DATASETS[name]
+        paper_n, paper_m = PAPER_SIZES[name]
+        small_n, small_m = spec.sizes["small"]
+        rows.append(
+            [name, spec.paper_name, spec.family,
+             f"{paper_n:,}/{paper_m:,}", f"{small_n:,}/{small_m:,}"]
+        )
+    print(
+        format_table(
+            ["id", "paper graph", "family", "paper n/m", "stand-in n/m"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_experiments(args) -> int:
+    from repro.experiments import EXPERIMENTS
+
+    ids = args.ids or list(EXPERIMENTS)
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(
+            f"unknown experiment ids {unknown}; available: "
+            f"{sorted(EXPERIMENTS)}",
+            file=sys.stderr,
+        )
+        return 2
+    for exp_id in ids:
+        runner = EXPERIMENTS[exp_id]
+        try:
+            result = runner(profile=args.exp_profile)  # type: ignore[call-arg]
+        except TypeError:
+            result = runner()
+        print(result.render())
+        print()
+    return 0
+
+
+_COMMANDS = {
+    "stats": _cmd_stats,
+    "build": _cmd_build,
+    "query": _cmd_query,
+    "profile": _cmd_profile,
+    "datasets": _cmd_datasets,
+    "experiments": _cmd_experiments,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,21 @@
+"""The paper's primary contribution: the CSC index, its dynamic
+maintenance, and the user-facing counter facade."""
+
+from repro.core.csc import CSCIndex
+from repro.core.counter import IndexStats, ShortestCycleCounter
+from repro.core.maintenance import (
+    STRATEGIES,
+    UpdateStats,
+    delete_edge,
+    insert_edge,
+)
+
+__all__ = [
+    "CSCIndex",
+    "IndexStats",
+    "ShortestCycleCounter",
+    "STRATEGIES",
+    "UpdateStats",
+    "delete_edge",
+    "insert_edge",
+]

@@ -1,0 +1,213 @@
+"""High-level facade: a dynamic shortest-cycle counter.
+
+:class:`ShortestCycleCounter` bundles a graph, its CSC index, and the
+dynamic maintenance algorithms behind the interface an application would
+actually use — the "system" view of the paper:
+
+>>> from repro import DiGraph, ShortestCycleCounter
+>>> g = DiGraph.from_edges(4, [(0, 1), (1, 2), (2, 0), (2, 3)])
+>>> counter = ShortestCycleCounter.build(g)
+>>> counter.count(0)
+CycleCount(count=1, length=3)
+>>> counter.insert_edge(3, 0)
+>>> counter.count(3)
+CycleCount(count=1, length=4)
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence, Union
+
+from repro.core.csc import CSCIndex
+from repro.core.maintenance import (
+    STRATEGIES,
+    UpdateStats,
+    delete_edge,
+    insert_edge,
+)
+from repro.graph.digraph import DiGraph
+from repro.graph.io import graph_from_bytes, graph_to_bytes
+from repro.types import CycleCount
+
+__all__ = ["ShortestCycleCounter", "IndexStats"]
+
+
+class IndexStats(dict):
+    """Index statistics as a plain dict with attribute access."""
+
+    __getattr__ = dict.__getitem__
+
+
+class ShortestCycleCounter:
+    """Dynamic ``SCCnt`` queries over a directed graph via the CSC index.
+
+    Construct with :meth:`build`.  The counter owns its graph copy: edge
+    updates must go through :meth:`insert_edge` / :meth:`delete_edge` so the
+    index stays consistent with the graph.
+    """
+
+    def __init__(self, index: CSCIndex, strategy: str = "redundancy") -> None:
+        if strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
+            )
+        self._index = index
+        self._strategy = strategy
+        self._updates: list[UpdateStats] = []
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        graph: DiGraph,
+        order: Sequence[int] | None = None,
+        strategy: str = "redundancy",
+        copy_graph: bool = True,
+    ) -> "ShortestCycleCounter":
+        """Build a counter over ``graph``.
+
+        ``strategy`` selects the maintenance mode for subsequent insertions
+        (``"redundancy"``, the paper's recommendation, or ``"minimality"``).
+        The graph is copied by default so outside mutation cannot
+        desynchronize the index.
+        """
+        g = graph.copy() if copy_graph else graph
+        return cls(CSCIndex.build(g, order), strategy)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def count(self, v: int) -> CycleCount:
+        """Number and length of the shortest cycles through ``v``."""
+        return self._index.sccnt(v)
+
+    def count_many(self, vertices: Sequence[int]) -> list[CycleCount]:
+        """Batch form of :meth:`count`."""
+        sccnt = self._index.sccnt
+        return [sccnt(v) for v in vertices]
+
+    def top_suspicious(self, k: int = 10) -> list[tuple[int, CycleCount]]:
+        """The ``k`` vertices with the most shortest cycles (ties broken by
+        shorter cycle length, then id) — the paper's fraud pre-screening
+        criterion (Application 1, Figure 13)."""
+        scored = [(v, self._index.sccnt(v)) for v in self.graph.vertices()]
+        scored.sort(key=lambda item: (-item[1].count, item[1].length, item[0]))
+        return scored[:k]
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def insert_edge(self, tail: int, head: int) -> UpdateStats:
+        """Insert an edge and incrementally maintain the index (INCCNT)."""
+        stats = insert_edge(self._index, tail, head, self._strategy)
+        self._updates.append(stats)
+        return stats
+
+    def delete_edge(self, tail: int, head: int) -> UpdateStats:
+        """Delete an edge and repair the index (DECCNT)."""
+        stats = delete_edge(self._index, tail, head)
+        self._updates.append(stats)
+        return stats
+
+    def insert_edges(
+        self, edges: Sequence[tuple[int, int]]
+    ) -> list[UpdateStats]:
+        """Insert a batch of edges, maintaining the index after each one
+        (the paper processes updates one edge at a time)."""
+        return [self.insert_edge(tail, head) for tail, head in edges]
+
+    def delete_edges(
+        self, edges: Sequence[tuple[int, int]]
+    ) -> list[UpdateStats]:
+        """Delete a batch of edges, repairing the index after each one."""
+        return [self.delete_edge(tail, head) for tail, head in edges]
+
+    def detach_vertex(self, v: int) -> list[UpdateStats]:
+        """Remove every edge incident to ``v``.
+
+        The paper models vertex deletion as a series of edge deletions
+        (Section II); the vertex itself stays as an isolated id so other
+        ids remain stable.
+        """
+        out_edges = [(v, u) for u in list(self.graph.out_neighbors(v))]
+        in_edges = [(u, v) for u in list(self.graph.in_neighbors(v))]
+        return self.delete_edges(out_edges + in_edges)
+
+    def add_vertex(self) -> int:
+        """Append a new isolated vertex and extend the index for it.
+
+        An isolated vertex has empty cycle labels except its own self
+        entry, so only bookkeeping grows; connect it with
+        :meth:`insert_edge` afterwards (the paper's vertex-insertion
+        model).
+        """
+        index = self._index
+        v = index.graph.add_vertex()
+        index.order.append(v)
+        index.pos.append(len(index.order) - 1)
+        index.label_in.append([(index.pos[v], 0, 1, True)])
+        index.label_out.append([])
+        if index._inv_in is not None:
+            index._inv_in.append({v})
+            index._inv_out.append(set())
+        return v
+
+    def rebuild(self) -> None:
+        """Reconstruct the index from scratch (the paper's strawman for
+        dynamic graphs; exposed for the Figure 11 comparison)."""
+        self._index = CSCIndex.build(self.graph, self._index.order)
+        self._updates.clear()
+
+    # ------------------------------------------------------------------
+    # Introspection / persistence
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> DiGraph:
+        """The underlying graph (mutate only via this counter)."""
+        return self._index.graph
+
+    @property
+    def index(self) -> CSCIndex:
+        """The underlying CSC index."""
+        return self._index
+
+    @property
+    def strategy(self) -> str:
+        """Maintenance strategy for insertions."""
+        return self._strategy
+
+    @property
+    def update_log(self) -> list[UpdateStats]:
+        """Stats of every update applied through this counter."""
+        return list(self._updates)
+
+    def stats(self) -> IndexStats:
+        """Index and graph statistics."""
+        return IndexStats(
+            n=self.graph.n,
+            m=self.graph.m,
+            label_entries=self._index.total_entries(),
+            size_bytes=self._index.size_bytes(),
+            average_label_size=self._index.average_label_size(),
+            strategy=self._strategy,
+            updates_applied=len(self._updates),
+        )
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Persist graph + index to one file."""
+        graph_blob = graph_to_bytes(self.graph)
+        index_blob = self._index.to_bytes()
+        header = len(graph_blob).to_bytes(8, "little")
+        Path(path).write_bytes(header + graph_blob + index_blob)
+
+    @classmethod
+    def load(
+        cls, path: Union[str, Path], strategy: str = "redundancy"
+    ) -> "ShortestCycleCounter":
+        """Inverse of :meth:`save`."""
+        blob = Path(path).read_bytes()
+        graph_len = int.from_bytes(blob[:8], "little")
+        graph = graph_from_bytes(blob[8 : 8 + graph_len])
+        index = CSCIndex.from_bytes(blob[8 + graph_len :], graph)
+        return cls(index, strategy)

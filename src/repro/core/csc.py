@@ -1,0 +1,484 @@
+"""CSC — bipartite hub labeling for shortest cycle counting (Section IV).
+
+The index of the paper: build the bipartite conversion ``Gb`` of the input
+graph, hub-label it under the shortest-path-counting cover constraint, and
+answer ``SCCnt(v)`` as ``SPCnt_Gb(v_out, v_in)`` with cycle length
+``(d + 1) / 2``.
+
+Representation
+--------------
+``Gb`` is never materialized.  Its structure makes couple labels redundant
+(``v_in``'s single out-edge / ``v_out``'s single in-edge is the couple edge),
+so per original vertex ``v`` we store only the two lists the cycle query
+reads — Section IV-E's *index reduction*:
+
+* ``label_in[v]``  = ``Lin(v_in)``  — entries ``(hub_pos, dist, count, canonical)``;
+* ``label_out[v]`` = ``Lout(v_out)`` — same format; the entry whose hub is
+  ``v`` itself is the *cycle entry* ``(v_in, d, c) ∈ Lout(v_out)``
+  (cf. Table III's ``(v7i, 11, 1)``).
+
+Hubs are always ``Vin`` vertices: on any ``x_out -> x_in`` path every
+``v_out`` is preceded by its higher-ranked couple ``v_in`` (the start
+``x_out``'s couple is the path's endpoint), so the highest-ranked vertex is
+in ``Vin`` — this is why couple-vertex skipping loses nothing for cycle
+queries.  A hub is identified by its original vertex's rank position
+``pos``; the ``Gb`` rank order is ``v1_in, v1_out, v2_in, v2_out, ...``
+following the original order, which keeps couples consecutive (Section IV-B).
+
+Distances are stored in ``Gb`` units: ``sd(h_in, w_in) = 2 * sd_G0(h, w)``,
+``sd(w_out, h_in) = 2 * sd_G0(w, h) - 1``, so Table III's values (4, 7, 11)
+appear verbatim.
+
+Construction (Algorithms 3–4) runs one forward and one backward pruned
+counting BFS per hub, processing only one side of each couple: a forward BFS
+dequeues ``w_in`` vertices and hops ``w_in -> w_out -> u_in`` at distance
+``+2``; a backward BFS dequeues ``w_out`` vertices.  The backward rank test
+``h_in ≺ u_out  ⇔  pos(h) <= pos(u)`` admits ``u = h`` — the dequeue of the
+hub's own couple is the couple-cycle case, which records the cycle entry and
+prunes (rule (4) of Section IV-C).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections import deque
+from typing import Sequence
+
+from repro.errors import SerializationError
+from repro.graph.digraph import DiGraph
+from repro.labeling.hpspc import UNREACHED, merge_labels
+from repro.labeling.ordering import degree_order, positions, validate_order
+from repro.labeling.packing import (
+    labels_from_bytes,
+    labels_to_bytes,
+    packed_size_bytes,
+)
+from repro.types import NO_CYCLE, CycleCount
+
+__all__ = ["CSCIndex"]
+
+Entry = tuple[int, int, int, bool]
+
+
+class CSCIndex:
+    """The CSC shortest-cycle-counting index over a dynamic directed graph.
+
+    Build with :meth:`build`; query with :meth:`sccnt`; maintain under edge
+    updates through :mod:`repro.core.maintenance` (or the
+    :class:`~repro.core.counter.ShortestCycleCounter` facade).
+    """
+
+    __slots__ = (
+        "graph",
+        "order",
+        "pos",
+        "label_in",
+        "label_out",
+        "_inv_in",
+        "_inv_out",
+    )
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        order: list[int],
+        pos: list[int],
+        label_in: list[list[Entry]],
+        label_out: list[list[Entry]],
+    ) -> None:
+        self.graph = graph
+        self.order = order
+        self.pos = pos
+        self.label_in = label_in
+        self.label_out = label_out
+        # Inverted indexes (hub_pos -> set of labeled vertices); built lazily
+        # by ensure_inverted() since only dynamic maintenance needs them.
+        self._inv_in: list[set[int]] | None = None
+        self._inv_out: list[set[int]] | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls, graph: DiGraph, order: Sequence[int] | None = None
+    ) -> "CSCIndex":
+        """Build the CSC index (Algorithm 3 with couple-vertex skipping).
+
+        ``order`` is an original-graph vertex permutation (highest rank
+        first); it defaults to the paper's degree-descending order and is
+        lifted to ``Gb`` with couples kept consecutive.
+        """
+        if order is None:
+            order_list = degree_order(graph)
+        else:
+            order_list = list(order)
+            validate_order(order_list, graph.n)
+        pos = positions(order_list)
+        n = graph.n
+        label_in: list[list[Entry]] = [[] for _ in range(n)]
+        label_out: list[list[Entry]] = [[] for _ in range(n)]
+        dist = [UNREACHED] * n
+        cnt = [0] * n
+        for p, v in enumerate(order_list):
+            _forward_bfs(graph, v, p, pos, label_in, label_out, dist, cnt)
+            _backward_bfs(graph, v, p, pos, label_in, label_out, dist, cnt)
+        return cls(graph, order_list, pos, label_in, label_out)
+
+    def copy(self, copy_graph: bool = True) -> "CSCIndex":
+        """Independent copy of the index (and, by default, its graph) —
+        used by experiments that replay the same update batch under both
+        maintenance strategies."""
+        return CSCIndex(
+            self.graph.copy() if copy_graph else self.graph,
+            list(self.order),
+            list(self.pos),
+            [list(entries) for entries in self.label_in],
+            [list(entries) for entries in self.label_out],
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def sccnt(self, v: int) -> CycleCount:
+        """``SCCnt(v)``: count and length of the shortest cycles through
+        ``v`` (Section IV-D).
+
+        Evaluates ``SPCnt_Gb(v_out, v_in)`` by a sorted merge of
+        ``Lout(v_out)`` and ``Lin(v_in)``; the ``Gb`` distance ``d`` maps to
+        cycle length ``(d + 1) / 2``.
+        """
+        d, c = merge_labels(self.label_out[v], self.label_in[v])
+        if d == UNREACHED or c == 0:
+            return NO_CYCLE
+        return CycleCount(c, (d + 1) // 2)
+
+    def cycle_gb_distance(self, v: int) -> int:
+        """Raw ``Gb`` distance of ``SPCnt(v_out, v_in)`` (``UNREACHED`` when
+        no cycle exists) — exposed for tests and diagnostics."""
+        return merge_labels(self.label_out[v], self.label_in[v])[0]
+
+    # ------------------------------------------------------------------
+    # Internal distance/count queries over the implicit Gb
+    # (used by dynamic maintenance; all are full-label queries)
+    # ------------------------------------------------------------------
+    def derived_out_map(self, x: int) -> dict[int, tuple[int, int]]:
+        """Full ``Lout(x_in)`` as ``{hub_pos: (dist, count)}``.
+
+        Derived from the stored ``Lout(x_out)`` by the couple shift
+        ``sd(x_in, h) = sd(x_out, h) + 1``, with the hub ``x_in`` itself at
+        distance 0 replacing the shifted cycle entry.
+        """
+        px = self.pos[x]
+        mapping: dict[int, tuple[int, int]] = {px: (0, 1)}
+        for q, d, c, _f in self.label_out[x]:
+            if q != px:
+                mapping[q] = (d + 1, c)
+        return mapping
+
+    def qdist_in_in(self, x: int, y: int) -> int:
+        """``sd_Gb(x_in, y_in)`` via the full label cover."""
+        if x == y:
+            return 0
+        out_map = self.derived_out_map(x)
+        best = UNREACHED
+        for q, d, _c, _f in self.label_in[y]:
+            pair = out_map.get(q)
+            if pair is not None and pair[0] + d < best:
+                best = pair[0] + d
+        return best
+
+    def qdist_out_in(self, x: int, y: int) -> int:
+        """``sd_Gb(x_out, y_in)`` via the full label cover.
+
+        For ``x == y`` this is the cycle distance.  Correct for all pairs
+        actually covered by the reduced index (see module docstring); used by
+        CLEAN-LABEL and maintenance pruning, always on (source=out,
+        target=in) pairs, which the Vin-hub cover handles.
+        """
+        in_map = {q: d for q, d, _c, _f in self.label_in[y]}
+        best = UNREACHED
+        for q, d, _c, _f in self.label_out[x]:
+            other = in_map.get(q)
+            if other is not None and d + other < best:
+                best = d + other
+        return best
+
+    # ------------------------------------------------------------------
+    # Inverted indexes for maintenance
+    # ------------------------------------------------------------------
+    def ensure_inverted(self) -> tuple[list[set[int]], list[set[int]]]:
+        """Build (once) and return ``(inv_in, inv_out)``:
+        ``inv_in[hub_pos]`` is the set of vertices ``w`` with an entry of
+        that hub in ``label_in[w]`` (Algorithm 8's inverted index)."""
+        if self._inv_in is None or self._inv_out is None:
+            n = self.graph.n
+            inv_in: list[set[int]] = [set() for _ in range(n)]
+            inv_out: list[set[int]] = [set() for _ in range(n)]
+            for w in range(n):
+                for q, _d, _c, _f in self.label_in[w]:
+                    inv_in[q].add(w)
+                for q, _d, _c, _f in self.label_out[w]:
+                    inv_out[q].add(w)
+            self._inv_in = inv_in
+            self._inv_out = inv_out
+        return self._inv_in, self._inv_out
+
+    def entry_index(self, entries: list[Entry], hub_pos: int) -> int:
+        """Position of ``hub_pos`` in a sorted entry list, or ``-1``."""
+        i = bisect_left(entries, hub_pos, key=lambda e: e[0])
+        if i < len(entries) and entries[i][0] == hub_pos:
+            return i
+        return -1
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self, deep: bool = False) -> list[str]:
+        """Check index invariants; returns a list of violation messages
+        (empty = healthy).
+
+        Structural checks (always): order is a permutation; label lists are
+        sorted by hub rank without duplicates; hub ranks never fall below
+        the labeled vertex's rank (except a vertex's own cycle entry);
+        every in-label list carries its self entry; counts are positive;
+        cached inverted indexes agree with the labels.
+
+        ``deep`` additionally replays every query against the BFS oracle —
+        O(n * (n + m)), meant for tests and post-mortems, not production.
+        """
+        problems: list[str] = []
+        n = self.graph.n
+        if sorted(self.order) != list(range(n)):
+            problems.append("order is not a permutation of the vertices")
+            return problems
+        for v in range(n):
+            pv = self.pos[v]
+            for side, table in (("in", self.label_in), ("out", self.label_out)):
+                hubs = [e[0] for e in table[v]]
+                if hubs != sorted(hubs):
+                    problems.append(f"L{side}({v}) not sorted by hub rank")
+                if len(hubs) != len(set(hubs)):
+                    problems.append(f"L{side}({v}) has duplicate hubs")
+                for q, d, c, _f in table[v]:
+                    if q > pv:
+                        problems.append(
+                            f"L{side}({v}) hub rank {q} below vertex rank {pv}"
+                        )
+                    if c <= 0 or d < 0:
+                        problems.append(
+                            f"L{side}({v}) entry ({q},{d},{c}) malformed"
+                        )
+            if self.entry_index(self.label_in[v], pv) < 0:
+                problems.append(f"Lin({v}) missing its self entry")
+        if self._inv_in is not None and self._inv_out is not None:
+            for inv, table, side in (
+                (self._inv_in, self.label_in, "in"),
+                (self._inv_out, self.label_out, "out"),
+            ):
+                for v in range(n):
+                    for q, *_ in table[v]:
+                        if v not in inv[q]:
+                            problems.append(
+                                f"inv_{side}[{q}] missing vertex {v}"
+                            )
+                for q in range(n):
+                    for v in inv[q]:
+                        if self.entry_index(table[v], q) < 0:
+                            problems.append(
+                                f"inv_{side}[{q}] has stale vertex {v}"
+                            )
+        if deep and not problems:
+            from repro.baselines.bfs_cycle import bfs_cycle_count
+
+            for v in range(n):
+                expected = bfs_cycle_count(self.graph, v)
+                got = self.sccnt(v)
+                if got != expected:
+                    problems.append(
+                        f"SCCnt({v}) = {got}, oracle says {expected}"
+                    )
+        return problems
+
+    # ------------------------------------------------------------------
+    # Introspection / persistence
+    # ------------------------------------------------------------------
+    def total_entries(self) -> int:
+        """Stored label entries (the reduced representation's footprint)."""
+        return sum(len(lbl) for lbl in self.label_in) + sum(
+            len(lbl) for lbl in self.label_out
+        )
+
+    def size_bytes(self) -> int:
+        """Index size under the paper's 64-bit entry encoding."""
+        return packed_size_bytes(self.total_entries())
+
+    def average_label_size(self) -> float:
+        """Mean stored entries per vertex per direction."""
+        if self.graph.n == 0:
+            return 0.0
+        return self.total_entries() / (2 * self.graph.n)
+
+    def named_labels_of(
+        self, v: int
+    ) -> tuple[set[tuple[int, int, int]], set[tuple[int, int, int]]]:
+        """``(Lin(v_in), Lout(v_out))`` with hub *vertex ids* — the
+        Table III view (hub ids name the ``v_in`` vertex of that original
+        vertex)."""
+        lin = {(self.order[q], d, c) for (q, d, c, _) in self.label_in[v]}
+        lout = {(self.order[q], d, c) for (q, d, c, _) in self.label_out[v]}
+        return lin, lout
+
+    def to_bytes(self) -> bytes:
+        """Serialize the labels (graph not included)."""
+        return b"".join(
+            [
+                labels_to_bytes(self.order, self.label_in),
+                labels_to_bytes(self.order, self.label_out),
+            ]
+        )
+
+    @classmethod
+    def from_bytes(cls, blob: bytes, graph: DiGraph) -> "CSCIndex":
+        """Rebuild an index from :meth:`to_bytes` output plus its graph."""
+        from repro.labeling.hpspc import labels_from_bytes_prefix
+
+        (order, label_in), consumed = labels_from_bytes_prefix(blob)
+        order2, label_out = labels_from_bytes(blob[consumed:])
+        if order2 != order:
+            raise SerializationError("in/out label blobs disagree on order")
+        if len(order) != graph.n:
+            raise SerializationError(
+                f"index was built for n={len(order)}, graph has n={graph.n}"
+            )
+        return cls(graph, order, positions(order), label_in, label_out)
+
+
+# ---------------------------------------------------------------------------
+# Construction BFS kernels
+# ---------------------------------------------------------------------------
+
+
+def _forward_bfs(
+    graph: DiGraph,
+    h: int,
+    ph: int,
+    pos: list[int],
+    label_in: list[list[Entry]],
+    label_out: list[list[Entry]],
+    dist: list[int],
+    cnt: list[int],
+) -> None:
+    """In-label generation for hub ``h_in`` (Algorithm 3 lines 9–26).
+
+    The queue holds original vertices standing for their ``w_in`` side; each
+    expansion step crosses the couple edge plus one original edge, so levels
+    advance by 2 in ``Gb`` units.
+    """
+    # Canonical sd(h_in, q_in) for strictly higher hubs, via the couple shift
+    # of the stored Lout(h_out).
+    hub_dist: dict[int, int] = {}
+    for q, d, _c, canonical in label_out[h]:
+        if q >= ph:
+            break
+        if canonical:
+            hub_dist[q] = d + 1
+    out_neighbors = graph.out_neighbors
+
+    dist[h] = 0
+    cnt[h] = 1
+    queue: deque[int] = deque((h,))
+    visited = [h]
+    while queue:
+        w = queue.popleft()
+        d_w = dist[w]
+        d_via = UNREACHED
+        for q, dq, _cq, canonical in label_in[w]:
+            if q >= ph:
+                break
+            if canonical:
+                hd = hub_dist.get(q)
+                if hd is not None and hd + dq < d_via:
+                    d_via = hd + dq
+        if d_via < d_w:
+            continue
+        label_in[w].append((ph, d_w, cnt[w], d_via > d_w))
+        d_next = d_w + 2
+        c_w = cnt[w]
+        for u in out_neighbors(w):
+            if dist[u] == UNREACHED:
+                if pos[u] > ph:
+                    dist[u] = d_next
+                    cnt[u] = c_w
+                    queue.append(u)
+                    visited.append(u)
+            elif dist[u] == d_next:
+                cnt[u] += c_w
+    for w in visited:
+        dist[w] = UNREACHED
+        cnt[w] = 0
+
+
+def _backward_bfs(
+    graph: DiGraph,
+    h: int,
+    ph: int,
+    pos: list[int],
+    label_in: list[list[Entry]],
+    label_out: list[list[Entry]],
+    dist: list[int],
+    cnt: list[int],
+) -> None:
+    """Out-label generation for hub ``h_in`` (reverse direction).
+
+    The queue holds original vertices standing for their ``w_out`` side.
+    The rank test ``pos[u] >= ph`` admits ``u == h``: dequeuing the hub's own
+    couple ``h_out`` records the cycle entry and prunes (Section IV-C
+    rule (4)).
+    """
+    hub_dist: dict[int, int] = {}
+    for q, d, _c, canonical in label_in[h]:
+        if q >= ph:
+            break
+        if canonical:
+            hub_dist[q] = d
+    in_neighbors = graph.in_neighbors
+
+    queue: deque[int] = deque()
+    visited: list[int] = []
+    for u in in_neighbors(h):
+        if pos[u] >= ph:
+            dist[u] = 1
+            cnt[u] = 1
+            queue.append(u)
+            visited.append(u)
+    while queue:
+        w = queue.popleft()
+        d_w = dist[w]
+        d_via = UNREACHED
+        for q, dq, _cq, canonical in label_out[w]:
+            if q >= ph:
+                break
+            if canonical:
+                hd = hub_dist.get(q)
+                if hd is not None and dq + hd < d_via:
+                    d_via = dq + hd
+        if d_via < d_w:
+            continue
+        label_out[w].append((ph, d_w, cnt[w], d_via > d_w))
+        if w == h:
+            continue  # couple-cycle: cycle entry recorded, prune
+        d_next = d_w + 2
+        c_w = cnt[w]
+        for u in in_neighbors(w):
+            if dist[u] == UNREACHED:
+                if pos[u] >= ph:
+                    dist[u] = d_next
+                    cnt[u] = c_w
+                    queue.append(u)
+                    visited.append(u)
+            elif dist[u] == d_next:
+                cnt[u] += c_w
+    for w in visited:
+        dist[w] = UNREACHED
+        cnt[w] = 0

@@ -1,0 +1,494 @@
+"""Dynamic maintenance of the CSC index (paper Section V).
+
+Edge insertion — INCCNT (Algorithms 5–7)
+----------------------------------------
+Inserting ``(a, b)`` in ``G0`` inserts ``(a_out, b_in)`` in the implicit
+``Gb``.  Affected hubs are read off the labels (Definition V.1):
+
+* forward hubs ``hubA`` from ``Lin(a_out)`` — i.e. the stored
+  ``Lin(a_in)`` shifted by the couple edge — restricted to hubs ranked above
+  ``b_in`` (every new path contains ``b_in``, so a hub it outranks cannot be
+  the path's highest vertex);
+* backward hubs ``hubB`` from ``Lout(b_in)`` — ``{b_in}`` plus the stored
+  ``Lout(b_out)`` shifted — restricted to hubs ranked above ``a_out``.
+
+Hubs are processed in descending rank order; each runs a resumed counting
+BFS seeded with its *label's* count (Theorem V.1), pruned wherever the
+tentative distance exceeds the full-index query (Algorithm 6, cases 1–3),
+updating entries per Algorithm 7.  Stale seeds (possible under the
+redundancy strategy) start strictly above the query distance everywhere and
+prune immediately, so they are harmless.
+
+Two strategies (Section V-B):
+
+* ``"redundancy"`` (default) — dominated stale entries stay; queries remain
+  correct because a stale pair-sum always exceeds the true minimum.
+* ``"minimality"`` — every replace/insert triggers CLEAN-LABEL
+  (Algorithm 8) over the touched vertex's labels and the inverted indexes,
+  restoring Theorem V.3 minimality at much higher cost (Figure 11).
+
+Edge deletion — DECCNT (Section V-C)
+------------------------------------
+Affected hubs are *all* vertices satisfying the paper's distance conditions
+(computed exactly with four plain BFSes on the pre-deletion graph):
+``hubA = {v : sd(v,a) + 1 = sd(v,b)}`` and
+``hubB = {u : sd(b,u) + 1 = sd(a,u)}``.  For each affected hub in descending
+rank order we re-run the construction BFS on ``G-`` and *replace the hub's
+whole label fingerprint*: fresh entries are upserted and entries the fresh
+BFS no longer justifies are dropped via the inverted index.  This implements
+the paper's "delete a superset, then re-add by BFS from each affected hub"
+and is what makes deletions one-to-two orders slower than insertions
+(Figure 12(a) vs 11(a)).  It also scrubs any redundancy-mode leftovers of
+the affected hubs, which is required for correctness: a deletion can raise a
+true distance up to a stale entry's value, at which point that entry would
+otherwise re-enter query minima with a rotten count.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.csc import CSCIndex
+from repro.graph.traversal import INF, bfs_distances
+from repro.labeling.hpspc import UNREACHED
+
+__all__ = ["UpdateStats", "insert_edge", "delete_edge", "STRATEGIES"]
+
+STRATEGIES = ("redundancy", "minimality")
+
+
+@dataclass
+class UpdateStats:
+    """Instrumentation for one index update (Figures 11(b) / 12(b))."""
+
+    operation: str
+    edge: tuple[int, int]
+    strategy: str = "redundancy"
+    hubs_processed: int = 0
+    vertices_visited: int = 0
+    entries_added: int = 0
+    entries_updated: int = 0
+    entries_removed: int = 0
+    details: dict = field(default_factory=dict)
+
+    @property
+    def net_entry_delta(self) -> int:
+        """Net change in stored label entries."""
+        return self.entries_added - self.entries_removed
+
+
+def _check_strategy(strategy: str) -> None:
+    if strategy not in STRATEGIES:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Incremental update (Algorithm 5: INCCNT)
+# ---------------------------------------------------------------------------
+
+
+def insert_edge(
+    index: CSCIndex, a: int, b: int, strategy: str = "redundancy"
+) -> UpdateStats:
+    """Insert edge ``(a, b)`` into the graph and update the index (INCCNT).
+
+    Raises :class:`~repro.errors.EdgeExistsError` (before touching the
+    index) if the edge is already present.
+    """
+    _check_strategy(strategy)
+    index.graph.add_edge(a, b)
+    index.ensure_inverted()
+    stats = UpdateStats("insert", (a, b), strategy)
+    pos = index.pos
+    pa, pb = pos[a], pos[b]
+
+    forward_seeds: dict[int, tuple[int, int]] = {}
+    for q, d, c, _f in index.label_in[a]:
+        if q < pb:
+            # sd(q_in, a_out) = d + 1; BFS starts at b_in one edge later.
+            forward_seeds[q] = (d + 2, c)
+    backward_seeds: dict[int, tuple[int, int]] = {}
+    if pb <= pa:
+        backward_seeds[pb] = (1, 1)  # hub b_in itself: a_out -> b_in
+    for q, d, c, _f in index.label_out[b]:
+        if q != pb and q <= pa:
+            # sd(b_in, q_in) = d + 1; reverse BFS starts at a_out.
+            backward_seeds[q] = (d + 2, c)
+
+    for q in sorted(set(forward_seeds) | set(backward_seeds)):
+        stats.hubs_processed += 1
+        seed = forward_seeds.get(q)
+        if seed is not None:
+            _forward_pass(index, q, b, seed[0], seed[1], strategy, stats)
+        seed = backward_seeds.get(q)
+        if seed is not None:
+            _backward_pass(index, q, a, seed[0], seed[1], strategy, stats)
+    return stats
+
+
+def _forward_pass(
+    index: CSCIndex,
+    q: int,
+    start: int,
+    d0: int,
+    c0: int,
+    strategy: str,
+    stats: UpdateStats,
+) -> None:
+    """Algorithm 6 (FORWARD-PASS): update in-labels below hub ``q``."""
+    graph = index.graph
+    pos = index.pos
+    label_in = index.label_in
+    hub_vertex = index.order[q]
+    # Full and canonical views of the derived Lout(q_in).
+    out_full: dict[int, int] = {q: 0}
+    out_canon: dict[int, int] = {}
+    for q2, d2, _c2, f2 in index.label_out[hub_vertex]:
+        if q2 != q:
+            out_full[q2] = d2 + 1
+            if f2 and q2 < q:
+                out_canon[q2] = d2 + 1
+
+    dist: dict[int, int] = {start: d0}
+    cnt: dict[int, int] = {start: c0}
+    queue: deque[int] = deque((start,))
+    while queue:
+        w = queue.popleft()
+        d_w = dist[w]
+        stats.vertices_visited += 1
+        d_query = UNREACHED
+        for q2, d2, _c2, _f2 in label_in[w]:
+            if q2 > q:
+                break
+            od = out_full.get(q2)
+            if od is not None and od + d2 < d_query:
+                d_query = od + d2
+        if d_w > d_query:
+            continue  # Case 1: not on a new shortest path
+        _update_entry(
+            index, index.label_in, index._inv_in, w, q, d_w, cnt[w],
+            out_canon, forward=True, strategy=strategy, stats=stats,
+        )
+        d_next = d_w + 2
+        c_w = cnt[w]
+        for u in graph.out_neighbors(w):
+            if pos[u] > q:
+                d_u = dist.get(u)
+                if d_u is None:
+                    dist[u] = d_next
+                    cnt[u] = c_w
+                    queue.append(u)
+                elif d_u == d_next:
+                    cnt[u] += c_w
+
+
+def _backward_pass(
+    index: CSCIndex,
+    q: int,
+    start: int,
+    d0: int,
+    c0: int,
+    strategy: str,
+    stats: UpdateStats,
+) -> None:
+    """BACKWARD-PASS: update out-labels below hub ``q`` (reverse BFS)."""
+    graph = index.graph
+    pos = index.pos
+    label_out = index.label_out
+    hub_vertex = index.order[q]
+    in_full: dict[int, int] = {}
+    in_canon: dict[int, int] = {}
+    for q2, d2, _c2, f2 in index.label_in[hub_vertex]:
+        in_full[q2] = d2
+        if f2 and q2 < q:
+            in_canon[q2] = d2
+
+    dist: dict[int, int] = {start: d0}
+    cnt: dict[int, int] = {start: c0}
+    queue: deque[int] = deque((start,))
+    while queue:
+        w = queue.popleft()
+        d_w = dist[w]
+        stats.vertices_visited += 1
+        d_query = UNREACHED
+        for q2, d2, _c2, _f2 in label_out[w]:
+            if q2 > q:
+                break
+            od = in_full.get(q2)
+            if od is not None and od + d2 < d_query:
+                d_query = od + d2
+        if d_w > d_query:
+            continue
+        _update_entry(
+            index, index.label_out, index._inv_out, w, q, d_w, cnt[w],
+            in_canon, forward=False, strategy=strategy, stats=stats,
+        )
+        if w == hub_vertex:
+            continue  # couple-cycle: cycle entry updated, prune
+        d_next = d_w + 2
+        c_w = cnt[w]
+        for u in graph.in_neighbors(w):
+            if pos[u] >= q:
+                d_u = dist.get(u)
+                if d_u is None:
+                    dist[u] = d_next
+                    cnt[u] = c_w
+                    queue.append(u)
+                elif d_u == d_next:
+                    cnt[u] += c_w
+
+
+def _update_entry(
+    index: CSCIndex,
+    table: list[list],
+    inv: list[set[int]] | None,
+    w: int,
+    q: int,
+    d: int,
+    c: int,
+    hub_canon: dict[int, int],
+    forward: bool,
+    strategy: str,
+    stats: UpdateStats,
+) -> None:
+    """Algorithm 7 (UPDATE-LABEL) with canonical-flag recomputation."""
+    entries = table[w]
+    # Canonical distance via strictly higher canonical hubs, for the flag.
+    d_canon = UNREACHED
+    for q2, d2, _c2, f2 in entries:
+        if q2 >= q:
+            break
+        if f2:
+            od = hub_canon.get(q2)
+            if od is not None and od + d2 < d_canon:
+                d_canon = od + d2
+    flag = d_canon > d
+    i = index.entry_index(entries, q)
+    if i >= 0:
+        _q, d_old, c_old, _f_old = entries[i]
+        if d < d_old:
+            entries[i] = (q, d, c, flag)
+            stats.entries_updated += 1
+            if strategy == "minimality":
+                _clean_vertex(index, w, forward, stats)
+        elif d == d_old:
+            entries[i] = (q, d, c_old + c, flag)
+            stats.entries_updated += 1
+        # d > d_old is impossible: the pruning query is bounded by d_old.
+    else:
+        insort(entries, (q, d, c, flag), key=lambda e: e[0])
+        if inv is not None:
+            inv[q].add(w)
+        stats.entries_added += 1
+        if strategy == "minimality":
+            _clean_vertex(index, w, forward, stats)
+
+
+# ---------------------------------------------------------------------------
+# CLEAN-LABEL (Algorithm 8) — minimality strategy
+# ---------------------------------------------------------------------------
+
+
+def _clean_vertex(
+    index: CSCIndex, w: int, forward: bool, stats: UpdateStats
+) -> None:
+    """Remove every redundant entry made observable by an update at ``w``.
+
+    Forward case: scrub ``Lin(w)`` and out-labels of other vertices whose
+    hub is ``w_in``; backward case: mirror image.
+    """
+    inv_in, inv_out = index.ensure_inverted()
+    order = index.order
+    if forward:
+        entries = index.label_in[w]
+        keep = []
+        for entry in entries:
+            q2, d2, _c2, _f2 = entry
+            if d2 > index.qdist_in_in(order[q2], w):
+                inv_in[q2].discard(w)
+                stats.entries_removed += 1
+            else:
+                keep.append(entry)
+        if len(keep) != len(entries):
+            entries[:] = keep
+        hub_w = index.pos[w]
+        for v in list(inv_out[hub_w]):
+            entries_v = index.label_out[v]
+            i = index.entry_index(entries_v, hub_w)
+            if i < 0:
+                inv_out[hub_w].discard(v)
+                continue
+            if entries_v[i][1] > index.qdist_out_in(v, w):
+                del entries_v[i]
+                inv_out[hub_w].discard(v)
+                stats.entries_removed += 1
+    else:
+        entries = index.label_out[w]
+        keep = []
+        for entry in entries:
+            q2, d2, _c2, _f2 = entry
+            if d2 > index.qdist_out_in(w, order[q2]):
+                inv_out[q2].discard(w)
+                stats.entries_removed += 1
+            else:
+                keep.append(entry)
+        if len(keep) != len(entries):
+            entries[:] = keep
+        hub_w = index.pos[w]
+        for v in list(inv_in[hub_w]):
+            entries_v = index.label_in[v]
+            i = index.entry_index(entries_v, hub_w)
+            if i < 0:
+                inv_in[hub_w].discard(v)
+                continue
+            if entries_v[i][1] > index.qdist_in_in(w, v):
+                del entries_v[i]
+                inv_in[hub_w].discard(v)
+                stats.entries_removed += 1
+
+
+# ---------------------------------------------------------------------------
+# Decremental update (Section V-C: DECCNT)
+# ---------------------------------------------------------------------------
+
+
+def delete_edge(index: CSCIndex, a: int, b: int) -> UpdateStats:
+    """Delete edge ``(a, b)`` from the graph and repair the index (DECCNT).
+
+    Raises :class:`~repro.errors.EdgeNotFoundError` (before touching the
+    index) if the edge is absent.
+    """
+    graph = index.graph
+    if not graph.has_edge(a, b):
+        from repro.errors import EdgeNotFoundError
+
+        raise EdgeNotFoundError(a, b)
+    # Pre-deletion hop BFSes give the affected-hub conditions exactly.
+    d_to_a = bfs_distances(graph, a, reverse=True)
+    d_to_b = bfs_distances(graph, b, reverse=True)
+    d_from_a = bfs_distances(graph, a)
+    d_from_b = bfs_distances(graph, b)
+    # The one Gb pair the hop conditions cannot see is the cycle pair
+    # (a_out, a_in): its distance is the cycle length through `a`, not a
+    # plain 2d-1 hop distance.  If the deleted edge lies on a shortest
+    # cycle through `a`, hub a_in's cycle entry must be repaired too.
+    pre_cycle_gb_a = index.cycle_gb_distance(a)
+    graph.remove_edge(a, b)
+
+    aff_in = {
+        v
+        for v in graph.vertices()
+        if d_to_b[v] is not INF and d_to_a[v] + 1 == d_to_b[v]
+    }
+    aff_out = {
+        u
+        for u in graph.vertices()
+        if d_from_a[u] is not INF and d_from_b[u] + 1 == d_from_a[u]
+    }
+    if (
+        d_from_b[a] is not INF
+        and pre_cycle_gb_a == 2 * (d_from_b[a] + 1) - 1
+    ):
+        aff_out.add(a)
+    index.ensure_inverted()
+    stats = UpdateStats("delete", (a, b))
+    stats.details["affected_in_hubs"] = len(aff_in)
+    stats.details["affected_out_hubs"] = len(aff_out)
+    pos = index.pos
+    for h in sorted(aff_in | aff_out, key=lambda v: pos[v]):
+        stats.hubs_processed += 1
+        if h in aff_in:
+            _repair_hub(index, h, forward=True, stats=stats)
+        if h in aff_out:
+            _repair_hub(index, h, forward=False, stats=stats)
+    return stats
+
+
+def _repair_hub(
+    index: CSCIndex, h: int, forward: bool, stats: UpdateStats
+) -> None:
+    """Re-run the construction BFS for hub ``h_in`` on the current graph and
+    replace the hub's label fingerprint (fresh upserts + stale removals)."""
+    graph = index.graph
+    pos = index.pos
+    ph = pos[h]
+    inv_in, inv_out = index.ensure_inverted()
+    if forward:
+        side_labels = index.label_out[h]
+        target_table = index.label_in
+        inv = inv_in
+        neighbors = graph.out_neighbors
+        hub_dist = {
+            q: d + 1 for q, d, _c, f in side_labels if q < ph and f
+        }
+        rank_ok = lambda u: pos[u] > ph  # noqa: E731
+        seeds = [(h, 0, 1)]
+    else:
+        side_labels = index.label_in[h]
+        target_table = index.label_out
+        inv = inv_out
+        neighbors = graph.in_neighbors
+        hub_dist = {q: d for q, d, _c, f in side_labels if q < ph and f}
+        rank_ok = lambda u: pos[u] >= ph  # noqa: E731
+        seeds = [(u, 1, 1) for u in graph.in_neighbors(h) if pos[u] >= ph]
+
+    dist: dict[int, int] = {}
+    cnt: dict[int, int] = {}
+    queue: deque[int] = deque()
+    for vertex, d0, c0 in seeds:
+        dist[vertex] = d0
+        cnt[vertex] = c0
+        queue.append(vertex)
+    fresh: dict[int, tuple[int, int, bool]] = {}
+    while queue:
+        w = queue.popleft()
+        d_w = dist[w]
+        stats.vertices_visited += 1
+        d_via = UNREACHED
+        for q, dq, _cq, canonical in target_table[w]:
+            if q >= ph:
+                break
+            if canonical:
+                hd = hub_dist.get(q)
+                if hd is not None and hd + dq < d_via:
+                    d_via = hd + dq
+        if d_via < d_w:
+            continue
+        fresh[w] = (d_w, cnt[w], d_via > d_w)
+        if not forward and w == h:
+            continue  # couple-cycle prune
+        d_next = d_w + 2
+        c_w = cnt[w]
+        for u in neighbors(w):
+            if rank_ok(u):
+                d_u = dist.get(u)
+                if d_u is None:
+                    dist[u] = d_next
+                    cnt[u] = c_w
+                    queue.append(u)
+                elif d_u == d_next:
+                    cnt[u] += c_w
+
+    stale = inv[ph] - fresh.keys()
+    for w, (d, c, flag) in fresh.items():
+        entries = target_table[w]
+        i = index.entry_index(entries, ph)
+        if i >= 0:
+            if entries[i][1:] != (d, c, flag):
+                entries[i] = (ph, d, c, flag)
+                stats.entries_updated += 1
+        else:
+            insort(entries, (ph, d, c, flag), key=lambda e: e[0])
+            inv[ph].add(w)
+            stats.entries_added += 1
+    for w in stale:
+        entries = target_table[w]
+        i = index.entry_index(entries, ph)
+        if i >= 0:
+            del entries[i]
+            stats.entries_removed += 1
+        inv[ph].discard(w)

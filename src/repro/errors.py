@@ -1,0 +1,75 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch the whole family with a single ``except`` clause while still being
+able to distinguish graph-shape problems from index problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class GraphError(ReproError):
+    """Base class for errors about the structure of a graph."""
+
+
+class VertexError(GraphError):
+    """A vertex id is outside the graph's vertex range."""
+
+    def __init__(self, vertex: int, n: int) -> None:
+        super().__init__(f"vertex {vertex} not in graph with {n} vertices")
+        self.vertex = vertex
+        self.n = n
+
+
+class EdgeExistsError(GraphError):
+    """Attempted to insert an edge that is already present."""
+
+    def __init__(self, tail: int, head: int) -> None:
+        super().__init__(f"edge ({tail}, {head}) already exists")
+        self.tail = tail
+        self.head = head
+
+
+class EdgeNotFoundError(GraphError):
+    """Attempted to remove or reference an edge that is not present."""
+
+    def __init__(self, tail: int, head: int) -> None:
+        super().__init__(f"edge ({tail}, {head}) does not exist")
+        self.tail = tail
+        self.head = head
+
+
+class SelfLoopError(GraphError):
+    """Self loops are not allowed (the paper's graphs have none)."""
+
+    def __init__(self, vertex: int) -> None:
+        super().__init__(f"self loop ({vertex}, {vertex}) is not allowed")
+        self.vertex = vertex
+
+
+class IndexingError(ReproError):
+    """Base class for errors raised while building or using a label index."""
+
+
+class OrderingError(IndexingError):
+    """A vertex ordering is malformed (wrong length, duplicates, ...)."""
+
+
+class PackingOverflowError(IndexingError):
+    """A label entry does not fit the 64-bit packed encoding of the paper."""
+
+    def __init__(self, field: str, value: int, bits: int) -> None:
+        super().__init__(
+            f"label field {field!r} value {value} does not fit in {bits} bits"
+        )
+        self.field = field
+        self.value = value
+        self.bits = bits
+
+
+class SerializationError(ReproError):
+    """An index or graph byte stream is malformed or has a bad version."""

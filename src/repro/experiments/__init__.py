@@ -1,0 +1,59 @@
+"""Regeneration of every table and figure in the paper's evaluation.
+
+Each module exposes ``run(...) -> ExperimentResult``; ``run_all`` executes
+the full suite (used to populate EXPERIMENTS.md)."""
+
+from repro.experiments import (
+    ablation_bipartite,
+    ablation_dynamic,
+    ablation_ordering,
+    case_study,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    tables,
+)
+from repro.experiments.results import ExperimentResult
+
+__all__ = ["ExperimentResult", "run_all", "EXPERIMENTS"]
+
+#: experiment id -> callable producing an ExperimentResult
+EXPERIMENTS = {
+    "table2": tables.run_table2,
+    "table3": tables.run_table3,
+    "table4": tables.run_table4,
+    "fig9": fig9.run,
+    "fig10": fig10.run,
+    "fig11": fig11.run,
+    "fig12": fig12.run,
+    "fig13": case_study.run,
+    "ablation-ordering": ablation_ordering.run,
+    "ablation-bipartite": ablation_bipartite.run,
+    "ablation-dynamic": ablation_dynamic.run,
+}
+
+
+def run_all(profile: str = "small", seed: int = 7) -> list[ExperimentResult]:
+    """Run the complete evaluation suite on one profile."""
+    results = [
+        tables.run_table2(),
+        tables.run_table3(),
+        tables.run_table4(profile, seed),
+        fig9.run(profile, seed),
+        fig10.run(profile, seed),
+        fig11.run(profile, seed),
+        fig12.run(profile, seed),
+        case_study.run(seed=seed),
+    ]
+    return results
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    for result in run_all():
+        print(result.render())
+        print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,98 @@
+"""Result containers shared by all experiment modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.bench.tables import format_table
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated paper artifact (a table or the data of a figure)."""
+
+    experiment_id: str
+    title: str
+    headers: list[str]
+    rows: list[list[object]]
+    #: free-form notes: substitutions, paper-reported reference points, ...
+    notes: list[str] = field(default_factory=list)
+    #: machine-readable extras for tests/EXPERIMENTS.md generation
+    data: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        """ASCII rendering with notes."""
+        text = format_table(
+            self.headers, self.rows, title=f"{self.experiment_id}: {self.title}"
+        )
+        if self.notes:
+            text += "\n" + "\n".join(f"  note: {note}" for note in self.notes)
+        return text
+
+    def to_markdown(self) -> str:
+        """GitHub-flavored markdown table (for EXPERIMENTS.md style docs)."""
+        from repro.bench.tables import format_value
+
+        lines = [f"### {self.experiment_id} — {self.title}", ""]
+        lines.append("| " + " | ".join(self.headers) + " |")
+        lines.append("|" + "|".join("---" for _ in self.headers) + "|")
+        for row in self.rows:
+            lines.append(
+                "| " + " | ".join(format_value(c) for c in row) + " |"
+            )
+        for note in self.notes:
+            lines.append(f"\n> {note}")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """RFC-4180-ish CSV of the rows."""
+        import csv
+        import io
+
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.headers)
+        for row in self.rows:
+            writer.writerow(row)
+        return buffer.getvalue()
+
+    def to_json(self) -> str:
+        """JSON object with id, title, headers, rows and notes.
+
+        Non-finite floats (``inf``/``nan`` are not valid JSON) are
+        stringified.
+        """
+        import json
+        import math
+
+        def sanitize(cell: object) -> object:
+            if isinstance(cell, float) and not math.isfinite(cell):
+                return str(cell)
+            return cell
+
+        return json.dumps(
+            {
+                "experiment_id": self.experiment_id,
+                "title": self.title,
+                "headers": self.headers,
+                "rows": [[sanitize(c) for c in row] for row in self.rows],
+                "notes": self.notes,
+            },
+            indent=1,
+        )
+
+    def column(self, name: str) -> list[object]:
+        """All values of one column."""
+        i = self.headers.index(name)
+        return [row[i] for row in self.rows]
+
+    def row_by(self, key_column: str, key: object) -> Sequence[object]:
+        """First row whose ``key_column`` equals ``key``."""
+        i = self.headers.index(key_column)
+        for row in self.rows:
+            if row[i] == key:
+                return row
+        raise KeyError(f"no row with {key_column} == {key!r}")

@@ -1,0 +1,134 @@
+"""Regeneration of the paper's Tables II, III and IV.
+
+* Table II — the HP-SPC label index of the Figure 2 graph under Example 4's
+  vertex order; regenerated from scratch and checked cell-for-cell against
+  the paper's table.
+* Table III — the CSC labels of ``v7``'s couple on the same graph.
+* Table IV — the dataset statistics table, with paper-reported sizes next
+  to the scaled stand-ins actually used (substitution per DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+from repro.core.csc import CSCIndex
+from repro.experiments.results import ExperimentResult
+from repro.graph.datasets import (
+    DATASET_ORDER,
+    DATASETS,
+    PAPER_SIZES,
+    dataset_statistics,
+)
+from repro.labeling.hpspc import HPSPCIndex
+from repro.paperdata import (
+    TABLE2_IN_LABELS,
+    TABLE2_OUT_LABELS,
+    TABLE3_IN_V7I,
+    TABLE3_OUT_V7O,
+    figure2_graph,
+    figure2_order,
+)
+
+__all__ = ["run_table2", "run_table3", "run_table4"]
+
+
+def _fmt_labels(labels: set[tuple[int, int, int]]) -> str:
+    return " ".join(
+        f"(v{h},{d},{c})" for h, d, c in sorted(labels, key=lambda e: (e[1], e[0]))
+    )
+
+
+def run_table2() -> ExperimentResult:
+    """Rebuild Table II (shortest-path counting labels of Figure 2)."""
+    graph = figure2_graph()
+    index = HPSPCIndex.build(graph, figure2_order())
+    headers = ["vertex", "Lin", "Lout", "matches_paper"]
+    rows: list[list[object]] = []
+    all_match = True
+    for v in range(graph.n):
+        lin, lout = index.named_labels_of(v)
+        lin1 = {(h + 1, d, c) for h, d, c in lin}
+        lout1 = {(h + 1, d, c) for h, d, c in lout}
+        match = (
+            lin1 == TABLE2_IN_LABELS[v + 1] and lout1 == TABLE2_OUT_LABELS[v + 1]
+        )
+        all_match = all_match and match
+        rows.append([f"v{v + 1}", _fmt_labels(lin1), _fmt_labels(lout1), match])
+    return ExperimentResult(
+        "Table II",
+        "Shortest path counting labels of Figure 2 (HP-SPC)",
+        headers,
+        rows,
+        notes=["regenerated labels match the paper cell-for-cell"
+               if all_match else "MISMATCH vs paper"],
+        data={"all_match": all_match},
+    )
+
+
+def run_table3() -> ExperimentResult:
+    """Rebuild Table III (CSC labels of v7's couple)."""
+    graph = figure2_graph()
+    index = CSCIndex.build(graph, figure2_order())
+    lin, lout = index.named_labels_of(6)  # v7
+    lin1 = {(h + 1, d, c) for h, d, c in lin}
+    lout1 = {(h + 1, d, c) for h, d, c in lout}
+    match = lin1 == TABLE3_IN_V7I and lout1 == TABLE3_OUT_V7O
+    result = index.sccnt(6)
+    rows = [
+        ["Lin(v7_in)", _fmt_labels(lin1), match],
+        ["Lout(v7_out)", _fmt_labels(lout1) + " (v7_out,0,1) implicit", match],
+    ]
+    return ExperimentResult(
+        "Table III",
+        "CSC labels of v7's couple on Figure 2's graph",
+        ["labels", "entries", "matches_paper"],
+        rows,
+        notes=[
+            f"SCCnt(v7) = {result.count} with length {result.length} "
+            "(paper: 3 shortest cycles of length 6, Gb distance 11)",
+        ],
+        data={"all_match": match, "sccnt_v7": result},
+    )
+
+
+def run_table4(profile: str = "small", seed: int = 7) -> ExperimentResult:
+    """Rebuild Table IV: dataset statistics, paper vs stand-in."""
+    headers = [
+        "graph", "paper_n", "paper_m", "standin_n", "standin_m",
+        "standin_avg_deg", "family",
+    ]
+    rows: list[list[object]] = []
+    for name in DATASET_ORDER:
+        spec = DATASETS[name]
+        graph = spec.build(profile, seed)
+        stats = dataset_statistics(graph)
+        paper_n, paper_m = PAPER_SIZES[name]
+        rows.append(
+            [
+                name, paper_n, paper_m,
+                stats["n"], stats["m"],
+                stats["avg_degree"], spec.family,
+            ]
+        )
+    return ExperimentResult(
+        "Table IV",
+        "The statistics of the graphs (paper originals vs scaled stand-ins)",
+        headers,
+        rows,
+        notes=[
+            "stand-ins preserve the paper's density ordering and degree-skew "
+            "families; absolute scale reduced for a pure-Python build "
+            "(DESIGN.md §4)",
+        ],
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(run_table2().render())
+    print()
+    print(run_table3().render())
+    print()
+    print(run_table4().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

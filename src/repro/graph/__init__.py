@@ -1,0 +1,46 @@
+"""Graph substrate: dynamic digraph, traversal, bipartite conversion,
+synthetic generators, dataset stand-ins, and persistence."""
+
+from repro.graph.digraph import DiGraph
+from repro.graph.bipartite import (
+    bipartite_conversion,
+    bipartite_order,
+    couple_of,
+    in_vertex,
+    is_in_vertex,
+    original_vertex,
+    out_vertex,
+)
+from repro.graph.subgraph import (
+    Subgraph,
+    cycle_subgraph,
+    ego_subgraph,
+    induced_subgraph,
+)
+from repro.graph.traversal import (
+    INF,
+    bfs_distance_between,
+    bfs_distances,
+    count_shortest_paths,
+    count_shortest_paths_all,
+)
+
+__all__ = [
+    "DiGraph",
+    "INF",
+    "Subgraph",
+    "cycle_subgraph",
+    "ego_subgraph",
+    "induced_subgraph",
+    "bipartite_conversion",
+    "bipartite_order",
+    "couple_of",
+    "in_vertex",
+    "is_in_vertex",
+    "original_vertex",
+    "out_vertex",
+    "bfs_distance_between",
+    "bfs_distances",
+    "count_shortest_paths",
+    "count_shortest_paths_all",
+]

@@ -1,0 +1,202 @@
+"""Seeded synthetic graph generators.
+
+The paper evaluates on nine SNAP/Konect graphs spanning four families —
+peer-to-peer, e-mail, web, and wiki/encyclopedia link graphs.  Those graphs
+cannot be fetched offline and are far beyond a Python interpreter's indexing
+budget, so :mod:`repro.graph.datasets` instantiates scaled stand-ins from the
+family-appropriate generator in this module (substitution documented in
+DESIGN.md §4).
+
+All generators are deterministic functions of their ``seed`` and always
+produce simple directed graphs (no self loops, no parallel edges).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.graph.digraph import DiGraph
+
+__all__ = [
+    "gnm_random",
+    "out_regular",
+    "preferential_attachment",
+    "rmat",
+    "small_world",
+    "planted_ring",
+]
+
+
+def gnm_random(n: int, m: int, seed: int = 0) -> DiGraph:
+    """Uniform simple directed ``G(n, m)``: ``m`` distinct directed non-loop
+    edges chosen uniformly at random."""
+    if n < 2 and m > 0:
+        raise ValueError("need at least 2 vertices to place edges")
+    max_edges = n * (n - 1)
+    if m > max_edges:
+        raise ValueError(f"m={m} exceeds the {max_edges} possible edges")
+    rng = random.Random(seed)
+    g = DiGraph(n)
+    while g.m < m:
+        tail = rng.randrange(n)
+        head = rng.randrange(n)
+        if tail != head and not g.has_edge(tail, head):
+            g.add_edge(tail, head)
+    return g
+
+
+def out_regular(n: int, out_degree: int, seed: int = 0) -> DiGraph:
+    """Peer-to-peer style graph: every vertex opens ``out_degree`` connections
+    to uniformly random distinct peers (Gnutella's topology model [27])."""
+    if out_degree >= n:
+        raise ValueError("out_degree must be smaller than n")
+    rng = random.Random(seed)
+    g = DiGraph(n)
+    for v in range(n):
+        targets: set[int] = set()
+        while len(targets) < out_degree:
+            u = rng.randrange(n)
+            if u != v:
+                targets.add(u)
+        for u in sorted(targets):
+            g.add_edge(v, u)
+    return g
+
+
+def preferential_attachment(
+    n: int,
+    out_degree: int,
+    seed: int = 0,
+    back_edge_prob: float = 0.25,
+) -> DiGraph:
+    """Directed preferential attachment (hub-heavy power-law in-degrees).
+
+    Vertices arrive one at a time and send ``out_degree`` edges to existing
+    vertices sampled proportionally to degree-so-far; with probability
+    ``back_edge_prob`` the chosen target replies with a reciprocal edge,
+    which seeds short cycles the way replies do in e-mail/wiki-talk networks.
+    """
+    rng = random.Random(seed)
+    g = DiGraph(n)
+    seed_size = max(2, out_degree + 1)
+    # Small seed clique-ish core so early samples have targets.
+    for v in range(1, min(seed_size, n)):
+        g.add_edge(v, v - 1)
+    repeated: list[int] = []  # vertex repeated once per incident edge
+    for tail, head in g.edges():
+        repeated.append(tail)
+        repeated.append(head)
+    for v in range(seed_size, n):
+        chosen: set[int] = set()
+        attempts = 0
+        while len(chosen) < out_degree and attempts < 20 * out_degree:
+            attempts += 1
+            u = rng.choice(repeated) if repeated else rng.randrange(v)
+            if u != v and u < v:
+                chosen.add(u)
+        for u in sorted(chosen):
+            if not g.has_edge(v, u):
+                g.add_edge(v, u)
+                repeated.append(v)
+                repeated.append(u)
+            if rng.random() < back_edge_prob and not g.has_edge(u, v):
+                g.add_edge(u, v)
+                repeated.append(u)
+                repeated.append(v)
+    return g
+
+
+def rmat(
+    n: int,
+    m: int,
+    seed: int = 0,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+) -> DiGraph:
+    """R-MAT recursive matrix generator (web/wiki-shaped skewed graphs).
+
+    ``(a, b, c, d)`` are the standard quadrant probabilities with
+    ``d = 1 - a - b - c``; the Graph500 defaults produce heavy-tailed in- and
+    out-degree distributions similar to web crawls.  Vertex ids are shuffled
+    so degree does not correlate with id.
+    """
+    d = 1.0 - a - b - c
+    if d < 0:
+        raise ValueError("quadrant probabilities exceed 1")
+    levels = max(1, (n - 1).bit_length())
+    size = 1 << levels
+    rng = random.Random(seed)
+    perm = list(range(size))
+    rng.shuffle(perm)
+    g = DiGraph(n)
+    attempts = 0
+    max_attempts = 60 * m + 1000
+    while g.m < m and attempts < max_attempts:
+        attempts += 1
+        tail = head = 0
+        for _ in range(levels):
+            r = rng.random()
+            if r < a:
+                quadrant = (0, 0)
+            elif r < a + b:
+                quadrant = (0, 1)
+            elif r < a + b + c:
+                quadrant = (1, 0)
+            else:
+                quadrant = (1, 1)
+            tail = (tail << 1) | quadrant[0]
+            head = (head << 1) | quadrant[1]
+        tail = perm[tail] % n
+        head = perm[head] % n
+        if tail != head and not g.has_edge(tail, head):
+            g.add_edge(tail, head)
+    return g
+
+
+def small_world(
+    n: int, k: int, rewire_prob: float = 0.1, seed: int = 0
+) -> DiGraph:
+    """Directed Watts–Strogatz ring: each vertex points at its next ``k``
+    ring successors, each edge rewired to a random target with probability
+    ``rewire_prob``.  Produces the small-world regime the paper credits for
+    cheap updates (Section VI-C)."""
+    if k >= n:
+        raise ValueError("k must be smaller than n")
+    rng = random.Random(seed)
+    g = DiGraph(n)
+    for v in range(n):
+        for offset in range(1, k + 1):
+            head = (v + offset) % n
+            if rng.random() < rewire_prob:
+                for _ in range(10):
+                    candidate = rng.randrange(n)
+                    if candidate != v and not g.has_edge(v, candidate):
+                        head = candidate
+                        break
+            if head != v and not g.has_edge(v, head):
+                g.add_edge(v, head)
+    return g
+
+
+def planted_ring(
+    graph: DiGraph, members: list[int], bidirectional: bool = False
+) -> list[tuple[int, int]]:
+    """Plant a directed ring through ``members`` (in order) into ``graph``.
+
+    Returns the list of edges actually added (existing edges are kept).
+    Used by the fraud workload to create known shortest cycles.
+    """
+    added: list[tuple[int, int]] = []
+    k = len(members)
+    if k < 2:
+        return added
+    for i, tail in enumerate(members):
+        head = members[(i + 1) % k]
+        if tail != head and not graph.has_edge(tail, head):
+            graph.add_edge(tail, head)
+            added.append((tail, head))
+        if bidirectional and tail != head and not graph.has_edge(head, tail):
+            graph.add_edge(head, tail)
+            added.append((head, tail))
+    return added

@@ -1,0 +1,37 @@
+"""Hub labeling substrate: orderings, the HP-SPC index, label packing."""
+
+from repro.labeling.hpspc import HPSPCIndex, UNREACHED, merge_labels
+from repro.labeling.ordering import (
+    degree_order,
+    min_in_out_order,
+    positions,
+    random_order,
+    validate_order,
+)
+from repro.labeling.packing import (
+    COUNT_BITS,
+    DISTANCE_BITS,
+    ENTRY_BYTES,
+    VERTEX_BITS,
+    pack_entry,
+    packed_size_bytes,
+    unpack_entry,
+)
+
+__all__ = [
+    "HPSPCIndex",
+    "UNREACHED",
+    "merge_labels",
+    "degree_order",
+    "min_in_out_order",
+    "positions",
+    "random_order",
+    "validate_order",
+    "COUNT_BITS",
+    "DISTANCE_BITS",
+    "ENTRY_BYTES",
+    "VERTEX_BITS",
+    "pack_entry",
+    "packed_size_bytes",
+    "unpack_entry",
+]

@@ -1,0 +1,363 @@
+"""Dynamic maintenance for the generic HP-SPC index.
+
+The paper's INCCNT/DECCNT (Section V) specialize dynamic 2-hop-cover
+maintenance (Akiba et al. [30], D'angelo et al. [37], Qin et al. [38] in
+the paper's related work) to the bipartite cycle-counting index.  This
+module provides the *generic* digraph version for :class:`HPSPCIndex`, so
+the HP-SPC baseline enjoys the same update model as CSC:
+
+* :func:`insert_edge` — resumed counting BFS from each affected hub
+  (hubs of ``Lin(a)`` forward from ``b``, hubs of ``Lout(b)`` backward
+  from ``a``), seeded with the *label's* count (Theorem V.1), pruned by
+  full-index distance queries, applying Algorithm 7's replace /
+  accumulate / insert cases.
+* :func:`delete_edge` — affected hubs are all vertices satisfying the
+  distance conditions ``sd(v,a)+1 = sd(v,b)`` (in-side) and
+  ``sd(b,u)+1 = sd(a,u)`` (out-side), computed exactly with four plain
+  BFSes; each affected hub's label fingerprint is replaced by re-running
+  the construction BFS (stale entries located through an inverted index).
+
+Unlike the CSC variant there is no couple structure and no cycle-pair
+special case — labels live on the original digraph with hop distances.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from collections import deque
+
+from repro.core.maintenance import STRATEGIES, UpdateStats
+from repro.errors import EdgeNotFoundError
+from repro.graph.traversal import INF, bfs_distances
+from repro.labeling.hpspc import HPSPCIndex, UNREACHED
+
+__all__ = ["insert_edge", "delete_edge", "ensure_inverted"]
+
+
+def ensure_inverted(
+    index: HPSPCIndex,
+) -> tuple[list[set[int]], list[set[int]]]:
+    """Build (once) inverted indexes ``hub_pos -> labeled vertices`` for an
+    HP-SPC index; cached on the index object."""
+    inv = index._dyn_inverted
+    if inv is None:
+        n = index.graph.n
+        inv_in: list[set[int]] = [set() for _ in range(n)]
+        inv_out: list[set[int]] = [set() for _ in range(n)]
+        for w in range(n):
+            for q, *_ in index.label_in[w]:
+                inv_in[q].add(w)
+            for q, *_ in index.label_out[w]:
+                inv_out[q].add(w)
+        inv = (inv_in, inv_out)
+        index._dyn_inverted = inv
+    return inv
+
+
+def _entry_index(entries: list, hub_pos: int) -> int:
+    i = bisect_left(entries, hub_pos, key=lambda e: e[0])
+    if i < len(entries) and entries[i][0] == hub_pos:
+        return i
+    return -1
+
+
+def insert_edge(
+    index: HPSPCIndex, a: int, b: int, strategy: str = "redundancy"
+) -> UpdateStats:
+    """Insert edge ``(a, b)`` and incrementally maintain the HP-SPC index."""
+    if strategy not in STRATEGIES:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
+        )
+    index.graph.add_edge(a, b)
+    ensure_inverted(index)
+    stats = UpdateStats("insert", (a, b), strategy)
+    pos = index.pos
+    pa, pb = pos[a], pos[b]
+
+    forward_seeds = {
+        q: (d + 1, c) for q, d, c, _f in index.label_in[a] if q < pb
+    }
+    backward_seeds = {
+        q: (d + 1, c) for q, d, c, _f in index.label_out[b] if q < pa
+    }
+    for q in sorted(set(forward_seeds) | set(backward_seeds)):
+        stats.hubs_processed += 1
+        seed = forward_seeds.get(q)
+        if seed is not None:
+            _pass(index, q, b, seed[0], seed[1], True, strategy, stats)
+        seed = backward_seeds.get(q)
+        if seed is not None:
+            _pass(index, q, a, seed[0], seed[1], False, strategy, stats)
+    return stats
+
+
+def _pass(
+    index: HPSPCIndex,
+    q: int,
+    start: int,
+    d0: int,
+    c0: int,
+    forward: bool,
+    strategy: str,
+    stats: UpdateStats,
+) -> None:
+    """One resumed counting BFS from hub ``q`` (Algorithm 6, generic)."""
+    graph = index.graph
+    pos = index.pos
+    hub_vertex = index.order[q]
+    if forward:
+        table = index.label_in
+        side = index.label_out[hub_vertex]
+        neighbors = graph.out_neighbors
+    else:
+        table = index.label_out
+        side = index.label_in[hub_vertex]
+        neighbors = graph.in_neighbors
+    full: dict[int, int] = {q2: d2 for q2, d2, _c2, _f2 in side}
+    canon: dict[int, int] = {
+        q2: d2 for q2, d2, _c2, f2 in side if f2 and q2 < q
+    }
+    inv = ensure_inverted(index)[0 if forward else 1]
+
+    dist: dict[int, int] = {start: d0}
+    cnt: dict[int, int] = {start: c0}
+    queue: deque[int] = deque((start,))
+    while queue:
+        w = queue.popleft()
+        d_w = dist[w]
+        stats.vertices_visited += 1
+        d_query = UNREACHED
+        for q2, d2, _c2, _f2 in table[w]:
+            if q2 > q:
+                break
+            od = full.get(q2)
+            if od is not None and od + d2 < d_query:
+                d_query = od + d2
+        if d_w > d_query:
+            continue
+        _update_entry(
+            index, table, inv, w, q, d_w, cnt[w], canon, forward,
+            strategy, stats,
+        )
+        d_next = d_w + 1
+        c_w = cnt[w]
+        for u in neighbors(w):
+            if pos[u] > q:
+                d_u = dist.get(u)
+                if d_u is None:
+                    dist[u] = d_next
+                    cnt[u] = c_w
+                    queue.append(u)
+                elif d_u == d_next:
+                    cnt[u] += c_w
+
+
+def _update_entry(
+    index: HPSPCIndex,
+    table: list[list],
+    inv: list[set[int]],
+    w: int,
+    q: int,
+    d: int,
+    c: int,
+    hub_canon: dict[int, int],
+    forward: bool,
+    strategy: str,
+    stats: UpdateStats,
+) -> None:
+    entries = table[w]
+    d_canon = UNREACHED
+    for q2, d2, _c2, f2 in entries:
+        if q2 >= q:
+            break
+        if f2:
+            od = hub_canon.get(q2)
+            if od is not None and od + d2 < d_canon:
+                d_canon = od + d2
+    flag = d_canon > d
+    i = _entry_index(entries, q)
+    if i >= 0:
+        _q, d_old, c_old, _f_old = entries[i]
+        if d < d_old:
+            entries[i] = (q, d, c, flag)
+            stats.entries_updated += 1
+            if strategy == "minimality":
+                _clean_vertex(index, w, forward, stats)
+        elif d == d_old:
+            entries[i] = (q, d, c_old + c, flag)
+            stats.entries_updated += 1
+    else:
+        insort(entries, (q, d, c, flag), key=lambda e: e[0])
+        inv[q].add(w)
+        stats.entries_added += 1
+        if strategy == "minimality":
+            _clean_vertex(index, w, forward, stats)
+
+
+def _query_pair(index: HPSPCIndex, s: int, t: int) -> int:
+    """Full-label distance query (internal; avoids float inf)."""
+    from repro.labeling.hpspc import merge_labels
+
+    return merge_labels(index.label_out[s], index.label_in[t])[0]
+
+
+def _clean_vertex(
+    index: HPSPCIndex, w: int, forward: bool, stats: UpdateStats
+) -> None:
+    """Algorithm 8 on the generic index."""
+    inv_in, inv_out = ensure_inverted(index)
+    order = index.order
+    if forward:
+        entries = index.label_in[w]
+        keep = []
+        for entry in entries:
+            q2, d2, _c2, _f2 = entry
+            if d2 > _query_pair(index, order[q2], w):
+                inv_in[q2].discard(w)
+                stats.entries_removed += 1
+            else:
+                keep.append(entry)
+        if len(keep) != len(entries):
+            entries[:] = keep
+        hub_w = index.pos[w]
+        for v in list(inv_out[hub_w]):
+            entries_v = index.label_out[v]
+            i = _entry_index(entries_v, hub_w)
+            if i < 0:
+                inv_out[hub_w].discard(v)
+                continue
+            if entries_v[i][1] > _query_pair(index, v, w):
+                del entries_v[i]
+                inv_out[hub_w].discard(v)
+                stats.entries_removed += 1
+    else:
+        entries = index.label_out[w]
+        keep = []
+        for entry in entries:
+            q2, d2, _c2, _f2 = entry
+            if d2 > _query_pair(index, w, order[q2]):
+                inv_out[q2].discard(w)
+                stats.entries_removed += 1
+            else:
+                keep.append(entry)
+        if len(keep) != len(entries):
+            entries[:] = keep
+        hub_w = index.pos[w]
+        for v in list(inv_in[hub_w]):
+            entries_v = index.label_in[v]
+            i = _entry_index(entries_v, hub_w)
+            if i < 0:
+                inv_in[hub_w].discard(v)
+                continue
+            if entries_v[i][1] > _query_pair(index, w, v):
+                del entries_v[i]
+                inv_in[hub_w].discard(v)
+                stats.entries_removed += 1
+
+
+def delete_edge(index: HPSPCIndex, a: int, b: int) -> UpdateStats:
+    """Delete edge ``(a, b)`` and repair the HP-SPC index."""
+    graph = index.graph
+    if not graph.has_edge(a, b):
+        raise EdgeNotFoundError(a, b)
+    d_to_a = bfs_distances(graph, a, reverse=True)
+    d_to_b = bfs_distances(graph, b, reverse=True)
+    d_from_a = bfs_distances(graph, a)
+    d_from_b = bfs_distances(graph, b)
+    graph.remove_edge(a, b)
+    aff_in = {
+        v
+        for v in graph.vertices()
+        if d_to_b[v] is not INF and d_to_a[v] + 1 == d_to_b[v]
+    }
+    aff_out = {
+        u
+        for u in graph.vertices()
+        if d_from_a[u] is not INF and d_from_b[u] + 1 == d_from_a[u]
+    }
+    ensure_inverted(index)
+    stats = UpdateStats("delete", (a, b))
+    stats.details["affected_in_hubs"] = len(aff_in)
+    stats.details["affected_out_hubs"] = len(aff_out)
+    pos = index.pos
+    for h in sorted(aff_in | aff_out, key=lambda v: pos[v]):
+        stats.hubs_processed += 1
+        if h in aff_in:
+            _repair_hub(index, h, True, stats)
+        if h in aff_out:
+            _repair_hub(index, h, False, stats)
+    return stats
+
+
+def _repair_hub(
+    index: HPSPCIndex, h: int, forward: bool, stats: UpdateStats
+) -> None:
+    """Re-run the construction BFS for hub ``h`` and replace its
+    fingerprint (fresh upserts + inverted-index stale removal)."""
+    graph = index.graph
+    pos = index.pos
+    ph = pos[h]
+    inv_in, inv_out = ensure_inverted(index)
+    if forward:
+        target_table = index.label_in
+        inv = inv_in
+        neighbors = graph.out_neighbors
+        side = index.label_out[h]
+    else:
+        target_table = index.label_out
+        inv = inv_out
+        neighbors = graph.in_neighbors
+        side = index.label_in[h]
+    hub_dist = {q: d for q, d, _c, f in side if f and q < ph}
+
+    dist: dict[int, int] = {h: 0}
+    cnt: dict[int, int] = {h: 1}
+    queue: deque[int] = deque((h,))
+    fresh: dict[int, tuple[int, int, bool]] = {}
+    while queue:
+        w = queue.popleft()
+        d_w = dist[w]
+        stats.vertices_visited += 1
+        d_via = UNREACHED
+        for q, dq, _cq, canonical in target_table[w]:
+            if q >= ph:
+                break
+            if canonical:
+                hd = hub_dist.get(q)
+                if hd is not None and hd + dq < d_via:
+                    d_via = hd + dq
+        if d_via < d_w:
+            continue
+        fresh[w] = (d_w, cnt[w], d_via > d_w)
+        d_next = d_w + 1
+        c_w = cnt[w]
+        for u in neighbors(w):
+            if pos[u] > ph:
+                d_u = dist.get(u)
+                if d_u is None:
+                    dist[u] = d_next
+                    cnt[u] = c_w
+                    queue.append(u)
+                elif d_u == d_next:
+                    cnt[u] += c_w
+
+    stale = inv[ph] - fresh.keys()
+    for w, (d, c, flag) in fresh.items():
+        entries = target_table[w]
+        i = _entry_index(entries, ph)
+        if i >= 0:
+            if entries[i][1:] != (d, c, flag):
+                entries[i] = (ph, d, c, flag)
+                stats.entries_updated += 1
+        else:
+            insort(entries, (ph, d, c, flag), key=lambda e: e[0])
+            inv[ph].add(w)
+            stats.entries_added += 1
+    for w in stale:
+        entries = target_table[w]
+        i = _entry_index(entries, ph)
+        if i >= 0:
+            del entries[i]
+            stats.entries_removed += 1
+        inv[ph].discard(w)

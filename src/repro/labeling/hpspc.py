@@ -1,0 +1,293 @@
+"""HP-SPC: hub labeling for shortest-path counting (the paper's baseline).
+
+This is a from-scratch implementation of the labeling scheme of Zhang & Yu,
+"Hub Labeling for Shortest Path Counting" (SIGMOD 2020), as summarized in
+Section II-B of the reproduced paper.  It assigns every vertex ``v`` an
+in-label ``Lin(v)`` and out-label ``Lout(v)`` of entries
+``(hub, distance, count)`` satisfying the *Exact Shortest Path Covering*
+constraint: an entry ``(h, d, c)`` in ``Lin(w)`` means ``h`` is the
+highest-ranked vertex on exactly ``c`` shortest ``h -> w`` paths of length
+``d`` (all vertices of those paths, endpoints included, rank at or below
+``h``).  Each shortest path between any pair is thereby counted exactly once
+— under its unique highest-ranked vertex — so Equations (1)–(2) recover
+``SPCnt`` by a sorted merge of ``Lout(s)`` and ``Lin(t)``.
+
+Canonical vs non-canonical (Section II-B): an entry is *canonical* when its
+count equals the full ``|SP(h, w)|``; the distance check during construction
+(Algorithm 3 line 13) consults canonical entries only, which is sound because
+the highest-ranked vertex over *all* shortest ``v -> w`` paths always owns
+canonical entries on both sides (DESIGN.md §3.2).
+
+Label entries are stored as tuples ``(hub_pos, dist, count, canonical)``
+sorted by ``hub_pos`` (the hub's rank position; 0 = highest), so queries are
+linear merges.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+from repro.graph.digraph import DiGraph
+from repro.labeling.ordering import degree_order, positions, validate_order
+from repro.labeling.packing import (
+    labels_from_bytes,
+    labels_to_bytes,
+    packed_size_bytes,
+)
+from repro.errors import SerializationError
+
+__all__ = ["HPSPCIndex", "UNREACHED"]
+
+#: Sentinel distance for "not reached"; larger than any real distance.
+UNREACHED = 1 << 60
+
+Entry = tuple[int, int, int, bool]
+
+
+class HPSPCIndex:
+    """A built HP-SPC index over a directed graph.
+
+    Use :meth:`build` to construct one.  The index answers
+    :meth:`spcnt` (shortest-path count) and :meth:`distance` queries in
+    time linear in the two label sizes.
+    """
+
+    __slots__ = (
+        "graph", "order", "pos", "label_in", "label_out", "_dyn_inverted",
+    )
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        order: list[int],
+        pos: list[int],
+        label_in: list[list[Entry]],
+        label_out: list[list[Entry]],
+    ) -> None:
+        self.graph = graph
+        self.order = order
+        self.pos = pos
+        self.label_in = label_in
+        self.label_out = label_out
+        # Inverted indexes, built lazily by repro.labeling.dynamic.
+        self._dyn_inverted = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls, graph: DiGraph, order: Sequence[int] | None = None
+    ) -> "HPSPCIndex":
+        """Build the index with pruned counting BFS per hub.
+
+        ``order`` defaults to the paper's degree-descending order; pass an
+        explicit permutation (highest rank first) to pin tie-breaks.
+        """
+        if order is None:
+            order_list = degree_order(graph)
+        else:
+            order_list = list(order)
+            validate_order(order_list, graph.n)
+        pos = positions(order_list)
+        n = graph.n
+        label_in: list[list[Entry]] = [[] for _ in range(n)]
+        label_out: list[list[Entry]] = [[] for _ in range(n)]
+        dist = [UNREACHED] * n
+        cnt = [0] * n
+        for p, v in enumerate(order_list):
+            _pruned_counting_bfs(
+                graph, v, p, pos, label_out[v], label_in,
+                dist, cnt, forward=True,
+            )
+            _pruned_counting_bfs(
+                graph, v, p, pos, label_in[v], label_out,
+                dist, cnt, forward=False,
+            )
+        return cls(graph, order_list, pos, label_in, label_out)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def spcnt(self, source: int, target: int) -> tuple[float, int]:
+        """``SPCnt(source, target)`` per Equations (1)–(2).
+
+        Returns ``(distance, count)``; ``(inf, 0)`` when unreachable and
+        ``(0, 1)`` when ``source == target``.
+        """
+        d, c = merge_labels(self.label_out[source], self.label_in[target])
+        if d == UNREACHED:
+            return (float("inf"), 0)
+        return (d, c)
+
+    def distance(self, source: int, target: int) -> float:
+        """Shortest-path distance via the label cover."""
+        return self.spcnt(source, target)[0]
+
+    # ------------------------------------------------------------------
+    # Introspection / persistence
+    # ------------------------------------------------------------------
+    def total_entries(self) -> int:
+        """Total number of label entries over all vertices."""
+        return sum(len(lbl) for lbl in self.label_in) + sum(
+            len(lbl) for lbl in self.label_out
+        )
+
+    def size_bytes(self) -> int:
+        """Index size under the paper's 64-bit entry encoding."""
+        return packed_size_bytes(self.total_entries())
+
+    def average_label_size(self) -> float:
+        """Mean entries per vertex per direction."""
+        if self.graph.n == 0:
+            return 0.0
+        return self.total_entries() / (2 * self.graph.n)
+
+    def labels_of(self, v: int) -> tuple[list[Entry], list[Entry]]:
+        """``(Lin(v), Lout(v))`` as stored (hub positions, not ids)."""
+        return self.label_in[v], self.label_out[v]
+
+    def named_labels_of(
+        self, v: int
+    ) -> tuple[set[tuple[int, int, int]], set[tuple[int, int, int]]]:
+        """``(Lin(v), Lout(v))`` with hub *vertex ids* — the Table II view."""
+        lin = {(self.order[q], d, c) for (q, d, c, _) in self.label_in[v]}
+        lout = {(self.order[q], d, c) for (q, d, c, _) in self.label_out[v]}
+        return lin, lout
+
+    def to_bytes(self) -> bytes:
+        """Serialize the labels (graph not included)."""
+        return b"".join(
+            [
+                labels_to_bytes(self.order, self.label_in),
+                labels_to_bytes(self.order, self.label_out),
+            ]
+        )
+
+    @classmethod
+    def from_bytes(cls, blob: bytes, graph: DiGraph) -> "HPSPCIndex":
+        """Rebuild an index from :meth:`to_bytes` output plus its graph."""
+        (order, label_in), consumed = labels_from_bytes_prefix(blob)
+        order2, label_out = labels_from_bytes(blob[consumed:])
+        if order2 != order:
+            raise SerializationError("in/out label blobs disagree on order")
+        if len(order) != graph.n:
+            raise SerializationError(
+                f"index was built for n={len(order)}, graph has n={graph.n}"
+            )
+        return cls(graph, order, positions(order), label_in, label_out)
+
+
+def labels_from_bytes_prefix(blob: bytes):
+    """Decode the first self-describing label table of a concatenated blob.
+
+    Returns ``((order, tables), bytes_consumed)``.
+    """
+    import struct
+
+    if len(blob) < 13 or blob[:4] != b"RPLB":
+        raise SerializationError("not a repro label blob (bad magic)")
+    _, n_order, n_tables = struct.unpack_from("<BII", blob, 4)
+    offset = 13 + 4 * n_order
+    try:
+        for _ in range(n_tables):
+            (entries,) = struct.unpack_from("<I", blob, offset)
+            offset += 4 + 17 * entries
+    except struct.error as exc:
+        raise SerializationError(f"truncated label blob: {exc}") from exc
+    return labels_from_bytes(blob[:offset]), offset
+
+
+def merge_labels(
+    out_labels: list[Entry], in_labels: list[Entry]
+) -> tuple[int, int]:
+    """Sorted merge implementing Equations (1)–(2).
+
+    Returns ``(distance, count)`` with ``distance == UNREACHED`` when the
+    labels share no hub.
+    """
+    best = UNREACHED
+    total = 0
+    i = j = 0
+    len_a, len_b = len(out_labels), len(in_labels)
+    while i < len_a and j < len_b:
+        entry_a = out_labels[i]
+        entry_b = in_labels[j]
+        if entry_a[0] < entry_b[0]:
+            i += 1
+        elif entry_a[0] > entry_b[0]:
+            j += 1
+        else:
+            d = entry_a[1] + entry_b[1]
+            if d < best:
+                best = d
+                total = entry_a[2] * entry_b[2]
+            elif d == best:
+                total += entry_a[2] * entry_b[2]
+            i += 1
+            j += 1
+    return best, total
+
+
+def _pruned_counting_bfs(
+    graph: DiGraph,
+    v: int,
+    p: int,
+    pos: list[int],
+    hub_side_labels: list[Entry],
+    target_labels: list[list[Entry]],
+    dist: list[int],
+    cnt: list[int],
+    forward: bool,
+) -> None:
+    """One hub iteration of Algorithm 3 (generic over direction).
+
+    ``hub_side_labels`` is ``Lout(v)`` for the forward pass / ``Lin(v)`` for
+    the backward pass — the side whose canonical entries feed the pruning
+    query.  ``target_labels`` is the table receiving new entries
+    (``label_in`` forward, ``label_out`` backward).
+    """
+    # Canonical distances from/to the hub via strictly higher-ranked hubs.
+    hub_dist: dict[int, int] = {}
+    for q, dq, _cq, canonical in hub_side_labels:
+        if q >= p:
+            break
+        if canonical:
+            hub_dist[q] = dq
+    neighbors = graph.out_neighbors if forward else graph.in_neighbors
+
+    dist[v] = 0
+    cnt[v] = 1
+    queue: deque[int] = deque((v,))
+    visited = [v]
+    while queue:
+        w = queue.popleft()
+        d_w = dist[w]
+        # Pruning query (Algorithm 3 line 13): canonical entries only,
+        # strictly higher-ranked hubs only.
+        d_via = UNREACHED
+        for q, dq, _cq, canonical in target_labels[w]:
+            if q >= p:
+                break
+            if canonical:
+                hd = hub_dist.get(q)
+                if hd is not None and hd + dq < d_via:
+                    d_via = hd + dq
+        if d_via < d_w:
+            continue  # v is not highest-ranked on any shortest v..w path
+        target_labels[w].append((p, d_w, cnt[w], d_via > d_w))
+        d_next = d_w + 1
+        c_w = cnt[w]
+        for u in neighbors(w):
+            if dist[u] == UNREACHED:
+                if pos[u] > p:
+                    dist[u] = d_next
+                    cnt[u] = c_w
+                    queue.append(u)
+                    visited.append(u)
+            elif dist[u] == d_next:
+                cnt[u] += c_w
+    for w in visited:
+        dist[w] = UNREACHED
+        cnt[w] = 0

@@ -1,0 +1,154 @@
+"""The paper's 64-bit packed label-entry encoding and index serialization.
+
+Section VI-A: *"Each label entry is encoded in a 64-bit integer.  The vertex
+ID, distance, and counting take 23, 17, and 24 bits, respectively."*
+This module implements that exact layout — used for index-size accounting in
+Figure 9(b)/11(b) and for on-disk persistence — plus a version-checked binary
+container for whole label sets.
+
+Counts in pure Python are arbitrary-precision; packing *validates* the
+24-bit budget and either raises :class:`PackingOverflowError` or saturates,
+matching what a fixed-width C++ implementation would silently do.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable
+
+from repro.errors import PackingOverflowError, SerializationError
+
+__all__ = [
+    "VERTEX_BITS",
+    "DISTANCE_BITS",
+    "COUNT_BITS",
+    "ENTRY_BYTES",
+    "pack_entry",
+    "unpack_entry",
+    "packed_size_bytes",
+    "labels_to_bytes",
+    "labels_from_bytes",
+]
+
+VERTEX_BITS = 23
+DISTANCE_BITS = 17
+COUNT_BITS = 24
+#: 23 + 17 + 24 = 64 bits per entry.
+ENTRY_BYTES = 8
+
+_VERTEX_MAX = (1 << VERTEX_BITS) - 1
+_DISTANCE_MAX = (1 << DISTANCE_BITS) - 1
+_COUNT_MAX = (1 << COUNT_BITS) - 1
+
+
+def pack_entry(
+    vertex: int, distance: int, count: int, saturate: bool = False
+) -> int:
+    """Pack one label entry into the paper's 64-bit layout.
+
+    With ``saturate`` the count is clamped to its 24-bit maximum instead of
+    raising; vertex ids and distances always raise on overflow since clamping
+    them would corrupt the index.
+    """
+    if not 0 <= vertex <= _VERTEX_MAX:
+        raise PackingOverflowError("vertex", vertex, VERTEX_BITS)
+    if not 0 <= distance <= _DISTANCE_MAX:
+        raise PackingOverflowError("distance", distance, DISTANCE_BITS)
+    if not 0 <= count <= _COUNT_MAX:
+        if not saturate:
+            raise PackingOverflowError("count", count, COUNT_BITS)
+        count = _COUNT_MAX
+    return (
+        (vertex << (DISTANCE_BITS + COUNT_BITS))
+        | (distance << COUNT_BITS)
+        | count
+    )
+
+
+def unpack_entry(packed: int) -> tuple[int, int, int]:
+    """Inverse of :func:`pack_entry`: ``(vertex, distance, count)``."""
+    if not 0 <= packed < (1 << 64):
+        raise PackingOverflowError("entry", packed, 64)
+    count = packed & _COUNT_MAX
+    distance = (packed >> COUNT_BITS) & _DISTANCE_MAX
+    vertex = packed >> (DISTANCE_BITS + COUNT_BITS)
+    return vertex, distance, count
+
+
+def packed_size_bytes(total_entries: int) -> int:
+    """Index size in bytes under the paper's encoding (Figure 9(b) metric)."""
+    return total_entries * ENTRY_BYTES
+
+
+# ---------------------------------------------------------------------------
+# Binary container for label sets
+# ---------------------------------------------------------------------------
+
+_MAGIC = b"RPLB"
+_VERSION = 2
+
+Entry = tuple[int, int, int, bool]  # (hub_pos, distance, count, canonical)
+
+
+def labels_to_bytes(
+    order: list[int], labels: Iterable[list[Entry]]
+) -> bytes:
+    """Serialize a per-vertex label table (plus its vertex order).
+
+    Counts are stored as 8-byte unsigned integers; indexes whose counts
+    exceed ``2**64 - 1`` (possible for adversarial graphs since Python counts
+    are unbounded) are rejected with :class:`SerializationError`.
+    """
+    label_list = list(labels)
+    chunks = [
+        _MAGIC,
+        struct.pack("<BII", _VERSION, len(order), len(label_list)),
+    ]
+    for v in order:
+        chunks.append(struct.pack("<I", v))
+    for entries in label_list:
+        chunks.append(struct.pack("<I", len(entries)))
+        for hub_pos, distance, count, canonical in entries:
+            if count >= (1 << 64):
+                raise SerializationError(
+                    f"count {count} exceeds 64-bit storage"
+                )
+            chunks.append(
+                struct.pack(
+                    "<IIQB", hub_pos, distance, count, 1 if canonical else 0
+                )
+            )
+    return b"".join(chunks)
+
+
+def labels_from_bytes(blob: bytes) -> tuple[list[int], list[list[Entry]]]:
+    """Inverse of :func:`labels_to_bytes`."""
+    if len(blob) < 13 or blob[:4] != _MAGIC:
+        raise SerializationError("not a repro label blob (bad magic)")
+    version, n_order, n_tables = struct.unpack_from("<BII", blob, 4)
+    if version != _VERSION:
+        raise SerializationError(f"unsupported label blob version {version}")
+    offset = 13
+    try:
+        order = [
+            struct.unpack_from("<I", blob, offset + 4 * i)[0]
+            for i in range(n_order)
+        ]
+        offset += 4 * n_order
+        tables: list[list[Entry]] = []
+        for _ in range(n_tables):
+            (count_entries,) = struct.unpack_from("<I", blob, offset)
+            offset += 4
+            entries: list[Entry] = []
+            for _ in range(count_entries):
+                hub_pos, distance, count, flag = struct.unpack_from(
+                    "<IIQB", blob, offset
+                )
+                offset += 17
+                entries.append((hub_pos, distance, count, bool(flag)))
+            tables.append(entries)
+    except struct.error as exc:
+        raise SerializationError(f"truncated label blob: {exc}") from exc
+    if offset != len(blob):
+        raise SerializationError("trailing bytes in label blob")
+    return order, tables

@@ -1,0 +1,147 @@
+"""Continuous cycle monitoring over an update stream.
+
+The paper's motivating deployment (Section I, applications): a transaction
+stream arrives as edge insertions/deletions, and an anomaly system watches
+for accounts whose shortest-cycle count crosses a screening threshold, or
+tracks the top-k most-cycled accounts.  :class:`CycleMonitor` packages that
+on top of :class:`~repro.core.counter.ShortestCycleCounter`.
+
+Alerts fire on threshold *crossings* (below -> at/above), not on every
+update, so a hot account does not spam its subscribers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.core.counter import ShortestCycleCounter
+from repro.core.maintenance import UpdateStats
+from repro.graph.digraph import DiGraph
+from repro.types import CycleCount
+
+__all__ = ["Alert", "CycleMonitor"]
+
+
+@dataclass(frozen=True)
+class Alert:
+    """A threshold crossing observed after an update."""
+
+    vertex: int
+    count: CycleCount
+    #: the (tail, head, op) update that triggered the alert
+    cause: tuple[int, int, str]
+
+
+class CycleMonitor:
+    """Watches SCCnt of selected vertices across an edge stream.
+
+    Parameters
+    ----------
+    graph:
+        Initial graph (copied; apply updates through the monitor).
+    watch:
+        Vertices to track; defaults to all.
+    threshold:
+        Alert when a watched vertex's shortest-cycle count first reaches
+        this value (the paper's "pre-screening criterion ... a specified
+        number of shortest cycles").
+    on_alert:
+        Optional callback invoked with each :class:`Alert`.
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        watch: Sequence[int] | None = None,
+        threshold: int = 1,
+        on_alert: Callable[[Alert], None] | None = None,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be at least 1")
+        self._counter = ShortestCycleCounter.build(graph)
+        self._watch = (
+            list(graph.vertices()) if watch is None else list(watch)
+        )
+        self._threshold = threshold
+        self._on_alert = on_alert
+        self._alerts: list[Alert] = []
+        self._above: set[int] = {
+            v
+            for v in self._watch
+            if self._counter.count(v).count >= threshold
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def counter(self) -> ShortestCycleCounter:
+        """The underlying dynamic counter."""
+        return self._counter
+
+    @property
+    def alerts(self) -> list[Alert]:
+        """All alerts fired so far (oldest first)."""
+        return list(self._alerts)
+
+    @property
+    def watched(self) -> list[int]:
+        """The watched vertex set."""
+        return list(self._watch)
+
+    def watch(self, vertex: int) -> None:
+        """Add a vertex to the watch set (no retroactive alert)."""
+        if vertex not in self._watch:
+            self._watch.append(vertex)
+            if self._counter.count(vertex).count >= self._threshold:
+                self._above.add(vertex)
+
+    # ------------------------------------------------------------------
+    def insert(self, tail: int, head: int) -> UpdateStats:
+        """Apply an edge insertion and evaluate alerts."""
+        stats = self._counter.insert_edge(tail, head)
+        self._scan((tail, head, "insert"))
+        return stats
+
+    def delete(self, tail: int, head: int) -> UpdateStats:
+        """Apply an edge deletion and evaluate alerts (vertices may also
+        *drop below* the threshold, re-arming their alert)."""
+        stats = self._counter.delete_edge(tail, head)
+        self._scan((tail, head, "delete"))
+        return stats
+
+    def process(
+        self, events: Iterable[tuple[str, int, int]]
+    ) -> list[Alert]:
+        """Apply a stream of ``("insert"|"delete", tail, head)`` events;
+        returns the alerts the stream produced."""
+        seen = len(self._alerts)
+        for op, tail, head in events:
+            if op == "insert":
+                self.insert(tail, head)
+            elif op == "delete":
+                self.delete(tail, head)
+            else:
+                raise ValueError(f"unknown stream op {op!r}")
+        return self._alerts[seen:]
+
+    def top(self, k: int = 10) -> list[tuple[int, CycleCount]]:
+        """Current top-k watched vertices by shortest-cycle count."""
+        ranked = sorted(
+            ((v, self._counter.count(v)) for v in self._watch),
+            key=lambda item: (-item[1].count, item[1].length, item[0]),
+        )
+        return ranked[:k]
+
+    # ------------------------------------------------------------------
+    def _scan(self, cause: tuple[int, int, str]) -> None:
+        for v in self._watch:
+            result = self._counter.count(v)
+            if result.count >= self._threshold:
+                if v not in self._above:
+                    self._above.add(v)
+                    alert = Alert(v, result, cause)
+                    self._alerts.append(alert)
+                    if self._on_alert is not None:
+                        self._on_alert(alert)
+            else:
+                self._above.discard(v)

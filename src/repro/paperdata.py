@@ -1,0 +1,138 @@
+"""Worked-example fixtures from the paper, used by golden tests, the table
+regeneration experiments, and the examples.
+
+The paper never prints Figure 2's edge list, but Tables II/III together with
+Examples 1-6 determine it uniquely (DESIGN.md §2 records the derivation):
+
+* ``nbr_in(v7) = {v4, v5, v6}``       (Example 3)
+* ``SPCnt(v10, v8) = 3`` at distance 4 (Example 2)
+* ``SCCnt(v7) = 3`` with length 6      (Examples 1, 3, 6)
+* every entry of Table II under the degree order of Example 4.
+
+Vertices are 0-indexed internally; ``v1`` of the paper is vertex ``0``.
+"""
+
+from __future__ import annotations
+
+from repro.graph.digraph import DiGraph
+
+__all__ = [
+    "FIGURE2_EDGES",
+    "FIGURE2_ORDER",
+    "TABLE2_IN_LABELS",
+    "TABLE2_OUT_LABELS",
+    "TABLE3_IN_V7I",
+    "TABLE3_OUT_V7O",
+    "figure2_graph",
+    "figure2_order",
+    "figure1_graph",
+    "FIGURE1_ROLES",
+]
+
+#: Figure 2 edge list in the paper's 1-based vertex names.
+FIGURE2_EDGES: list[tuple[int, int]] = [
+    (1, 3), (1, 4), (1, 5),
+    (3, 6),
+    (2, 4),
+    (4, 7), (5, 7), (6, 7),
+    (7, 8),
+    (8, 9),
+    (9, 10),
+    (10, 1), (10, 2),
+]
+
+#: Example 4's total ordering (highest rank first), 1-based:
+#: v1 ≺ v7 ≺ v4 ≺ v10 ≺ v2 ≺ v3 ≺ v5 ≺ v6 ≺ v8 ≺ v9
+#: (total degree descending, ties broken by smaller vertex id).
+FIGURE2_ORDER: list[int] = [1, 7, 4, 10, 2, 3, 5, 6, 8, 9]
+
+#: Table II — HP-SPC in-labels, 1-based: vertex -> {(hub, dist, count)}.
+TABLE2_IN_LABELS: dict[int, set[tuple[int, int, int]]] = {
+    1: {(1, 0, 1)},
+    2: {(1, 6, 2), (7, 4, 1), (10, 1, 1), (2, 0, 1)},
+    3: {(1, 1, 1), (3, 0, 1)},
+    4: {(1, 1, 1), (7, 5, 1), (4, 0, 1)},
+    5: {(1, 1, 1), (5, 0, 1)},
+    6: {(1, 2, 1), (3, 1, 1), (6, 0, 1)},
+    7: {(1, 2, 2), (7, 0, 1)},
+    8: {(1, 3, 2), (7, 1, 1), (8, 0, 1)},
+    9: {(1, 4, 2), (7, 2, 1), (8, 1, 1), (9, 0, 1)},
+    10: {(1, 5, 2), (7, 3, 1), (10, 0, 1)},
+}
+
+#: Table II — HP-SPC out-labels.
+TABLE2_OUT_LABELS: dict[int, set[tuple[int, int, int]]] = {
+    1: {(1, 0, 1)},
+    2: {(1, 6, 1), (7, 2, 1), (4, 1, 1), (2, 0, 1)},
+    3: {(1, 6, 1), (7, 2, 1), (3, 0, 1)},
+    4: {(1, 5, 1), (7, 1, 1), (4, 0, 1)},
+    5: {(1, 5, 1), (7, 1, 1), (5, 0, 1)},
+    6: {(1, 5, 1), (7, 1, 1), (6, 0, 1)},
+    7: {(1, 4, 1), (7, 0, 1)},
+    8: {(1, 3, 1), (7, 5, 1), (4, 4, 1), (10, 2, 1), (8, 0, 1)},
+    9: {(1, 2, 1), (7, 4, 1), (4, 3, 1), (10, 1, 1), (9, 0, 1)},
+    10: {(1, 1, 1), (7, 3, 1), (4, 2, 1), (10, 0, 1)},
+}
+
+#: Table III — CSC labels for v7's couple (hubs are ``v_in`` vertices of the
+#: named original vertex; distances are in Gb units).
+TABLE3_IN_V7I: set[tuple[int, int, int]] = {(1, 4, 2), (7, 0, 1)}
+TABLE3_OUT_V7O: set[tuple[int, int, int]] = {(1, 7, 1), (7, 11, 1)}
+
+
+def figure2_graph() -> DiGraph:
+    """The Figure 2 directed graph (0-indexed)."""
+    return DiGraph.from_edges(
+        10, [(t - 1, h - 1) for t, h in FIGURE2_EDGES]
+    )
+
+
+def figure2_order() -> list[int]:
+    """Example 4's vertex order, 0-indexed (highest rank first)."""
+    return [v - 1 for v in FIGURE2_ORDER]
+
+
+# ---------------------------------------------------------------------------
+# Figure 1 — the money-laundering motivation graph.
+#
+# The paper's Figure 1 shows criminal accounts C1..C3, middle-man accounts
+# M1..Mn (with mirror accounts M1'..Mn'), agent accounts A1/A2, normal
+# accounts N1..N3 and one non-criminal account.  The figure conveys the
+# topology qualitatively; this reconstruction keeps its essential features:
+# C1 sits on many length-4 laundering cycles (via agents and middle men to C2
+# and back), C3 sits on exactly one length-4 cycle, and the normal accounts
+# form chains that close no short cycles through themselves.
+# ---------------------------------------------------------------------------
+
+#: Human-readable roles for the Figure 1 reconstruction.
+FIGURE1_ROLES: dict[int, str] = {
+    0: "C1 (criminal)", 1: "C2 (criminal)", 2: "C3 (criminal)",
+    3: "A1 (agent)", 4: "A2 (agent)",
+    5: "M1 (middle man)", 6: "M2 (middle man)", 7: "M3 (middle man)",
+    8: "M1' (middle man)", 9: "M2' (middle man)",
+    10: "N1 (normal)", 11: "N2 (normal)", 12: "N3 (normal)",
+    13: "non-criminal",
+}
+
+
+def figure1_graph() -> DiGraph:
+    """A reconstruction of Figure 1's money-laundering network.
+
+    ``SCCnt`` separates C1 (many shortest cycles) from C3 (one) and from the
+    normal accounts (none), which is the figure's point.
+    """
+    edges = [
+        # C1 -> agents -> middle men -> C2 -> back to C1 (length-4 cycles)
+        (0, 3), (0, 4),          # C1 -> A1, A2
+        (3, 5), (3, 6), (4, 6), (4, 7),  # agents -> middle men
+        (5, 1), (6, 1), (7, 1),  # middle men -> C2
+        (1, 0),                  # C2 -> C1 closes the cycles
+        # C2 -> mirror middle men -> C3 -> C1 path: one cycle through C3
+        (1, 8), (8, 2),          # C2 -> M1' -> C3
+        (2, 9), (9, 1),          # C3 -> M2' -> C2 (cycle C2,M1',C3,M2')
+        # normal accounts: a chain into the network, no cycle through them
+        (10, 11), (11, 12), (12, 0),
+        # non-criminal account transacting with normals only
+        (13, 10),
+    ]
+    return DiGraph.from_edges(14, edges)

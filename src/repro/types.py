@@ -1,0 +1,27 @@
+"""Shared lightweight result types."""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class CycleCount(NamedTuple):
+    """Result of an ``SCCnt`` query.
+
+    ``count`` is the number of shortest cycles through the query vertex and
+    ``length`` their common length in the original graph; a vertex on no
+    cycle reports ``count == 0`` and ``length == inf`` (mirroring
+    Algorithm 1's ``(∞, 0)`` return).
+    """
+
+    count: int
+    length: float
+
+    @property
+    def has_cycle(self) -> bool:
+        """Whether any cycle passes through the queried vertex."""
+        return self.count > 0
+
+
+#: The "no cycle through this vertex" result.
+NO_CYCLE = CycleCount(0, float("inf"))

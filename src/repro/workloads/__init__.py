@@ -1,0 +1,33 @@
+"""Workload generators: query clusters, update batches, and the paper's two
+application scenarios (fraud detection, p2p file sharing)."""
+
+from repro.workloads.clusters import (
+    CLUSTER_NAMES,
+    ClusterWorkload,
+    cluster_vertices,
+)
+from repro.workloads.fraud import FraudScenario, make_transaction_network
+from repro.workloads.p2p import (
+    P2PScenario,
+    index_server_candidates,
+    make_p2p_network,
+)
+from repro.workloads.updates import (
+    UpdateWorkload,
+    cluster_edges_by_degree,
+    random_edge_batch,
+)
+
+__all__ = [
+    "CLUSTER_NAMES",
+    "ClusterWorkload",
+    "cluster_vertices",
+    "FraudScenario",
+    "make_transaction_network",
+    "P2PScenario",
+    "index_server_candidates",
+    "make_p2p_network",
+    "UpdateWorkload",
+    "cluster_edges_by_degree",
+    "random_edge_batch",
+]

@@ -1,0 +1,85 @@
+"""Query-vertex clustering (paper Section VI-A).
+
+The paper clusters query vertices by ``min(|nbr_in(v)|, |nbr_out(v)|)``:
+the degree range of each graph is divided evenly into five clusters —
+High, Mid-high, Mid-low, Low, Bottom — and Figure 10 reports per-cluster
+average query times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.digraph import DiGraph
+
+__all__ = ["CLUSTER_NAMES", "ClusterWorkload", "cluster_vertices"]
+
+#: Paper's cluster names, highest degrees first.
+CLUSTER_NAMES = ("High", "Mid-high", "Mid-low", "Low", "Bottom")
+
+
+@dataclass(frozen=True)
+class ClusterWorkload:
+    """Vertices grouped into the paper's five degree clusters."""
+
+    #: cluster name -> list of vertex ids
+    clusters: dict[str, list[int]]
+    #: the degree key used (min in/out degree per vertex)
+    degree_key: dict[int, int]
+
+    def non_empty(self) -> list[tuple[str, list[int]]]:
+        """``(name, vertices)`` for clusters that have at least one vertex,
+        highest cluster first."""
+        return [
+            (name, self.clusters[name])
+            for name in CLUSTER_NAMES
+            if self.clusters[name]
+        ]
+
+    def sample(self, per_cluster: int, seed: int = 0) -> "ClusterWorkload":
+        """Deterministically subsample each cluster to at most
+        ``per_cluster`` vertices (for query benchmarks)."""
+        import random
+
+        rng = random.Random(seed)
+        sampled: dict[str, list[int]] = {}
+        for name in CLUSTER_NAMES:
+            vertices = self.clusters[name]
+            if len(vertices) <= per_cluster:
+                sampled[name] = list(vertices)
+            else:
+                sampled[name] = sorted(rng.sample(vertices, per_cluster))
+        return ClusterWorkload(sampled, self.degree_key)
+
+
+def cluster_vertices(
+    graph: DiGraph, limit: int | None = None, seed: int = 0
+) -> ClusterWorkload:
+    """Divide (up to ``limit``) vertices into the five clusters.
+
+    Following the paper: take the min-in-out degree range ``[lo, hi]`` of
+    the graph, split it into five equal-width bands, and assign each vertex
+    to its band (``High`` holds the largest degrees).  When ``limit`` is
+    given, a deterministic random sample of vertices is clustered instead of
+    all of them (the paper uses all vertices or at least 50,000).
+    """
+    vertices = list(graph.vertices())
+    if limit is not None and len(vertices) > limit:
+        import random
+
+        vertices = sorted(random.Random(seed).sample(vertices, limit))
+    degree_key = {v: graph.min_in_out_degree(v) for v in vertices}
+    if not vertices:
+        return ClusterWorkload({name: [] for name in CLUSTER_NAMES}, {})
+    lo = min(degree_key.values())
+    hi = max(degree_key.values())
+    span = hi - lo
+    clusters: dict[str, list[int]] = {name: [] for name in CLUSTER_NAMES}
+    for v in vertices:
+        if span == 0:
+            band = len(CLUSTER_NAMES) - 1  # degenerate: everything Bottom
+        else:
+            fraction = (degree_key[v] - lo) / span
+            band = 4 - min(4, int(fraction * 5))  # 0 = High ... 4 = Bottom
+        clusters[CLUSTER_NAMES[band]].append(v)
+    return ClusterWorkload(clusters, degree_key)

@@ -1,0 +1,123 @@
+"""Fraud-detection workload: transaction networks with planted laundering
+rings (paper Application 1, Figure 1, and the Section VI-D case study).
+
+A synthetic stand-in for the MAHINDAS economic network: account-to-account
+transactions form a skewed background graph; a money-laundering cell is
+planted as the Figure 1 motif — a criminal hub ``C1`` fans out to agent
+accounts, each agent relays through a middle-man chain to a collector
+``C2``, and ``C2`` closes the loop back to ``C1``.  Every planted ring thus
+has the same length, so the hub accumulates one shortest cycle per ring —
+exactly the "many shortest cycles through the criminal account" signal the
+paper screens for.
+
+The hub's and collector's neighborhoods are fully controlled (pre-existing
+incident edges are removed), so ``SCCnt(hub) == rings`` holds by
+construction and tests can assert it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import preferential_attachment
+
+__all__ = ["FraudScenario", "make_transaction_network"]
+
+
+@dataclass
+class FraudScenario:
+    """A transaction network with known planted laundering structure."""
+
+    graph: DiGraph
+    #: the criminal hub (Figure 1's C1) — fans out into every ring
+    hub: int
+    #: the collector (Figure 1's C2) — closes every ring back to the hub
+    collector: int
+    #: ring id -> ordered account cycle (starting at the hub)
+    rings: dict[int, list[int]] = field(default_factory=dict)
+
+    @property
+    def n(self) -> int:
+        return self.graph.n
+
+    @property
+    def ring_members(self) -> set[int]:
+        """All accounts on any planted ring."""
+        return {v for ring in self.rings.values() for v in ring}
+
+    def is_planted(self, v: int) -> bool:
+        """Whether ``v`` belongs to the planted laundering cell."""
+        return any(v in ring for ring in self.rings.values())
+
+
+def make_transaction_network(
+    n: int = 1200,
+    m: int = 7500,
+    rings: int = 30,
+    ring_size: int = 4,
+    seed: int = 11,
+) -> FraudScenario:
+    """Build a MAHINDAS-style transaction network with a planted cell.
+
+    ``rings`` parallel cycles of length ``ring_size`` all pass through a
+    hub account and a collector account (Figure 1's C1/C2); the hub's
+    shortest-cycle count is exactly ``rings``.  The background is a
+    hub-heavy preferential-attachment graph topped up with uniform edges;
+    reciprocal (length-2) background cycles are avoided so organic cycle
+    counts stay low, mirroring a real payment network where direct A<->B
+    refunds are rare compared to laundering loops.
+    """
+    if ring_size < 3:
+        raise ValueError("ring_size must be at least 3 (hub -> ... -> collector -> hub)")
+    intermediates_per_ring = ring_size - 2
+    needed = 2 + rings * intermediates_per_ring
+    if n < needed + 10:
+        raise ValueError(
+            f"n={n} too small for {rings} rings of size {ring_size} "
+            f"(need at least {needed + 10} accounts)"
+        )
+    rng = random.Random(seed)
+    graph = preferential_attachment(
+        n, max(1, round(m / n)), seed=seed, back_edge_prob=0.0
+    )
+    # Top up toward the edge budget, avoiding reciprocal pairs.
+    attempts = 0
+    while graph.m < m and attempts < 40 * m:
+        attempts += 1
+        tail = rng.randrange(n)
+        head = rng.randrange(n)
+        if (
+            tail != head
+            and not graph.has_edge(tail, head)
+            and not graph.has_edge(head, tail)
+        ):
+            graph.add_edge(tail, head)
+
+    # Reserve the laundering cell and take over its neighborhoods: shell
+    # accounts transact only inside the cell, so the planted rings are
+    # exactly the cycles through them (and tests can assert the counts).
+    cell = rng.sample(range(n), needed)
+    hub, collector = cell[0], cell[1]
+    intermediates = cell[2:]
+    for v in cell:
+        for u in list(graph.out_neighbors(v)):
+            graph.remove_edge(v, u)
+        for u in list(graph.in_neighbors(v)):
+            graph.remove_edge(u, v)
+
+    planted: dict[int, list[int]] = {}
+    for ring_id in range(rings):
+        chain = intermediates[
+            ring_id * intermediates_per_ring:(ring_id + 1) * intermediates_per_ring
+        ]
+        members = [hub, *chain, collector]
+        for tail, head in zip(members, members[1:]):
+            if not graph.has_edge(tail, head):
+                graph.add_edge(tail, head)
+            if graph.has_edge(head, tail):
+                graph.remove_edge(head, tail)  # keep ring length exact
+        planted[ring_id] = members
+    graph.add_edge(collector, hub)
+    return FraudScenario(graph, hub, collector, planted)

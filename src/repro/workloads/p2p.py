@@ -1,0 +1,70 @@
+"""Peer-to-peer file-sharing workload (paper Application 2).
+
+Models a Gnutella-style overlay: hosts open a few connections each
+(out-regular topology, like the paper's G04/G30 datasets), and file
+request/transfer interactions close cycles.  The paper's use case: a host
+with many short shortest cycles is a good index-server candidate
+(failure-tolerant, files easy to locate), while a host with long, scarce
+cycles may need a proxy.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import out_regular
+
+__all__ = ["P2PScenario", "make_p2p_network", "index_server_candidates"]
+
+
+@dataclass
+class P2PScenario:
+    """A p2p overlay plus a stream of interaction events."""
+
+    graph: DiGraph
+    #: (tail, head) interaction events to replay as dynamic insertions
+    events: list[tuple[int, int]]
+
+
+def make_p2p_network(
+    hosts: int = 800,
+    connections: int = 4,
+    events: int = 60,
+    seed: int = 23,
+) -> P2PScenario:
+    """An out-regular overlay plus ``events`` future file-transfer edges.
+
+    The events are edges *not yet in the graph*; replaying them with
+    :meth:`~repro.core.counter.ShortestCycleCounter.insert_edge` exercises
+    the dynamic maintenance path on the paper's Application 2.
+    """
+    graph = out_regular(hosts, connections, seed=seed)
+    rng = random.Random(seed * 7 + 1)
+    pending: list[tuple[int, int]] = []
+    seen: set[tuple[int, int]] = set()
+    while len(pending) < events:
+        tail = rng.randrange(hosts)
+        head = rng.randrange(hosts)
+        if tail != head and not graph.has_edge(tail, head):
+            if (tail, head) not in seen:
+                pending.append((tail, head))
+                seen.add((tail, head))
+    return P2PScenario(graph, pending)
+
+
+def index_server_candidates(
+    counts: dict[int, "object"], k: int = 5
+) -> list[int]:
+    """Rank hosts for index-server placement.
+
+    ``counts`` maps host -> :class:`~repro.types.CycleCount`.  Prefer many
+    short cycles (failure tolerance + locality), i.e. sort by
+    ``(-count, length)``.
+    """
+    ranked = sorted(
+        (v for v, c in counts.items() if c.count > 0),
+        key=lambda v: (-counts[v].count, counts[v].length, v),
+    )
+    return ranked[:k]

@@ -1,0 +1,74 @@
+"""Update workloads (paper Section VI-A / VI-C).
+
+The paper's dynamic-maintenance protocol: pick a batch of random edges,
+*remove* them, then *insert them back*, measuring per-edge update time and
+label-entry deltas.  Figure 12 additionally clusters the deleted edges by
+*edge degree* — for edge ``(v, w)``, ``in_degree(v) + out_degree(w)`` —
+into the same five bands as the query clusters.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.graph.digraph import DiGraph
+from repro.workloads.clusters import CLUSTER_NAMES
+
+__all__ = ["UpdateWorkload", "random_edge_batch", "cluster_edges_by_degree"]
+
+
+@dataclass(frozen=True)
+class UpdateWorkload:
+    """A delete-then-reinsert batch over one graph."""
+
+    edges: list[tuple[int, int]]
+    seed: int
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+
+def random_edge_batch(
+    graph: DiGraph, count: int, seed: int = 0
+) -> UpdateWorkload:
+    """Choose ``count`` distinct random edges of ``graph`` (the paper draws
+    200–500; scaled profiles draw fewer)."""
+    edges = list(graph.edges())
+    rng = random.Random(seed)
+    if count >= len(edges):
+        chosen = edges
+    else:
+        chosen = rng.sample(edges, count)
+    return UpdateWorkload(list(chosen), seed)
+
+
+def edge_degree(graph: DiGraph, edge: tuple[int, int]) -> int:
+    """The paper's edge-degree key for Figure 12:
+    ``in_degree(tail) + out_degree(head)``."""
+    tail, head = edge
+    return graph.in_degree(tail) + graph.out_degree(head)
+
+
+def cluster_edges_by_degree(
+    graph: DiGraph, edges: list[tuple[int, int]]
+) -> dict[str, list[tuple[int, int]]]:
+    """Divide edges into the five bands (High..Bottom) by edge degree,
+    equal-width over the batch's degree range — Figure 12's clustering."""
+    clusters: dict[str, list[tuple[int, int]]] = {
+        name: [] for name in CLUSTER_NAMES
+    }
+    if not edges:
+        return clusters
+    degrees = {e: edge_degree(graph, e) for e in edges}
+    lo = min(degrees.values())
+    hi = max(degrees.values())
+    span = hi - lo
+    for e in edges:
+        if span == 0:
+            band = len(CLUSTER_NAMES) - 1
+        else:
+            fraction = (degrees[e] - lo) / span
+            band = 4 - min(4, int(fraction * 5))
+        clusters[CLUSTER_NAMES[band]].append(e)
+    return clusters

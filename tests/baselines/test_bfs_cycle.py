@@ -1,0 +1,70 @@
+"""Tests for BFS-CYCLE (Algorithm 1)."""
+
+from hypothesis import given, settings
+
+from repro.baselines.bfs_cycle import bfs_cycle_count
+from repro.baselines.naive import naive_cycle_count
+from repro.graph.digraph import DiGraph
+from repro.types import NO_CYCLE
+from tests.conftest import digraphs_with_vertex
+
+
+class TestBasics:
+    def test_triangle(self, triangle):
+        for v in (0, 1, 2):
+            assert bfs_cycle_count(triangle, v) == (1, 3)
+
+    def test_tail_vertex_no_cycle(self, triangle):
+        assert bfs_cycle_count(triangle, 3) == NO_CYCLE
+
+    def test_two_cycle(self, two_cycle):
+        assert bfs_cycle_count(two_cycle, 0) == (1, 2)
+        assert bfs_cycle_count(two_cycle, 1) == (1, 2)
+
+    def test_dag_has_no_cycles(self, dag):
+        for v in dag.vertices():
+            assert bfs_cycle_count(dag, v) == NO_CYCLE
+
+    def test_figure2_example1(self, fig2):
+        """Example 1: three shortest cycles of length 6 through v7."""
+        assert bfs_cycle_count(fig2, 6) == (3, 6)
+
+    def test_isolated_vertex(self):
+        assert bfs_cycle_count(DiGraph(1), 0) == NO_CYCLE
+
+    def test_multiple_shortest_cycles_counted(self):
+        # two distinct triangles through 0
+        g = DiGraph.from_edges(
+            5, [(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0), (1, 0)]
+        )
+        # 0 -> 1 -> 0 is length 2: the unique shortest cycle
+        assert bfs_cycle_count(g, 0) == (1, 2)
+        g.remove_edge(1, 0)
+        # now two length-3 cycles: 0-1-2 and 0-3-4
+        assert bfs_cycle_count(g, 0) == (2, 3)
+
+    def test_shortest_cycle_beats_longer_multiplicity(self):
+        # one triangle and three 4-cycles: count only the triangle
+        edges = [(0, 1), (1, 2), (2, 0)]
+        for x in (3, 4, 5):
+            edges += [(0, x), (x, x + 4), (x + 4, 6)]
+        edges += [(6, 0)]
+        g = DiGraph.from_edges(10, edges)
+        assert bfs_cycle_count(g, 0) == (1, 3)
+        g.remove_edge(1, 2)  # break the triangle: the 4-cycles surface
+        assert bfs_cycle_count(g, 0) == (3, 4)
+
+    def test_parallel_shortest_cycle_paths(self):
+        # 0 -> {1,2} -> 3 -> 0: two length-3 cycles through 0
+        g = DiGraph.from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3), (3, 0)])
+        assert bfs_cycle_count(g, 0) == (2, 3)
+        assert bfs_cycle_count(g, 3) == (2, 3)
+        assert bfs_cycle_count(g, 1) == (1, 3)
+
+
+class TestAgainstOracle:
+    @settings(max_examples=120, deadline=None)
+    @given(digraphs_with_vertex(max_n=9))
+    def test_matches_naive_enumeration(self, case):
+        g, v = case
+        assert bfs_cycle_count(g, v) == naive_cycle_count(g, v)

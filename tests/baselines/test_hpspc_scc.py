@@ -1,0 +1,80 @@
+"""Tests for the HP-SPC + neighborhood SCCnt baseline (Section III-A)."""
+
+from hypothesis import given, settings
+
+from repro.baselines.bfs_cycle import bfs_cycle_count
+from repro.baselines.hpspc_scc import HPSPCCycleCounter, hpspc_cycle_count
+from repro.graph.digraph import DiGraph
+from repro.labeling.hpspc import HPSPCIndex
+from repro.paperdata import figure2_graph, figure2_order
+from repro.types import NO_CYCLE
+from tests.conftest import digraphs_with_vertex
+
+
+class TestExample3:
+    def test_sccnt_v7(self):
+        """Example 3: SCCnt(v7) = 3 via in-neighbors {v4, v5, v6}."""
+        g = figure2_graph()
+        idx = HPSPCIndex.build(g, figure2_order())
+        assert hpspc_cycle_count(idx, g, 6) == (3, 6)
+
+    def test_neighbor_spcnt_values(self):
+        """Example 3's intermediate values: SPCnt(v7,v4)=2 @ 5,
+        SPCnt(v7,v5)=1 @ 5, SPCnt(v7,v6)=1 @ 6."""
+        g = figure2_graph()
+        idx = HPSPCIndex.build(g, figure2_order())
+        assert idx.spcnt(6, 3) == (5, 2)
+        assert idx.spcnt(6, 4) == (5, 1)
+        assert idx.spcnt(6, 5) == (6, 1)
+
+
+class TestEdgeCases:
+    def test_no_out_neighbors(self):
+        g = DiGraph.from_edges(2, [(0, 1)])
+        idx = HPSPCIndex.build(g)
+        assert hpspc_cycle_count(idx, g, 1) == NO_CYCLE
+
+    def test_no_in_neighbors(self):
+        g = DiGraph.from_edges(2, [(0, 1)])
+        idx = HPSPCIndex.build(g)
+        assert hpspc_cycle_count(idx, g, 0) == NO_CYCLE
+
+    def test_neighbors_but_no_returning_path(self):
+        g = DiGraph.from_edges(3, [(0, 1), (2, 0)])
+        idx = HPSPCIndex.build(g)
+        assert hpspc_cycle_count(idx, g, 0) == NO_CYCLE
+
+    def test_two_cycle(self):
+        g = DiGraph.from_edges(2, [(0, 1), (1, 0)])
+        idx = HPSPCIndex.build(g)
+        assert hpspc_cycle_count(idx, g, 0) == (1, 2)
+
+    def test_smaller_side_choice_does_not_change_result(self):
+        """Eq (3)/(4) choose the smaller neighbor side; both sides must give
+        the same answer on an asymmetric vertex."""
+        g = DiGraph.from_edges(
+            6, [(0, 1), (1, 0), (2, 0), (3, 0), (4, 0), (0, 5), (5, 2)]
+        )
+        idx = HPSPCIndex.build(g)
+        assert hpspc_cycle_count(idx, g, 0) == bfs_cycle_count(g, 0)
+
+
+class TestCounterWrapper:
+    def test_wrapper_matches_function(self):
+        g = figure2_graph()
+        counter = HPSPCCycleCounter(g, figure2_order())
+        for v in g.vertices():
+            assert counter.count(v) == bfs_cycle_count(g, v)
+
+    def test_spcnt_passthrough(self):
+        counter = HPSPCCycleCounter(figure2_graph(), figure2_order())
+        assert counter.spcnt(9, 7) == (4, 3)
+
+
+class TestAgainstOracle:
+    @settings(max_examples=100, deadline=None)
+    @given(digraphs_with_vertex(max_n=9))
+    def test_matches_bfs(self, case):
+        g, v = case
+        idx = HPSPCIndex.build(g)
+        assert hpspc_cycle_count(idx, g, v) == bfs_cycle_count(g, v)

@@ -1,0 +1,55 @@
+"""Tests for the brute-force enumeration oracle itself."""
+
+from repro.baselines.naive import enumerate_shortest_cycles, naive_cycle_count
+from repro.graph.digraph import DiGraph
+from repro.types import NO_CYCLE
+
+
+class TestEnumeration:
+    def test_triangle_vertices(self, triangle):
+        cycles = enumerate_shortest_cycles(triangle, 0)
+        assert cycles == [[0, 1, 2, 0]]
+
+    def test_cycles_start_and_end_at_query_vertex(self, fig2):
+        for cycle in enumerate_shortest_cycles(fig2, 6):
+            assert cycle[0] == cycle[-1] == 6
+
+    def test_cycles_are_simple(self, fig2):
+        for cycle in enumerate_shortest_cycles(fig2, 6):
+            interior = cycle[:-1]
+            assert len(interior) == len(set(interior))
+
+    def test_figure2_v7_lists_three_cycles(self, fig2):
+        cycles = enumerate_shortest_cycles(fig2, 6)
+        assert len(cycles) == 3
+        assert all(len(c) - 1 == 6 for c in cycles)
+        # the three cycles the paper names: via (v1,v4), (v1,v5), (v2,v4)
+        as_sets = {tuple(sorted(c[:-1])) for c in cycles}
+        assert as_sets == {
+            tuple(sorted([6, 7, 8, 9, 0, 3])),
+            tuple(sorted([6, 7, 8, 9, 0, 4])),
+            tuple(sorted([6, 7, 8, 9, 1, 3])),
+        }
+
+    def test_two_cycle_found(self, two_cycle):
+        assert enumerate_shortest_cycles(two_cycle, 0) == [[0, 1, 0]]
+
+    def test_no_cycle(self, dag):
+        assert enumerate_shortest_cycles(dag, 0) == []
+
+    def test_max_length_bound_respected(self, triangle):
+        assert enumerate_shortest_cycles(triangle, 0, max_length=2) == []
+
+
+class TestCount:
+    def test_counts_match_enumeration(self, fig2):
+        for v in fig2.vertices():
+            cycles = enumerate_shortest_cycles(fig2, v)
+            result = naive_cycle_count(fig2, v)
+            if cycles:
+                assert result == (len(cycles), len(cycles[0]) - 1)
+            else:
+                assert result == NO_CYCLE
+
+    def test_isolated(self):
+        assert naive_cycle_count(DiGraph(2), 1) == NO_CYCLE

@@ -1,0 +1,78 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.graph.digraph import DiGraph
+from repro.paperdata import figure2_graph, figure2_order
+
+
+@pytest.fixture
+def fig2():
+    """The Figure 2 graph (0-indexed)."""
+    return figure2_graph()
+
+
+@pytest.fixture
+def fig2_order():
+    """Example 4's vertex order (0-indexed)."""
+    return figure2_order()
+
+
+@pytest.fixture
+def triangle():
+    """A 3-cycle plus a tail vertex."""
+    return DiGraph.from_edges(4, [(0, 1), (1, 2), (2, 0), (2, 3)])
+
+
+@pytest.fixture
+def two_cycle():
+    """A reciprocal edge pair (the length-2 cycle case)."""
+    return DiGraph.from_edges(3, [(0, 1), (1, 0), (1, 2)])
+
+
+@pytest.fixture
+def dag():
+    """A small DAG: no cycles anywhere."""
+    return DiGraph.from_edges(5, [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)])
+
+
+def random_digraph(n: int, m: int, seed: int) -> DiGraph:
+    """Deterministic random simple digraph used across tests."""
+    rng = random.Random(seed)
+    g = DiGraph(n)
+    attempts = 0
+    while g.m < m and attempts < 50 * (m + 1):
+        attempts += 1
+        tail = rng.randrange(n)
+        head = rng.randrange(n)
+        if tail != head and not g.has_edge(tail, head):
+            g.add_edge(tail, head)
+    return g
+
+
+@st.composite
+def digraphs(draw, max_n: int = 10, max_edge_factor: int = 3):
+    """Hypothesis strategy: a small simple digraph."""
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    possible = [(a, b) for a in range(n) for b in range(n) if a != b]
+    edges = draw(
+        st.lists(
+            st.sampled_from(possible) if possible else st.nothing(),
+            unique=True,
+            max_size=min(len(possible), max_edge_factor * n),
+        )
+    ) if possible else []
+    return DiGraph.from_edges(n, edges)
+
+
+@st.composite
+def digraphs_with_vertex(draw, max_n: int = 10):
+    """A digraph plus one of its vertices."""
+    g = draw(digraphs(max_n=max_n))
+    v = draw(st.integers(min_value=0, max_value=g.n - 1))
+    return g, v

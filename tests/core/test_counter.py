@@ -1,0 +1,133 @@
+"""Tests for the ShortestCycleCounter facade."""
+
+import pytest
+
+from repro.baselines.bfs_cycle import bfs_cycle_count
+from repro.core.counter import ShortestCycleCounter
+from repro.errors import EdgeExistsError, EdgeNotFoundError
+from repro.graph.digraph import DiGraph
+from repro.paperdata import figure2_graph
+from repro.types import NO_CYCLE
+from tests.conftest import random_digraph
+
+
+class TestBuildAndQuery:
+    def test_quickstart_flow(self):
+        g = DiGraph.from_edges(4, [(0, 1), (1, 2), (2, 0), (2, 3)])
+        counter = ShortestCycleCounter.build(g)
+        assert counter.count(0) == (1, 3)
+        assert counter.count(3) == NO_CYCLE
+        counter.insert_edge(3, 0)
+        assert counter.count(3) == (1, 4)
+
+    def test_count_many(self):
+        g = figure2_graph()
+        counter = ShortestCycleCounter.build(g)
+        results = counter.count_many(list(g.vertices()))
+        assert results == [bfs_cycle_count(g, v) for v in g.vertices()]
+
+    def test_graph_copied_by_default(self):
+        g = DiGraph.from_edges(3, [(0, 1), (1, 2)])
+        counter = ShortestCycleCounter.build(g)
+        g.add_edge(2, 0)  # outside mutation must not affect the counter
+        assert counter.count(0) == NO_CYCLE
+        assert counter.graph.m == 2
+
+    def test_no_copy_mode(self):
+        g = DiGraph.from_edges(3, [(0, 1), (1, 2)])
+        counter = ShortestCycleCounter.build(g, copy_graph=False)
+        assert counter.graph is g
+
+    def test_invalid_strategy(self):
+        with pytest.raises(ValueError):
+            ShortestCycleCounter.build(DiGraph(2), strategy="eager")
+
+
+class TestUpdates:
+    def test_update_log(self):
+        counter = ShortestCycleCounter.build(DiGraph(3))
+        counter.insert_edge(0, 1)
+        counter.insert_edge(1, 0)
+        counter.delete_edge(0, 1)
+        log = counter.update_log
+        assert [s.operation for s in log] == ["insert", "insert", "delete"]
+        assert counter.stats()["updates_applied"] == 3
+
+    def test_strategy_used_for_insertions(self):
+        counter = ShortestCycleCounter.build(
+            DiGraph(3), strategy="minimality"
+        )
+        stats = counter.insert_edge(0, 1)
+        assert stats.strategy == "minimality"
+        assert counter.strategy == "minimality"
+
+    def test_errors_propagate(self):
+        counter = ShortestCycleCounter.build(
+            DiGraph.from_edges(2, [(0, 1)])
+        )
+        with pytest.raises(EdgeExistsError):
+            counter.insert_edge(0, 1)
+        with pytest.raises(EdgeNotFoundError):
+            counter.delete_edge(1, 0)
+
+    def test_rebuild_matches_incremental(self):
+        g = random_digraph(12, 25, seed=1)
+        counter = ShortestCycleCounter.build(g)
+        counter.insert_edge(*next(
+            (a, b)
+            for a in g.vertices()
+            for b in g.vertices()
+            if a != b and not g.has_edge(a, b)
+        ))
+        results = counter.count_many(list(counter.graph.vertices()))
+        counter.rebuild()
+        assert counter.count_many(list(counter.graph.vertices())) == results
+        assert counter.update_log == []
+
+
+class TestTopSuspicious:
+    def test_ranking(self):
+        # 0 sits on two triangles; 3 on one; 5 on none
+        g = DiGraph.from_edges(
+            6, [(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0), (5, 0)]
+        )
+        counter = ShortestCycleCounter.build(g)
+        top = counter.top_suspicious(3)
+        assert top[0][0] == 0
+        assert top[0][1].count == 2
+        assert all(
+            top[i][1].count >= top[i + 1][1].count for i in range(len(top) - 1)
+        )
+
+    def test_k_larger_than_n(self):
+        counter = ShortestCycleCounter.build(DiGraph(2))
+        assert len(counter.top_suspicious(10)) == 2
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        g = random_digraph(14, 35, seed=2)
+        counter = ShortestCycleCounter.build(g)
+        path = tmp_path / "counter.bin"
+        counter.save(path)
+        loaded = ShortestCycleCounter.load(path)
+        assert loaded.graph == counter.graph
+        for v in g.vertices():
+            assert loaded.count(v) == counter.count(v)
+
+    def test_loaded_counter_supports_updates(self, tmp_path):
+        g = DiGraph.from_edges(3, [(0, 1), (1, 2)])
+        counter = ShortestCycleCounter.build(g)
+        path = tmp_path / "counter.bin"
+        counter.save(path)
+        loaded = ShortestCycleCounter.load(path)
+        loaded.insert_edge(2, 0)
+        assert loaded.count(0) == (1, 3)
+
+    def test_stats_fields(self):
+        counter = ShortestCycleCounter.build(figure2_graph())
+        stats = counter.stats()
+        assert stats["n"] == 10
+        assert stats["m"] == 13
+        assert stats.label_entries > 0
+        assert stats.size_bytes == stats.label_entries * 8

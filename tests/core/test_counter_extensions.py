@@ -1,0 +1,90 @@
+"""Tests for the facade's batch/vertex update extensions."""
+
+from repro.baselines.bfs_cycle import bfs_cycle_count
+from repro.core.counter import ShortestCycleCounter
+from repro.graph.digraph import DiGraph
+from repro.types import NO_CYCLE
+from tests.conftest import random_digraph
+
+
+def assert_consistent(counter: ShortestCycleCounter):
+    for v in counter.graph.vertices():
+        assert counter.count(v) == bfs_cycle_count(counter.graph, v)
+
+
+class TestBatchUpdates:
+    def test_insert_edges(self):
+        counter = ShortestCycleCounter.build(DiGraph(4))
+        stats = counter.insert_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert len(stats) == 4
+        assert counter.count(0) == (1, 4)
+        assert_consistent(counter)
+
+    def test_delete_edges(self):
+        g = random_digraph(10, 30, seed=1)
+        counter = ShortestCycleCounter.build(g)
+        batch = list(g.edges())[:5]
+        stats = counter.delete_edges(batch)
+        assert len(stats) == 5
+        assert counter.graph.m == g.m - 5
+        assert_consistent(counter)
+
+    def test_batch_round_trip(self):
+        g = random_digraph(12, 36, seed=2)
+        counter = ShortestCycleCounter.build(g)
+        before = counter.count_many(list(g.vertices()))
+        batch = list(g.edges())[:6]
+        counter.delete_edges(batch)
+        counter.insert_edges(batch)
+        assert counter.count_many(list(g.vertices())) == before
+
+
+class TestVertexUpdates:
+    def test_detach_vertex_removes_all_incident_edges(self):
+        g = DiGraph.from_edges(4, [(0, 1), (1, 2), (2, 0), (3, 1), (1, 3)])
+        counter = ShortestCycleCounter.build(g)
+        counter.detach_vertex(1)
+        assert counter.graph.degree(1) == 0
+        assert counter.count(0) == NO_CYCLE  # the triangle died with v1
+        assert_consistent(counter)
+
+    def test_detach_isolated_vertex_is_noop(self):
+        counter = ShortestCycleCounter.build(DiGraph(3))
+        assert counter.detach_vertex(2) == []
+
+    def test_add_vertex_then_connect(self):
+        g = DiGraph.from_edges(3, [(0, 1), (1, 2)])
+        counter = ShortestCycleCounter.build(g)
+        v = counter.add_vertex()
+        assert v == 3
+        assert counter.count(v) == NO_CYCLE
+        counter.insert_edge(2, v)
+        counter.insert_edge(v, 0)
+        assert counter.count(v) == (1, 4)
+        assert_consistent(counter)
+
+    def test_add_vertex_preserves_existing_answers(self):
+        g = random_digraph(8, 20, seed=3)
+        counter = ShortestCycleCounter.build(g)
+        before = counter.count_many(list(g.vertices()))
+        counter.add_vertex()
+        assert counter.count_many(list(range(8))) == before
+
+    def test_add_vertex_after_inverted_index_built(self):
+        counter = ShortestCycleCounter.build(
+            DiGraph.from_edges(3, [(0, 1), (1, 0)])
+        )
+        counter.insert_edge(1, 2)  # forces inverted-index construction
+        v = counter.add_vertex()
+        counter.insert_edge(2, v)
+        counter.insert_edge(v, 0)
+        assert_consistent(counter)
+
+    def test_detach_then_reuse_vertex(self):
+        g = DiGraph.from_edges(3, [(0, 1), (1, 2), (2, 0)])
+        counter = ShortestCycleCounter.build(g)
+        counter.detach_vertex(2)
+        counter.insert_edge(2, 0)
+        counter.insert_edge(1, 2)
+        assert counter.count(2) == (1, 3)
+        assert_consistent(counter)

@@ -1,0 +1,248 @@
+"""Tests for the CSC index: construction, queries, invariants."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.bfs_cycle import bfs_cycle_count
+from repro.core.csc import CSCIndex
+from repro.graph.bipartite import (
+    bipartite_conversion,
+    bipartite_order,
+    in_vertex,
+    out_vertex,
+)
+from repro.graph.digraph import DiGraph
+from repro.labeling.hpspc import HPSPCIndex, UNREACHED
+from repro.labeling.ordering import degree_order
+from repro.types import NO_CYCLE
+from tests.conftest import digraphs, random_digraph
+
+
+class TestQueries:
+    def test_triangle(self, triangle):
+        for v in (0, 1, 2):
+            assert triangle and CSCIndex.build(triangle).sccnt(v) == (1, 3)
+
+    def test_two_cycle(self, two_cycle):
+        idx = CSCIndex.build(two_cycle)
+        assert idx.sccnt(0) == (1, 2)
+        assert idx.sccnt(2) == NO_CYCLE
+
+    def test_dag(self, dag):
+        idx = CSCIndex.build(dag)
+        for v in dag.vertices():
+            assert idx.sccnt(v) == NO_CYCLE
+
+    def test_figure2_example6(self, fig2, fig2_order):
+        """Example 6: SCCnt(v7) = 3, cycle length (11 + 1)/2 = 6."""
+        idx = CSCIndex.build(fig2, fig2_order)
+        assert idx.sccnt(6) == (3, 6)
+        assert idx.cycle_gb_distance(6) == 11
+
+    def test_all_figure2_vertices(self, fig2, fig2_order):
+        idx = CSCIndex.build(fig2, fig2_order)
+        for v in fig2.vertices():
+            assert idx.sccnt(v) == bfs_cycle_count(fig2, v)
+
+    def test_gb_distance_is_odd_or_unreached(self, fig2):
+        idx = CSCIndex.build(fig2)
+        for v in fig2.vertices():
+            d = idx.cycle_gb_distance(v)
+            assert d == UNREACHED or d % 2 == 1
+
+    def test_empty_and_single_vertex(self):
+        assert CSCIndex.build(DiGraph(0)).total_entries() == 0
+        idx = CSCIndex.build(DiGraph(1))
+        assert idx.sccnt(0) == NO_CYCLE
+
+
+class TestAgainstBaselines:
+    @settings(max_examples=120, deadline=None)
+    @given(digraphs(max_n=10))
+    def test_matches_bfs_everywhere(self, g):
+        idx = CSCIndex.build(g)
+        for v in g.vertices():
+            assert idx.sccnt(v) == bfs_cycle_count(g, v)
+
+    @settings(max_examples=50, deadline=None)
+    @given(digraphs(max_n=8))
+    def test_matches_generic_hpspc_on_explicit_gb(self, g):
+        """Couple-vertex skipping + index reduction must agree with the
+        *generic* HP-SPC algorithm run on the materialized Gb."""
+        order = degree_order(g)
+        csc = CSCIndex.build(g, order)
+        gb = bipartite_conversion(g)
+        gb_idx = HPSPCIndex.build(gb, bipartite_order(order))
+        for v in g.vertices():
+            d, c = gb_idx.spcnt(out_vertex(v), in_vertex(v))
+            if c == 0:
+                assert csc.sccnt(v) == NO_CYCLE
+            else:
+                assert csc.cycle_gb_distance(v) == d
+                assert csc.sccnt(v).count == c
+
+
+class TestLabelInvariants:
+    def test_sorted_by_hub_rank(self):
+        g = random_digraph(30, 90, seed=2)
+        idx = CSCIndex.build(g)
+        for v in g.vertices():
+            for labels in (idx.label_in[v], idx.label_out[v]):
+                hubs = [e[0] for e in labels]
+                assert hubs == sorted(hubs)
+                assert len(hubs) == len(set(hubs))
+
+    def test_in_label_self_entry(self):
+        g = random_digraph(20, 50, seed=3)
+        idx = CSCIndex.build(g)
+        for v in g.vertices():
+            assert (idx.pos[v], 0, 1, True) in idx.label_in[v]
+
+    def test_hub_ranks_dominate(self):
+        """Lin hubs rank at or above the vertex; Lout hubs rank at or above
+        the vertex, except the vertex's own cycle entry."""
+        g = random_digraph(20, 60, seed=4)
+        idx = CSCIndex.build(g)
+        for v in g.vertices():
+            p = idx.pos[v]
+            assert all(q <= p for q, *_ in idx.label_in[v])
+            assert all(q <= p for q, *_ in idx.label_out[v])
+
+    def test_cycle_entry_distance_matches_query(self):
+        """A vertex's own-hub out-entry is the cycle entry: its distance is
+        2L-1 for the shortest cycle of length L through it *that avoids all
+        higher-ranked vertices*."""
+        g = DiGraph.from_edges(3, [(0, 1), (1, 2), (2, 0)])
+        idx = CSCIndex.build(g, [0, 1, 2])
+        # hub 0 covers the triangle; vertices 1 and 2 have no own-cycle entry
+        own = [
+            [e for e in idx.label_out[v] if e[0] == idx.pos[v]]
+            for v in g.vertices()
+        ]
+        assert own[0] and own[0][0][1] == 5  # 2*3 - 1
+        assert not own[1] and not own[2]
+
+    def test_couple_shift_consistency(self):
+        """derived_out_map must be the stored Lout(v_out) shifted by one,
+        with the self hub at distance zero."""
+        g = random_digraph(15, 40, seed=5)
+        idx = CSCIndex.build(g)
+        for v in g.vertices():
+            mapping = idx.derived_out_map(v)
+            assert mapping[idx.pos[v]] == (0, 1)
+            for q, d, c, _f in idx.label_out[v]:
+                if q != idx.pos[v]:
+                    assert mapping[q] == (d + 1, c)
+
+
+class TestInternalQueries:
+    def test_qdist_in_in_matches_doubled_hops(self):
+        from repro.graph.traversal import INF, bfs_distance_between
+
+        g = random_digraph(12, 30, seed=6)
+        idx = CSCIndex.build(g)
+        for s in g.vertices():
+            for t in g.vertices():
+                d = idx.qdist_in_in(s, t)
+                hops = bfs_distance_between(g, s, t)
+                if hops is INF:
+                    assert d == UNREACHED
+                else:
+                    assert d == 2 * hops
+
+    def test_qdist_out_in_matches_gb_on_covered_pairs(self):
+        """The reduced index guarantees (x_out, y_in) distances whenever the
+        target outranks the source — the only pairs the maintenance
+        algorithms query (DESIGN.md §3.1)."""
+        from repro.graph.traversal import INF, bfs_distance_between
+
+        g = random_digraph(12, 30, seed=7)
+        idx = CSCIndex.build(g)
+        gb = bipartite_conversion(g)
+        for s in g.vertices():
+            for t in g.vertices():
+                if idx.pos[t] > idx.pos[s] and t != s:
+                    continue  # pair not covered by the reduced index
+                d = idx.qdist_out_in(s, t)
+                expected = bfs_distance_between(
+                    gb, out_vertex(s), in_vertex(t)
+                )
+                if expected is INF:
+                    assert d == UNREACHED
+                else:
+                    assert d == expected
+
+    def test_qdist_out_in_never_underestimates(self):
+        """Even on uncovered pairs the query is an upper bound — it can only
+        miss paths, not invent them."""
+        from repro.graph.traversal import INF, bfs_distance_between
+
+        g = random_digraph(12, 30, seed=14)
+        idx = CSCIndex.build(g)
+        gb = bipartite_conversion(g)
+        for s in g.vertices():
+            for t in g.vertices():
+                d = idx.qdist_out_in(s, t)
+                expected = bfs_distance_between(
+                    gb, out_vertex(s), in_vertex(t)
+                )
+                if d != UNREACHED:
+                    assert expected is not INF and d >= expected
+
+
+class TestSizeParity:
+    def test_csc_size_comparable_to_hpspc(self):
+        """The headline size claim: bipartite doubling is cancelled by
+        couple skipping + reduction; stored entries stay within ~15% of
+        HP-SPC on the same graph."""
+        g = random_digraph(120, 480, seed=8)
+        order = degree_order(g)
+        hp = HPSPCIndex.build(g, order)
+        csc = CSCIndex.build(g, order)
+        ratio = csc.total_entries() / hp.total_entries()
+        assert 0.7 < ratio < 1.15
+
+    def test_stats_methods(self):
+        g = random_digraph(10, 20, seed=9)
+        idx = CSCIndex.build(g)
+        assert idx.size_bytes() == 8 * idx.total_entries()
+        assert idx.average_label_size() == pytest.approx(
+            idx.total_entries() / (2 * g.n)
+        )
+
+
+class TestCopy:
+    def test_copy_is_deep(self):
+        g = random_digraph(10, 25, seed=10)
+        idx = CSCIndex.build(g)
+        clone = idx.copy()
+        clone.label_in[0].append((99, 1, 1, True))
+        clone.graph.add_vertex()
+        assert idx.label_in[0] != clone.label_in[0]
+        assert idx.graph.n == 10
+
+    def test_copy_shares_results(self):
+        g = random_digraph(10, 25, seed=11)
+        idx = CSCIndex.build(g)
+        clone = idx.copy()
+        for v in g.vertices():
+            assert idx.sccnt(v) == clone.sccnt(v)
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        g = random_digraph(15, 40, seed=12)
+        idx = CSCIndex.build(g)
+        loaded = CSCIndex.from_bytes(idx.to_bytes(), g)
+        assert loaded.label_in == idx.label_in
+        assert loaded.label_out == idx.label_out
+        for v in g.vertices():
+            assert loaded.sccnt(v) == idx.sccnt(v)
+
+    def test_wrong_graph_rejected(self):
+        from repro.errors import SerializationError
+
+        g = random_digraph(8, 16, seed=13)
+        idx = CSCIndex.build(g)
+        with pytest.raises(SerializationError):
+            CSCIndex.from_bytes(idx.to_bytes(), DiGraph(3))

@@ -1,0 +1,102 @@
+"""Tests for the Figure 6 / Section V-A update-case semantics.
+
+The paper classifies vertices reached by an incremental forward pass:
+
+* Case 3 ("yellow"): the new edge shortens the distance — entry replaced;
+* Case 2 ("green"): same distance, new parallel shortest paths — count
+  accumulated;
+* Case 1 ("white"): tentative distance exceeds the query — pruned,
+  entry untouched.
+
+These tests pin each case on hand-built graphs by inspecting the label
+entries of the top-ranked hub before and after an insertion.
+"""
+
+from repro.core.csc import CSCIndex
+from repro.core.maintenance import insert_edge
+
+
+def hub_entry(index: CSCIndex, hub: int, vertex: int):
+    """The (dist, count) of ``hub``'s entry in Lin(vertex), if any."""
+    q = index.pos[hub]
+    for q2, d, c, _f in index.label_in[vertex]:
+        if q2 == q:
+            return (d, c)
+    return None
+
+
+class TestCase3DistanceShrinks:
+    def test_entry_replaced_with_shorter_distance(self):
+        # hub 0 -> 1 -> 2 -> 3 (chain); new edge (0, 3) shortcuts vertex 3.
+        from repro.graph.digraph import DiGraph
+
+        g = DiGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        idx = CSCIndex.build(g, [0, 1, 2, 3])
+        assert hub_entry(idx, 0, 3) == (6, 1)  # Gb distance 2*3
+        insert_edge(idx, 0, 3)
+        assert hub_entry(idx, 0, 3) == (2, 1)  # Gb distance 2*1
+
+    def test_downstream_vertices_also_updated(self):
+        from repro.graph.digraph import DiGraph
+
+        g = DiGraph.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        idx = CSCIndex.build(g, [0, 1, 2, 3, 4])
+        insert_edge(idx, 0, 3)
+        assert hub_entry(idx, 0, 4) == (4, 1)  # was 8
+
+
+class TestCase2CountAccumulates:
+    def test_count_grows_distance_fixed(self):
+        # two parallel 0->3 paths after inserting (2, 3):
+        from repro.graph.digraph import DiGraph
+
+        g = DiGraph.from_edges(4, [(0, 1), (1, 3), (0, 2)])
+        idx = CSCIndex.build(g, [0, 1, 2, 3])
+        assert hub_entry(idx, 0, 3) == (4, 1)
+        insert_edge(idx, 0 if False else 2, 3)  # edge (2, 3)
+        assert hub_entry(idx, 0, 3) == (4, 2)
+
+    def test_figure6_flavor_mixed_cases(self):
+        """One insertion that shortens some vertices (Case 3), adds counts
+        to others (Case 2), and leaves the rest untouched (Case 1)."""
+        from repro.graph.digraph import DiGraph
+
+        # hub 0 fans into a diamond; (1, 4) will shorten 4 and add a path
+        # to 5; vertex 6 hangs off an unrelated branch.
+        g = DiGraph.from_edges(
+            7,
+            [
+                (0, 1), (0, 2),
+                (2, 3), (3, 4),       # 0->2->3->4 (length 3)
+                (2, 4),               # 0->2->4   (length 2)
+                (4, 5),               # 0->..->5
+                (0, 6),               # unrelated branch
+            ],
+        )
+        idx = CSCIndex.build(g, [0, 1, 2, 3, 4, 5, 6])
+        before_6 = hub_entry(idx, 0, 6)
+        assert hub_entry(idx, 0, 4) == (4, 1)
+        assert hub_entry(idx, 0, 5) == (6, 1)
+        insert_edge(idx, 1, 4)
+        # 0->1->4 ties 0->2->4: Case 2 at vertex 4.
+        assert hub_entry(idx, 0, 4) == (4, 2)
+        # ... and propagates to 5.
+        assert hub_entry(idx, 0, 5) == (6, 2)
+        # Case 1: vertex 6 untouched.
+        assert hub_entry(idx, 0, 6) == before_6
+
+
+class TestCase1Pruned:
+    def test_longer_alternative_changes_nothing(self):
+        from repro.graph.digraph import DiGraph
+
+        g = DiGraph.from_edges(4, [(0, 1), (1, 2), (0, 3)])
+        idx = CSCIndex.build(g, [0, 1, 2, 3])
+        before = [list(e) for e in idx.label_in]
+        # (3, 2) offers 0->3->2 of the same length as 0->1->2: Case 2 at 2;
+        # but (3, 1) would offer 0->3->1, longer than 0->1: Case 1 at 1.
+        insert_edge(idx, 3, 1)
+        assert hub_entry(idx, 0, 1) == (2, 1)  # untouched
+        # vertex 2 untouched as well (path through 3 is longer)
+        assert hub_entry(idx, 0, 2) == (4, 1)
+        assert idx.label_in[1] == before[1]

@@ -1,0 +1,174 @@
+"""Tests for DECCNT — decremental index maintenance (Section V-C)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.bfs_cycle import bfs_cycle_count
+from repro.core.csc import CSCIndex
+from repro.core.maintenance import delete_edge, insert_edge
+from repro.errors import EdgeNotFoundError
+from repro.graph.digraph import DiGraph
+from tests.conftest import digraphs, random_digraph
+
+
+def assert_queries_match_rebuild(index: CSCIndex):
+    rebuilt = CSCIndex.build(index.graph, index.order)
+    for v in index.graph.vertices():
+        assert index.sccnt(v) == rebuilt.sccnt(v)
+        assert index.sccnt(v) == bfs_cycle_count(index.graph, v)
+
+
+class TestBasicDeletions:
+    def test_delete_breaks_cycle(self, triangle):
+        idx = CSCIndex.build(triangle)
+        delete_edge(idx, 2, 0)
+        for v in triangle.vertices():
+            assert idx.sccnt(v).count == 0
+
+    def test_delete_lengthens_cycle(self):
+        g = DiGraph.from_edges(
+            4, [(0, 1), (1, 0), (1, 2), (2, 3), (3, 0)]
+        )
+        idx = CSCIndex.build(g)
+        assert idx.sccnt(0) == (1, 2)
+        delete_edge(idx, 1, 0)
+        assert idx.sccnt(0) == (1, 4)
+
+    def test_delete_first_edge_of_shortest_cycle_through_tail(self):
+        """Regression: deleting (a, b) on a's own shortest cycle must
+        repair a's cycle entry (the one Gb pair hop conditions miss)."""
+        g = DiGraph.from_edges(2, [(0, 1), (1, 0)])
+        idx = CSCIndex.build(g)
+        assert idx.sccnt(0) == (1, 2)
+        delete_edge(idx, 0, 1)
+        assert idx.sccnt(0).count == 0
+        assert idx.sccnt(1).count == 0
+
+    def test_delete_reduces_multiplicity(self):
+        g = DiGraph.from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3), (3, 0)])
+        idx = CSCIndex.build(g)
+        assert idx.sccnt(0) == (2, 3)
+        delete_edge(idx, 1, 3)
+        assert idx.sccnt(0) == (1, 3)
+
+    def test_missing_edge_rejected_without_damage(self):
+        g = DiGraph.from_edges(2, [(0, 1)])
+        idx = CSCIndex.build(g)
+        before = [list(e) for e in idx.label_in]
+        with pytest.raises(EdgeNotFoundError):
+            delete_edge(idx, 1, 0)
+        assert [list(e) for e in idx.label_in] == before
+        assert idx.graph.has_edge(0, 1)
+
+    def test_graph_mutated(self, triangle):
+        idx = CSCIndex.build(triangle)
+        delete_edge(idx, 0, 1)
+        assert not idx.graph.has_edge(0, 1)
+
+    def test_stats_shape(self, triangle):
+        idx = CSCIndex.build(triangle)
+        stats = delete_edge(idx, 2, 0)
+        assert stats.operation == "delete"
+        assert stats.edge == (2, 0)
+        assert stats.hubs_processed >= 1
+        assert "affected_in_hubs" in stats.details
+
+
+class TestEquivalenceWithRebuild:
+    @settings(max_examples=80, deadline=None)
+    @given(digraphs(max_n=9), st.integers(0, 10_000))
+    def test_random_deletion(self, g, pick):
+        edges = list(g.edges())
+        if not edges:
+            return
+        a, b = edges[pick % len(edges)]
+        idx = CSCIndex.build(g)
+        delete_edge(idx, a, b)
+        assert_queries_match_rebuild(idx)
+
+    def test_deletion_label_sets_match_rebuild(self):
+        """The per-hub repair replaces whole fingerprints, so the label sets
+        after a deletion equal a rebuild's (the index stays minimal)."""
+        g = random_digraph(10, 25, seed=4)
+        idx = CSCIndex.build(g)
+        import random
+
+        rng = random.Random(9)
+        for _ in range(6):
+            edges = list(idx.graph.edges())
+            if not edges:
+                break
+            a, b = rng.choice(edges)
+            delete_edge(idx, a, b)
+        rebuilt = CSCIndex.build(idx.graph, idx.order)
+        for v in idx.graph.vertices():
+            assert [(q, d, c) for q, d, c, _ in idx.label_in[v]] == [
+                (q, d, c) for q, d, c, _ in rebuilt.label_in[v]
+            ]
+            assert [(q, d, c) for q, d, c, _ in idx.label_out[v]] == [
+                (q, d, c) for q, d, c, _ in rebuilt.label_out[v]
+            ]
+
+    def test_delete_all_edges(self):
+        g = random_digraph(8, 16, seed=5)
+        idx = CSCIndex.build(g)
+        for a, b in list(g.edges()):
+            delete_edge(idx, a, b)
+        assert idx.graph.m == 0
+        for v in idx.graph.vertices():
+            assert idx.sccnt(v).count == 0
+
+
+class TestRoundTrips:
+    def test_delete_then_reinsert_restores_queries(self, fig2, fig2_order):
+        idx = CSCIndex.build(fig2, fig2_order)
+        baseline = {v: idx.sccnt(v) for v in fig2.vertices()}
+        for a, b in [(6, 7), (9, 0), (0, 3)]:
+            delete_edge(idx, a, b)
+            insert_edge(idx, a, b)
+        for v in fig2.vertices():
+            assert idx.sccnt(v) == baseline[v]
+
+    def test_paper_protocol_remove_batch_then_reinsert(self):
+        """The paper's Section VI protocol: remove a batch, insert it back;
+        queries must return to the originals."""
+        g = random_digraph(15, 45, seed=6)
+        idx = CSCIndex.build(g)
+        baseline = {v: idx.sccnt(v) for v in g.vertices()}
+        import random
+
+        rng = random.Random(11)
+        batch = rng.sample(list(g.edges()), 8)
+        for a, b in batch:
+            delete_edge(idx, a, b)
+        for a, b in batch:
+            insert_edge(idx, a, b)
+        for v in g.vertices():
+            assert idx.sccnt(v) == baseline[v]
+
+    @settings(max_examples=40, deadline=None)
+    @given(digraphs(max_n=8), st.integers(0, 10_000))
+    def test_mixed_insert_delete(self, g, seed):
+        import random
+
+        rng = random.Random(seed)
+        idx = CSCIndex.build(g)
+        n = g.n
+        for _ in range(6):
+            edges = list(idx.graph.edges())
+            if edges and rng.random() < 0.5:
+                a, b = rng.choice(edges)
+                delete_edge(idx, a, b)
+            else:
+                placed = False
+                for _ in range(30):
+                    a, b = rng.randrange(n), rng.randrange(n)
+                    if a != b and not idx.graph.has_edge(a, b):
+                        insert_edge(idx, a, b)
+                        placed = True
+                        break
+                if not placed:
+                    continue
+        for v in idx.graph.vertices():
+            assert idx.sccnt(v) == bfs_cycle_count(idx.graph, v)

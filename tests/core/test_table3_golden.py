@@ -1,0 +1,81 @@
+"""Golden test: the paper's Table III and the worked CSC examples."""
+
+import pytest
+
+from repro.core.csc import CSCIndex
+from repro.paperdata import (
+    TABLE3_IN_V7I,
+    TABLE3_OUT_V7O,
+    figure2_graph,
+    figure2_order,
+)
+
+
+@pytest.fixture(scope="module")
+def index():
+    return CSCIndex.build(figure2_graph(), figure2_order())
+
+
+def test_lin_v7i_matches_paper(index):
+    """Table III: Lin(v7_in) = {(v1i, 4, 2), (v7i, 0, 1)}."""
+    lin, _ = index.named_labels_of(6)
+    assert {(h + 1, d, c) for h, d, c in lin} == TABLE3_IN_V7I
+
+
+def test_lout_v7o_matches_paper(index):
+    """Table III: Lout(v7_out) = {(v1i, 7, 1), (v7i, 11, 1)} plus the
+    implicit self entry the reduced representation elides."""
+    _, lout = index.named_labels_of(6)
+    assert {(h + 1, d, c) for h, d, c in lout} == TABLE3_OUT_V7O
+
+
+def test_example6_evaluation(index):
+    """Example 6: via hub v1i the distance is 7+4=11 counting 1*2=2; via
+    v7i it is 11+0 counting 1; total 3 shortest cycles of length 6."""
+    result = index.sccnt(6)
+    assert result.count == 3
+    assert result.length == 6
+    assert index.cycle_gb_distance(6) == 11
+
+
+def test_example5_non_canonical_label_at_v4i(index):
+    """Example 5: (v7i, 10, 1) enters Lnc_in(v4i) because sd(v7i, v4i) is
+    also 10 via the higher-ranked hub v1i."""
+    entries = {
+        index.order[q] + 1: (d, c, canonical)
+        for q, d, c, canonical in index.label_in[3]  # v4
+    }
+    assert entries[7] == (10, 1, False)
+
+
+def test_figure4_canonical_entries_before_v4i(index):
+    """Figure 4(b): hub v7i's in-label entries prior to v4i are canonical
+    (v8..v10, v2 on the unique lower-ranked path)."""
+    for vertex, expected_d in ((7, 2), (8, 4), (9, 6), (1, 8)):
+        entries = {
+            index.order[q] + 1: (d, canonical)
+            for q, d, _c, canonical in index.label_in[vertex]
+        }
+        assert entries[7] == (expected_d, True)
+
+
+def test_figure5_out_label_distances(index):
+    """Figure 5: hub v7i's backward BFS reaches v4o at 1, v2o at 3,
+    v10o at 5 (Gb distances)."""
+    for vertex, expected_d in ((3, 1), (1, 3), (9, 5)):
+        entries = {
+            index.order[q] + 1: d
+            for q, d, _c, _canonical in index.label_out[vertex]
+        }
+        assert entries[7] == expected_d
+
+
+def test_couple_skipping_no_vout_hubs(index):
+    """Couple-vertex skipping: no stored entry uses a Vout hub, i.e. every
+    hub position refers to an original vertex's v_in (cross-checked by the
+    cycle entry being the only own-position out-entry)."""
+    for v in range(10):
+        for q, _d, _c, _f in index.label_in[v]:
+            assert q <= index.pos[v]
+        for q, _d, _c, _f in index.label_out[v]:
+            assert q <= index.pos[v]

@@ -1,0 +1,63 @@
+"""Tests for the ExperimentResult container and its export formats."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.experiments.results import ExperimentResult
+
+
+@pytest.fixture
+def result():
+    return ExperimentResult(
+        "Figure X",
+        "a demo table",
+        ["graph", "value", "ratio"],
+        [["G04", 12, 1.5], ["WSR", 7, float("inf")]],
+        notes=["a note"],
+    )
+
+
+class TestAccessors:
+    def test_column(self, result):
+        assert result.column("graph") == ["G04", "WSR"]
+        with pytest.raises(ValueError):
+            result.column("nope")
+
+    def test_row_by(self, result):
+        assert result.row_by("graph", "WSR")[1] == 7
+        with pytest.raises(KeyError):
+            result.row_by("graph", "ZZZ")
+
+
+class TestRender:
+    def test_render_contains_everything(self, result):
+        text = result.render()
+        assert "Figure X: a demo table" in text
+        assert "G04" in text and "inf" in text
+        assert "note: a note" in text
+
+
+class TestExports:
+    def test_markdown(self, result):
+        md = result.to_markdown()
+        lines = md.splitlines()
+        assert lines[0].startswith("### Figure X")
+        assert "| graph | value | ratio |" in md
+        assert "> a note" in md
+        # one separator + two data rows
+        assert sum(1 for l in lines if l.startswith("|")) == 4
+
+    def test_csv_parses_back(self, result):
+        rows = list(csv.reader(io.StringIO(result.to_csv())))
+        assert rows[0] == ["graph", "value", "ratio"]
+        assert rows[1] == ["G04", "12", "1.5"]
+        assert len(rows) == 3
+
+    def test_json_is_valid_despite_inf(self, result):
+        payload = json.loads(result.to_json())
+        assert payload["experiment_id"] == "Figure X"
+        assert payload["rows"][1][2] == "inf"
+        assert payload["rows"][0][2] == 1.5

@@ -1,0 +1,106 @@
+"""Tests for the bipartite conversion (Algorithm 2)."""
+
+from hypothesis import given, settings
+
+from repro.graph.bipartite import (
+    bipartite_conversion,
+    bipartite_order,
+    couple_of,
+    in_vertex,
+    is_in_vertex,
+    original_vertex,
+    out_vertex,
+)
+from repro.graph.digraph import DiGraph
+from repro.graph.traversal import bfs_distance_between
+from repro.paperdata import figure2_graph
+from tests.conftest import digraphs
+
+
+class TestVertexMapping:
+    def test_in_out_ids(self):
+        assert in_vertex(3) == 6
+        assert out_vertex(3) == 7
+
+    def test_couple_involution(self):
+        for x in range(10):
+            assert couple_of(couple_of(x)) == x
+        assert couple_of(in_vertex(4)) == out_vertex(4)
+
+    def test_is_in_vertex(self):
+        assert is_in_vertex(in_vertex(2))
+        assert not is_in_vertex(out_vertex(2))
+
+    def test_original_vertex(self):
+        assert original_vertex(in_vertex(5)) == 5
+        assert original_vertex(out_vertex(5)) == 5
+
+
+class TestConversion:
+    def test_counts(self):
+        """Gb has 2n vertices and n + m edges (Section IV-B)."""
+        g = figure2_graph()
+        gb = bipartite_conversion(g)
+        assert gb.n == 2 * g.n
+        assert gb.m == g.n + g.m
+
+    def test_couple_edges_present(self):
+        g = figure2_graph()
+        gb = bipartite_conversion(g)
+        for v in g.vertices():
+            assert gb.has_edge(in_vertex(v), out_vertex(v))
+
+    def test_original_edges_rewired(self):
+        g = DiGraph.from_edges(3, [(0, 1), (1, 2)])
+        gb = bipartite_conversion(g)
+        assert gb.has_edge(out_vertex(0), in_vertex(1))
+        assert gb.has_edge(out_vertex(1), in_vertex(2))
+        assert not gb.has_edge(out_vertex(0), in_vertex(2))
+
+    @settings(max_examples=40, deadline=None)
+    @given(digraphs(max_n=8))
+    def test_structural_invariants(self, g):
+        """v_in has one out-edge; v_out has one in-edge (the couple edge) —
+        the structure the reduced CSC representation relies on."""
+        gb = bipartite_conversion(g)
+        for v in g.vertices():
+            assert list(gb.out_neighbors(in_vertex(v))) == [out_vertex(v)]
+            assert list(gb.in_neighbors(out_vertex(v))) == [in_vertex(v)]
+            # Vout's successors are Vin vertices; Vin's predecessors are Vout.
+            assert all(is_in_vertex(u) for u in gb.out_neighbors(out_vertex(v)))
+            assert all(
+                not is_in_vertex(u) for u in gb.in_neighbors(in_vertex(v))
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(digraphs(max_n=7))
+    def test_distance_doubling(self, g):
+        """sd_Gb(u_in, w_in) == 2 * sd_G0(u, w) (DESIGN.md §3.1)."""
+        gb = bipartite_conversion(g)
+        for u in list(g.vertices())[:3]:
+            for w in list(g.vertices())[:3]:
+                d0 = bfs_distance_between(g, u, w)
+                db = bfs_distance_between(gb, in_vertex(u), in_vertex(w))
+                assert db == 2 * d0
+
+    def test_cycle_distance_maps_to_2l_minus_1(self):
+        """A length-L cycle in G0 is a (2L-1)-path v_out -> v_in in Gb."""
+        g = DiGraph.from_edges(3, [(0, 1), (1, 2), (2, 0)])
+        gb = bipartite_conversion(g)
+        for v in g.vertices():
+            d = bfs_distance_between(gb, out_vertex(v), in_vertex(v))
+            assert d == 2 * 3 - 1
+
+
+class TestBipartiteOrder:
+    def test_couples_consecutive(self):
+        lifted = bipartite_order([2, 0, 1])
+        assert lifted == [
+            in_vertex(2), out_vertex(2),
+            in_vertex(0), out_vertex(0),
+            in_vertex(1), out_vertex(1),
+        ]
+
+    def test_lifted_order_is_permutation(self):
+        lifted = bipartite_order(list(range(5)))
+        assert sorted(lifted) == list(range(10))

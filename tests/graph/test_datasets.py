@@ -1,0 +1,83 @@
+"""Tests for the dataset stand-ins (Table IV substitution)."""
+
+import pytest
+
+from repro.graph.datasets import (
+    DATASET_ORDER,
+    DATASETS,
+    PAPER_SIZES,
+    dataset_statistics,
+    load_dataset,
+)
+
+
+class TestRegistry:
+    def test_all_nine_paper_graphs_present(self):
+        assert set(DATASET_ORDER) == set(PAPER_SIZES)
+        assert set(DATASET_ORDER) == set(DATASETS)
+        assert len(DATASET_ORDER) == 9
+
+    def test_paper_sizes_match_table4(self):
+        assert PAPER_SIZES["G04"] == (10_879, 39_994)
+        assert PAPER_SIZES["WSR"] == (3_175_009, 139_586_199)
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(KeyError):
+            load_dataset("NOPE")
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(KeyError):
+            load_dataset("G04", profile="gigantic")
+
+
+class TestStandins:
+    @pytest.mark.parametrize("name", DATASET_ORDER)
+    def test_tiny_profile_builds(self, name):
+        g = load_dataset(name, profile="tiny")
+        expected_n, _ = DATASETS[name].sizes["tiny"]
+        assert g.n == expected_n
+        assert g.m > 0
+
+    def test_deterministic_under_seed(self):
+        a = load_dataset("G04", profile="tiny", seed=7)
+        b = load_dataset("G04", profile="tiny", seed=7)
+        assert a == b
+
+    def test_density_ordering_preserved(self):
+        """The paper's density ordering must survive the scaling: WSR is the
+        densest graph and the p2p/email graphs the sparsest."""
+        densities = {}
+        for name in DATASET_ORDER:
+            n, m = DATASETS[name].sizes["small"]
+            densities[name] = m / n
+        assert densities["WSR"] == max(densities.values())
+        assert densities["WSR"] > densities["WAR"] > densities["HDR"] > densities["WKT"]
+        assert densities["EME"] == min(densities.values())
+
+    def test_profiles_scale_monotonically(self):
+        for name in DATASET_ORDER:
+            sizes = DATASETS[name].sizes
+            assert sizes["tiny"][0] < sizes["small"][0] <= sizes["medium"][0]
+
+    def test_email_family_is_hub_heavy(self):
+        g = load_dataset("EME", profile="tiny")
+        degrees = sorted((g.degree(v) for v in g.vertices()), reverse=True)
+        avg = sum(degrees) / len(degrees)
+        assert degrees[0] > 3 * avg
+
+
+class TestStatistics:
+    def test_statistics_fields(self):
+        g = load_dataset("G04", profile="tiny")
+        stats = dataset_statistics(g)
+        assert stats["n"] == g.n
+        assert stats["m"] == g.m
+        assert stats["avg_degree"] == pytest.approx(2 * g.m / g.n)
+        assert stats["max_degree"] >= stats["avg_degree"]
+
+    def test_statistics_empty_graph(self):
+        from repro.graph.digraph import DiGraph
+
+        stats = dataset_statistics(DiGraph(0))
+        assert stats["n"] == 0
+        assert stats["avg_degree"] == 0.0

@@ -1,0 +1,156 @@
+"""Tests for the synthetic graph generators."""
+
+import pytest
+
+from repro.graph import generators
+from repro.graph.digraph import DiGraph
+
+
+def assert_simple(g: DiGraph):
+    """No self loops, no duplicate edges (DiGraph enforces this, but check
+    the generator didn't bypass the invariants)."""
+    seen = set()
+    for tail, head in g.edges():
+        assert tail != head
+        assert (tail, head) not in seen
+        seen.add((tail, head))
+
+
+class TestGnm:
+    def test_exact_edge_count(self):
+        g = generators.gnm_random(50, 120, seed=1)
+        assert g.n == 50
+        assert g.m == 120
+        assert_simple(g)
+
+    def test_deterministic_under_seed(self):
+        a = generators.gnm_random(30, 60, seed=9)
+        b = generators.gnm_random(30, 60, seed=9)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = generators.gnm_random(30, 60, seed=1)
+        b = generators.gnm_random(30, 60, seed=2)
+        assert a != b
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(ValueError):
+            generators.gnm_random(3, 7, seed=0)
+
+    def test_tiny_graph_rejected(self):
+        with pytest.raises(ValueError):
+            generators.gnm_random(1, 1, seed=0)
+
+
+class TestOutRegular:
+    def test_every_vertex_has_k_out_edges(self):
+        g = generators.out_regular(40, 4, seed=3)
+        assert all(g.out_degree(v) == 4 for v in g.vertices())
+        assert g.m == 160
+        assert_simple(g)
+
+    def test_deterministic(self):
+        assert generators.out_regular(20, 3, seed=5) == generators.out_regular(
+            20, 3, seed=5
+        )
+
+    def test_degree_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            generators.out_regular(4, 4, seed=0)
+
+
+class TestPreferentialAttachment:
+    def test_basic_shape(self):
+        g = generators.preferential_attachment(200, 3, seed=7)
+        assert g.n == 200
+        assert g.m > 200  # at least ~3 per arriving vertex
+        assert_simple(g)
+
+    def test_heavy_tail(self):
+        """Max degree should be far above the average (power-law-ish)."""
+        g = generators.preferential_attachment(400, 3, seed=7)
+        degrees = sorted((g.degree(v) for v in g.vertices()), reverse=True)
+        avg = sum(degrees) / len(degrees)
+        assert degrees[0] > 4 * avg
+
+    def test_reciprocal_edges_controlled(self):
+        none = generators.preferential_attachment(
+            150, 3, seed=1, back_edge_prob=0.0
+        )
+        recip = sum(1 for t, h in none.edges() if none.has_edge(h, t))
+        assert recip == 0
+        some = generators.preferential_attachment(
+            150, 3, seed=1, back_edge_prob=0.8
+        )
+        recip = sum(1 for t, h in some.edges() if some.has_edge(h, t))
+        assert recip > 0
+
+    def test_deterministic(self):
+        a = generators.preferential_attachment(100, 2, seed=4)
+        b = generators.preferential_attachment(100, 2, seed=4)
+        assert a == b
+
+
+class TestRmat:
+    def test_edge_budget(self):
+        g = generators.rmat(128, 500, seed=2)
+        assert g.n == 128
+        assert g.m == 500
+        assert_simple(g)
+
+    def test_skewed_degrees(self):
+        g = generators.rmat(256, 2000, seed=2)
+        degrees = sorted((g.degree(v) for v in g.vertices()), reverse=True)
+        avg = sum(degrees) / len(degrees)
+        assert degrees[0] > 3 * avg
+
+    def test_deterministic(self):
+        assert generators.rmat(64, 200, seed=8) == generators.rmat(
+            64, 200, seed=8
+        )
+
+    def test_bad_probabilities_rejected(self):
+        with pytest.raises(ValueError):
+            generators.rmat(16, 10, seed=0, a=0.6, b=0.3, c=0.3)
+
+
+class TestSmallWorld:
+    def test_shape(self):
+        g = generators.small_world(60, 3, rewire_prob=0.2, seed=6)
+        assert g.n == 60
+        assert g.m > 0
+        assert_simple(g)
+
+    def test_zero_rewire_is_ring(self):
+        g = generators.small_world(10, 2, rewire_prob=0.0, seed=0)
+        for v in range(10):
+            assert g.has_edge(v, (v + 1) % 10)
+            assert g.has_edge(v, (v + 2) % 10)
+
+    def test_k_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            generators.small_world(4, 4, seed=0)
+
+
+class TestPlantedRing:
+    def test_ring_edges_added(self):
+        g = DiGraph(6)
+        added = generators.planted_ring(g, [0, 2, 4])
+        assert set(added) == {(0, 2), (2, 4), (4, 0)}
+        assert g.m == 3
+
+    def test_existing_edges_kept(self):
+        g = DiGraph.from_edges(4, [(0, 1)])
+        added = generators.planted_ring(g, [0, 1, 2])
+        assert (0, 1) not in added
+        assert g.has_edge(1, 2) and g.has_edge(2, 0)
+
+    def test_bidirectional(self):
+        g = DiGraph(3)
+        generators.planted_ring(g, [0, 1, 2], bidirectional=True)
+        assert g.m == 6
+
+    def test_degenerate_ring(self):
+        g = DiGraph(3)
+        assert generators.planted_ring(g, [1]) == []
+        assert g.m == 0

@@ -1,0 +1,96 @@
+"""Tests for graph persistence (SNAP edge lists + binary blobs)."""
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.graph.digraph import DiGraph
+from repro.graph.io import (
+    graph_from_bytes,
+    graph_to_bytes,
+    load_graph,
+    read_edge_list,
+    save_graph,
+    write_edge_list,
+)
+from tests.conftest import random_digraph
+
+
+class TestEdgeList:
+    def test_roundtrip(self, tmp_path):
+        g = random_digraph(20, 40, seed=2)
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path, header=["test graph"])
+        loaded = read_edge_list(path)
+        assert loaded == g
+
+    def test_snap_style_comments(self, tmp_path):
+        path = tmp_path / "snap.txt"
+        path.write_text(
+            "# Directed graph\n% konect style\n\n0\t1\n1 2\n# trailing\n2 0\n"
+        )
+        g = read_edge_list(path)
+        assert g.n == 3
+        assert g.m == 3
+
+    def test_explicit_n(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")
+        g = read_edge_list(path, n=10)
+        assert g.n == 10
+
+    def test_dedup_default(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n0 1\n1 1\n")
+        g = read_edge_list(path)
+        assert g.m == 1
+
+    def test_strict_mode_raises_on_duplicates(self, tmp_path):
+        from repro.errors import EdgeExistsError
+
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n0 1\n")
+        with pytest.raises(EdgeExistsError):
+            read_edge_list(path, dedup=False)
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0\n")
+        with pytest.raises(SerializationError):
+            read_edge_list(path)
+
+    def test_negative_vertex(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("-1 2\n")
+        with pytest.raises(SerializationError):
+            read_edge_list(path)
+
+
+class TestBinary:
+    def test_roundtrip(self):
+        g = random_digraph(15, 30, seed=4)
+        assert graph_from_bytes(graph_to_bytes(g)) == g
+
+    def test_empty_graph_roundtrip(self):
+        g = DiGraph(0)
+        assert graph_from_bytes(graph_to_bytes(g)) == g
+
+    def test_bad_magic(self):
+        with pytest.raises(SerializationError):
+            graph_from_bytes(b"XXXX" + b"\x00" * 20)
+
+    def test_truncated(self):
+        blob = graph_to_bytes(random_digraph(5, 8, seed=1))
+        with pytest.raises(SerializationError):
+            graph_from_bytes(blob[:-3])
+
+    def test_bad_version(self):
+        blob = bytearray(graph_to_bytes(DiGraph(1)))
+        blob[4] = 99
+        with pytest.raises(SerializationError):
+            graph_from_bytes(bytes(blob))
+
+    def test_file_roundtrip(self, tmp_path):
+        g = random_digraph(10, 12, seed=6)
+        path = tmp_path / "g.bin"
+        save_graph(g, path)
+        assert load_graph(path) == g

@@ -1,0 +1,88 @@
+"""Tests for subgraph extraction (Figure 13 support)."""
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.subgraph import (
+    cycle_subgraph,
+    ego_subgraph,
+    induced_subgraph,
+)
+from repro.paperdata import figure2_graph
+
+
+class TestInduced:
+    def test_keeps_internal_edges_only(self):
+        g = DiGraph.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        sub = induced_subgraph(g, [0, 1, 2])
+        assert sub.graph.n == 3
+        assert sorted(sub.edges_as_originals()) == [(0, 1), (1, 2)]
+
+    def test_mapping_roundtrip(self):
+        g = DiGraph.from_edges(5, [(2, 4)])
+        sub = induced_subgraph(g, [4, 2])
+        assert sub.original_of(0) == 4
+        assert sub.local_of(2) == 1
+        with pytest.raises(KeyError):
+            sub.local_of(3)
+
+    def test_duplicates_collapsed(self):
+        g = DiGraph(3)
+        sub = induced_subgraph(g, [1, 1, 2])
+        assert sub.graph.n == 2
+
+    def test_empty(self):
+        sub = induced_subgraph(DiGraph(3), [])
+        assert sub.graph.n == 0
+
+
+class TestEgo:
+    def test_radius_zero(self):
+        g = figure2_graph()
+        sub = ego_subgraph(g, 6, radius=0)
+        assert sub.originals == [6]
+
+    def test_radius_one_includes_both_directions(self):
+        g = figure2_graph()
+        sub = ego_subgraph(g, 6, radius=1)  # v7: in {v4,v5,v6}, out {v8}
+        assert set(sub.originals) == {6, 3, 4, 5, 7}
+
+    def test_radius_two_grows(self):
+        g = figure2_graph()
+        r1 = set(ego_subgraph(g, 6, radius=1).originals)
+        r2 = set(ego_subgraph(g, 6, radius=2).originals)
+        assert r1 < r2
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            ego_subgraph(DiGraph(1), 0, radius=-1)
+
+
+class TestCycleSubgraph:
+    def test_figure2_v7_union_of_three_cycles(self):
+        g = figure2_graph()
+        sub = cycle_subgraph(g, 6)
+        # The three length-6 cycles cover v7,v8,v9,v10,v1,v2,v4,v5
+        assert set(sub.originals) == {6, 7, 8, 9, 0, 1, 3, 4}
+        # Every vertex in the view lies on a shortest cycle through v7
+        from repro.baselines.bfs_cycle import bfs_cycle_count
+
+        local_center = sub.local_of(6)
+        assert bfs_cycle_count(sub.graph, local_center) == (3, 6)
+
+    def test_non_cycle_edges_excluded(self):
+        # square with a chord: the chord shortcut 0-1-3-0 IS the shortest
+        # cycle; the long way around (via 2) must be excluded.
+        g = DiGraph.from_edges(
+            4, [(0, 1), (1, 2), (2, 3), (3, 0), (1, 3)]
+        )
+        sub = cycle_subgraph(g, 0)
+        edges = set(sub.edges_as_originals())
+        assert edges == {(0, 1), (1, 3), (3, 0)}
+        assert 2 not in sub.originals
+
+    def test_acyclic_center(self):
+        g = DiGraph.from_edges(3, [(0, 1), (1, 2)])
+        sub = cycle_subgraph(g, 0)
+        assert sub.originals == [0]
+        assert sub.graph.m == 0

@@ -1,0 +1,136 @@
+"""Tests for BFS primitives and the shortest-path-counting oracle."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+
+from repro.graph.digraph import DiGraph
+from repro.graph.traversal import (
+    INF,
+    bfs_distance_between,
+    bfs_distances,
+    count_shortest_paths,
+    count_shortest_paths_all,
+    eccentricity_sample,
+)
+from tests.conftest import digraphs, random_digraph
+
+
+def to_networkx(g: DiGraph) -> nx.DiGraph:
+    nxg = nx.DiGraph()
+    nxg.add_nodes_from(g.vertices())
+    nxg.add_edges_from(g.edges())
+    return nxg
+
+
+class TestBfsDistances:
+    def test_line_graph(self):
+        g = DiGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        assert bfs_distances(g, 0) == [0, 1, 2, 3]
+
+    def test_unreachable_is_inf(self):
+        g = DiGraph.from_edges(3, [(0, 1)])
+        dist = bfs_distances(g, 0)
+        assert dist[2] is INF
+
+    def test_reverse_distances(self):
+        g = DiGraph.from_edges(3, [(0, 1), (1, 2)])
+        dist = bfs_distances(g, 2, reverse=True)
+        assert dist == [2, 1, 0]
+
+    def test_source_only(self):
+        g = DiGraph(3)
+        dist = bfs_distances(g, 1)
+        assert dist[1] == 0
+        assert dist[0] is INF and dist[2] is INF
+
+    @settings(max_examples=60, deadline=None)
+    @given(digraphs(max_n=9))
+    def test_matches_networkx(self, g):
+        nxg = to_networkx(g)
+        expected = nx.single_source_shortest_path_length(nxg, 0) if g.n else {}
+        dist = bfs_distances(g, 0) if g.n else []
+        for v in g.vertices():
+            if v in expected:
+                assert dist[v] == expected[v]
+            else:
+                assert dist[v] is INF
+
+
+class TestBfsBetween:
+    def test_self_distance(self):
+        g = DiGraph(2)
+        assert bfs_distance_between(g, 0, 0) == 0
+
+    def test_direct_edge(self):
+        g = DiGraph.from_edges(2, [(0, 1)])
+        assert bfs_distance_between(g, 0, 1) == 1
+
+    def test_unreachable(self):
+        g = DiGraph(2)
+        assert bfs_distance_between(g, 0, 1) is INF
+
+    def test_matches_full_bfs(self):
+        g = random_digraph(12, 25, seed=3)
+        full = bfs_distances(g, 0)
+        for t in g.vertices():
+            assert bfs_distance_between(g, 0, t) == full[t]
+
+
+class TestCountShortestPaths:
+    def test_identity(self):
+        g = DiGraph(1)
+        assert count_shortest_paths(g, 0, 0) == (0, 1)
+
+    def test_two_parallel_paths(self):
+        g = DiGraph.from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+        assert count_shortest_paths(g, 0, 3) == (2, 2)
+
+    def test_shorter_path_wins(self):
+        g = DiGraph.from_edges(4, [(0, 1), (1, 3), (0, 3), (0, 2), (2, 3)])
+        assert count_shortest_paths(g, 0, 3) == (1, 1)
+
+    def test_unreachable(self):
+        g = DiGraph.from_edges(3, [(1, 2)])
+        assert count_shortest_paths(g, 0, 2) == (INF, 0)
+
+    def test_counts_multiply_along_stages(self):
+        # 2 choices then 3 choices: 6 shortest paths of length... 3
+        edges = []
+        # stage A: 0 -> {1,2}; stage B: {1,2} -> {3,4,5}? that's 2*...
+        for a in (1, 2):
+            edges.append((0, a))
+            for b in (3, 4, 5):
+                edges.append((a, b))
+        for b in (3, 4, 5):
+            edges.append((b, 6))
+        g = DiGraph.from_edges(7, edges)
+        assert count_shortest_paths(g, 0, 6) == (3, 6)
+
+    @settings(max_examples=60, deadline=None)
+    @given(digraphs(max_n=8))
+    def test_matches_networkx_path_enumeration(self, g):
+        nxg = to_networkx(g)
+        source, target = 0, g.n - 1
+        try:
+            paths = list(nx.all_shortest_paths(nxg, source, target))
+            expected = (len(paths[0]) - 1, len(paths))
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            expected = (INF, 0)
+        assert count_shortest_paths(g, source, target) == expected
+
+    def test_all_variant_consistent(self):
+        g = random_digraph(10, 20, seed=5)
+        dist, cnt = count_shortest_paths_all(g, 0)
+        for t in g.vertices():
+            assert count_shortest_paths(g, 0, t) == (dist[t], cnt[t])
+
+
+class TestEccentricity:
+    def test_line(self):
+        g = DiGraph.from_edges(3, [(0, 1), (1, 2)])
+        assert eccentricity_sample(g, [0]) == [2]
+
+    def test_isolated(self):
+        g = DiGraph(2)
+        assert eccentricity_sample(g, [0]) == [0]

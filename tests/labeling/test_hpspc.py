@@ -1,0 +1,160 @@
+"""Tests for the HP-SPC shortest-path-counting index."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graph.digraph import DiGraph
+from repro.graph.traversal import INF, count_shortest_paths
+from repro.labeling.hpspc import HPSPCIndex, UNREACHED, merge_labels
+from repro.labeling.ordering import positions
+from tests.conftest import digraphs, random_digraph
+
+
+class TestQueries:
+    def test_self_query(self):
+        g = DiGraph.from_edges(2, [(0, 1)])
+        idx = HPSPCIndex.build(g)
+        assert idx.spcnt(0, 0) == (0, 1)
+
+    def test_direct_edge(self):
+        g = DiGraph.from_edges(2, [(0, 1)])
+        idx = HPSPCIndex.build(g)
+        assert idx.spcnt(0, 1) == (1, 1)
+
+    def test_unreachable(self):
+        g = DiGraph.from_edges(3, [(0, 1)])
+        idx = HPSPCIndex.build(g)
+        assert idx.spcnt(0, 2) == (float("inf"), 0)
+        assert idx.distance(0, 2) == float("inf")
+
+    def test_parallel_paths_counted(self):
+        g = DiGraph.from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+        idx = HPSPCIndex.build(g)
+        assert idx.spcnt(0, 3) == (2, 2)
+
+    def test_direction_matters(self):
+        g = DiGraph.from_edges(2, [(0, 1)])
+        idx = HPSPCIndex.build(g)
+        assert idx.spcnt(1, 0) == (float("inf"), 0)
+
+    @settings(max_examples=80, deadline=None)
+    @given(digraphs(max_n=10))
+    def test_all_pairs_match_bfs_oracle(self, g):
+        """The core ESPC property: every pair's (distance, count) matches
+        the counting-BFS oracle."""
+        idx = HPSPCIndex.build(g)
+        for s in g.vertices():
+            for t in g.vertices():
+                expected = count_shortest_paths(g, s, t)
+                got = idx.spcnt(s, t)
+                if expected[0] is INF:
+                    assert got == (float("inf"), 0)
+                else:
+                    assert got == expected
+
+
+class TestConstruction:
+    def test_custom_order_validated(self):
+        g = DiGraph(3)
+        with pytest.raises(Exception):
+            HPSPCIndex.build(g, [0, 0, 1])
+
+    def test_labels_sorted_by_hub_rank(self):
+        g = random_digraph(25, 70, seed=3)
+        idx = HPSPCIndex.build(g)
+        for v in g.vertices():
+            for labels in (idx.label_in[v], idx.label_out[v]):
+                hubs = [e[0] for e in labels]
+                assert hubs == sorted(hubs)
+                assert len(hubs) == len(set(hubs))
+
+    def test_self_label_always_present(self):
+        g = random_digraph(15, 30, seed=4)
+        idx = HPSPCIndex.build(g)
+        for v in g.vertices():
+            p = idx.pos[v]
+            assert (p, 0, 1, True) in idx.label_in[v]
+            assert (p, 0, 1, True) in idx.label_out[v]
+
+    def test_hub_ranks_dominate_vertex_rank(self):
+        """A hub in Lin(v)/Lout(v) always ranks at or above v."""
+        g = random_digraph(20, 50, seed=5)
+        idx = HPSPCIndex.build(g)
+        for v in g.vertices():
+            p = idx.pos[v]
+            assert all(e[0] <= p for e in idx.label_in[v])
+            assert all(e[0] <= p for e in idx.label_out[v])
+
+    def test_canonical_entries_have_full_counts(self):
+        """A canonical entry's count equals the full shortest-path count
+        between hub and vertex (Section II-B)."""
+        g = random_digraph(14, 35, seed=6)
+        idx = HPSPCIndex.build(g)
+        for v in g.vertices():
+            for q, d, c, canonical in idx.label_in[v]:
+                hub = idx.order[q]
+                dist, cnt = count_shortest_paths(g, hub, v)
+                assert d == dist  # label distances are always exact
+                if canonical:
+                    assert c == cnt
+                else:
+                    assert c < cnt  # non-canonical = proper subset
+
+    def test_empty_graph(self):
+        idx = HPSPCIndex.build(DiGraph(0))
+        assert idx.total_entries() == 0
+
+    def test_single_vertex(self):
+        idx = HPSPCIndex.build(DiGraph(1))
+        assert idx.spcnt(0, 0) == (0, 1)
+
+
+class TestStats:
+    def test_entry_counts(self):
+        g = DiGraph.from_edges(2, [(0, 1)])
+        idx = HPSPCIndex.build(g)
+        # four self labels + one hub-0 entry in Lin(1) covering the edge
+        # (the Lout side of the pair is hub 0's own self label).
+        assert idx.total_entries() == 5
+        assert idx.size_bytes() == idx.total_entries() * 8
+        assert idx.average_label_size() == idx.total_entries() / 4
+
+    def test_average_label_size_empty(self):
+        assert HPSPCIndex.build(DiGraph(0)).average_label_size() == 0.0
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        g = random_digraph(18, 40, seed=7)
+        idx = HPSPCIndex.build(g)
+        loaded = HPSPCIndex.from_bytes(idx.to_bytes(), g)
+        assert loaded.order == idx.order
+        assert loaded.label_in == idx.label_in
+        assert loaded.label_out == idx.label_out
+        for s in range(0, g.n, 3):
+            for t in range(0, g.n, 3):
+                assert loaded.spcnt(s, t) == idx.spcnt(s, t)
+
+    def test_wrong_graph_size_rejected(self):
+        from repro.errors import SerializationError
+
+        g = random_digraph(8, 12, seed=8)
+        idx = HPSPCIndex.build(g)
+        with pytest.raises(SerializationError):
+            HPSPCIndex.from_bytes(idx.to_bytes(), DiGraph(9))
+
+
+class TestMergeLabels:
+    def test_empty(self):
+        assert merge_labels([], []) == (UNREACHED, 0)
+
+    def test_no_common_hub(self):
+        a = [(0, 1, 1, True)]
+        b = [(1, 1, 1, True)]
+        assert merge_labels(a, b) == (UNREACHED, 0)
+
+    def test_min_selection_and_tie_sum(self):
+        a = [(0, 1, 2, True), (1, 2, 3, True), (2, 5, 1, True)]
+        b = [(0, 3, 1, True), (1, 2, 2, True), (2, 7, 1, True)]
+        # hub0: 4, hub1: 4, hub2: 12 -> min 4, count 2*1 + 3*2 = 8
+        assert merge_labels(a, b) == (4, 8)

@@ -1,0 +1,79 @@
+"""Tests for vertex orderings."""
+
+import pytest
+
+from repro.errors import OrderingError
+from repro.graph.digraph import DiGraph
+from repro.labeling.ordering import (
+    degree_order,
+    min_in_out_order,
+    positions,
+    random_order,
+    validate_order,
+)
+from repro.paperdata import figure2_graph, figure2_order
+
+
+class TestDegreeOrder:
+    def test_reproduces_example4(self):
+        """The paper's Example 4 order: v1 ≺ v7 ≺ v4 ≺ v10 ≺ v2 ≺ v3 ≺ v5
+        ≺ v6 ≺ v8 ≺ v9 (degree descending, id tie-break)."""
+        assert degree_order(figure2_graph()) == figure2_order()
+
+    def test_descending_degrees(self):
+        g = DiGraph.from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2)])
+        order = degree_order(g)
+        degrees = [g.degree(v) for v in order]
+        assert degrees == sorted(degrees, reverse=True)
+
+    def test_tie_break_by_id(self):
+        g = DiGraph(4)  # all degree 0
+        assert degree_order(g) == [0, 1, 2, 3]
+
+
+class TestMinInOutOrder:
+    def test_prefers_cycle_capable_vertices(self):
+        # vertex 0: out 2 / in 0 -> key 0; vertex 1: out 1 / in 1 -> key 1
+        g = DiGraph.from_edges(3, [(0, 1), (0, 2), (1, 0)])
+        order = min_in_out_order(g)
+        assert order[0] in (0, 1)
+        keys = [g.min_in_out_degree(v) for v in order]
+        assert keys == sorted(keys, reverse=True)
+
+
+class TestRandomOrder:
+    def test_permutation(self):
+        g = DiGraph(20)
+        order = random_order(g, seed=3)
+        assert sorted(order) == list(range(20))
+
+    def test_deterministic(self):
+        g = DiGraph(20)
+        assert random_order(g, seed=3) == random_order(g, seed=3)
+        assert random_order(g, seed=3) != random_order(g, seed=4)
+
+
+class TestPositions:
+    def test_inverse(self):
+        order = [3, 1, 0, 2]
+        pos = positions(order)
+        assert pos == [2, 1, 3, 0]
+        for p, v in enumerate(order):
+            assert pos[v] == p
+
+
+class TestValidation:
+    def test_accepts_permutation(self):
+        validate_order([2, 0, 1], 3)
+
+    def test_wrong_length(self):
+        with pytest.raises(OrderingError):
+            validate_order([0, 1], 3)
+
+    def test_out_of_range(self):
+        with pytest.raises(OrderingError):
+            validate_order([0, 3], 2)
+
+    def test_duplicate(self):
+        with pytest.raises(OrderingError):
+            validate_order([0, 0], 2)

@@ -1,0 +1,114 @@
+"""Tests for the 64-bit label encoding and the label container."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import PackingOverflowError, SerializationError
+from repro.labeling.packing import (
+    COUNT_BITS,
+    DISTANCE_BITS,
+    ENTRY_BYTES,
+    VERTEX_BITS,
+    labels_from_bytes,
+    labels_to_bytes,
+    pack_entry,
+    packed_size_bytes,
+    unpack_entry,
+)
+
+
+class TestBitLayout:
+    def test_paper_bit_widths(self):
+        """Section VI-A: 23 + 17 + 24 = 64 bits."""
+        assert VERTEX_BITS == 23
+        assert DISTANCE_BITS == 17
+        assert COUNT_BITS == 24
+        assert VERTEX_BITS + DISTANCE_BITS + COUNT_BITS == 64
+        assert ENTRY_BYTES == 8
+
+    @given(
+        st.integers(0, 2**VERTEX_BITS - 1),
+        st.integers(0, 2**DISTANCE_BITS - 1),
+        st.integers(0, 2**COUNT_BITS - 1),
+    )
+    def test_roundtrip(self, v, d, c):
+        assert unpack_entry(pack_entry(v, d, c)) == (v, d, c)
+
+    def test_packed_fits_64_bits(self):
+        top = pack_entry(
+            2**VERTEX_BITS - 1, 2**DISTANCE_BITS - 1, 2**COUNT_BITS - 1
+        )
+        assert top < 2**64
+
+    def test_vertex_overflow(self):
+        with pytest.raises(PackingOverflowError):
+            pack_entry(2**VERTEX_BITS, 0, 0)
+
+    def test_distance_overflow(self):
+        with pytest.raises(PackingOverflowError):
+            pack_entry(0, 2**DISTANCE_BITS, 0)
+
+    def test_count_overflow_raises_by_default(self):
+        with pytest.raises(PackingOverflowError):
+            pack_entry(0, 0, 2**COUNT_BITS)
+
+    def test_count_saturates_on_request(self):
+        packed = pack_entry(0, 0, 2**COUNT_BITS + 5, saturate=True)
+        assert unpack_entry(packed)[2] == 2**COUNT_BITS - 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(PackingOverflowError):
+            pack_entry(-1, 0, 0)
+
+    def test_unpack_out_of_range(self):
+        with pytest.raises(PackingOverflowError):
+            unpack_entry(2**64)
+
+    def test_packed_size(self):
+        assert packed_size_bytes(1000) == 8000
+
+
+class TestLabelContainer:
+    def test_roundtrip(self):
+        order = [2, 0, 1]
+        labels = [
+            [(0, 0, 1, True)],
+            [(0, 3, 2, False), (1, 0, 1, True)],
+            [],
+        ]
+        blob = labels_to_bytes(order, labels)
+        order2, labels2 = labels_from_bytes(blob)
+        assert order2 == order
+        assert labels2 == labels
+
+    def test_large_counts_supported(self):
+        """Python counts beyond 24 bits must survive serialization (the
+        paper's fixed 24-bit field would overflow here)."""
+        labels = [[(0, 1, 2**40, True)]]
+        _, loaded = labels_from_bytes(labels_to_bytes([0], labels))
+        assert loaded[0][0][2] == 2**40
+
+    def test_count_beyond_64_bits_rejected(self):
+        with pytest.raises(SerializationError):
+            labels_to_bytes([0], [[(0, 1, 2**64, True)]])
+
+    def test_bad_magic(self):
+        with pytest.raises(SerializationError):
+            labels_from_bytes(b"NOPE" + b"\x00" * 16)
+
+    def test_truncated(self):
+        blob = labels_to_bytes([0], [[(0, 1, 1, True)]])
+        with pytest.raises(SerializationError):
+            labels_from_bytes(blob[:-2])
+
+    def test_trailing_garbage(self):
+        blob = labels_to_bytes([0], [[]])
+        with pytest.raises(SerializationError):
+            labels_from_bytes(blob + b"x")
+
+    def test_bad_version(self):
+        blob = bytearray(labels_to_bytes([0], [[]]))
+        blob[4] = 77
+        with pytest.raises(SerializationError):
+            labels_from_bytes(bytes(blob))

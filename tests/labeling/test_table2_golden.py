@@ -1,0 +1,65 @@
+"""Golden test: the paper's Table II, reproduced entry for entry.
+
+Figure 2's graph under Example 4's vertex ordering must yield exactly the
+published HP-SPC label index — including the canonical/non-canonical split
+the paper explains in Example 4.
+"""
+
+import pytest
+
+from repro.labeling.hpspc import HPSPCIndex
+from repro.paperdata import (
+    TABLE2_IN_LABELS,
+    TABLE2_OUT_LABELS,
+    figure2_graph,
+    figure2_order,
+)
+
+
+@pytest.fixture(scope="module")
+def index():
+    return HPSPCIndex.build(figure2_graph(), figure2_order())
+
+
+@pytest.mark.parametrize("vertex", range(1, 11))
+def test_in_labels_match_paper(index, vertex):
+    lin, _ = index.named_labels_of(vertex - 1)
+    assert {(h + 1, d, c) for h, d, c in lin} == TABLE2_IN_LABELS[vertex]
+
+
+@pytest.mark.parametrize("vertex", range(1, 11))
+def test_out_labels_match_paper(index, vertex):
+    _, lout = index.named_labels_of(vertex - 1)
+    assert {(h + 1, d, c) for h, d, c in lout} == TABLE2_OUT_LABELS[vertex]
+
+
+def test_example2_spcnt_v10_v8(index):
+    """Example 2: SPCnt(v10, v8) = 3 with distance 4, via hubs v1 and v7."""
+    assert index.spcnt(9, 7) == (4, 3)
+
+
+def test_example4_non_canonical_label(index):
+    """Example 4: (v4, 2, 1) in Lout(v10) is non-canonical — two shortest
+    reverse paths exist but one runs through the higher-ranked v1."""
+    entries = {
+        index.order[q] + 1: (d, c, canonical)
+        for q, d, c, canonical in index.label_out[9]
+    }
+    assert entries[4] == (2, 1, False)
+
+
+def test_example4_canonical_counterpart(index):
+    """(v1, 1, 1) in Lout(v10) is canonical: v1 is the highest vertex on
+    every shortest v10 -> v1 path."""
+    entries = {
+        index.order[q] + 1: (d, c, canonical)
+        for q, d, c, canonical in index.label_out[9]
+    }
+    assert entries[1] == (1, 1, True)
+
+
+def test_total_label_size_matches_table2(index):
+    expected = sum(len(v) for v in TABLE2_IN_LABELS.values()) + sum(
+        len(v) for v in TABLE2_OUT_LABELS.values()
+    )
+    assert index.total_entries() == expected

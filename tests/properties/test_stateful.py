@@ -1,0 +1,89 @@
+"""Stateful property test: a dynamic CSC index tracks a live graph through
+arbitrary interleavings of insertions, deletions, and queries, always
+agreeing with the BFS oracle.
+
+Two machines: one per maintenance strategy.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.baselines.bfs_cycle import bfs_cycle_count
+from repro.core.csc import CSCIndex
+from repro.core.maintenance import delete_edge, insert_edge
+from repro.graph.digraph import DiGraph
+
+N = 7  # fixed vertex count keeps the state space crossable
+
+
+class DynamicIndexMachine(RuleBasedStateMachine):
+    strategy_name = "redundancy"
+
+    @initialize(seed=st.integers(0, 2**20))
+    def setup(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        g = DiGraph(N)
+        for _ in range(rng.randrange(0, 2 * N)):
+            a, b = rng.randrange(N), rng.randrange(N)
+            if a != b and not g.has_edge(a, b):
+                g.add_edge(a, b)
+        self.index = CSCIndex.build(g)
+
+    @rule(a=st.integers(0, N - 1), b=st.integers(0, N - 1))
+    def insert(self, a, b):
+        if a == b or self.index.graph.has_edge(a, b):
+            return
+        insert_edge(self.index, a, b, self.strategy_name)
+
+    @precondition(lambda self: self.index.graph.m > 0)
+    @rule(pick=st.integers(0, 10_000))
+    def delete(self, pick):
+        edges = list(self.index.graph.edges())
+        a, b = edges[pick % len(edges)]
+        delete_edge(self.index, a, b)
+
+    @rule(v=st.integers(0, N - 1))
+    def query_one(self, v):
+        assert self.index.sccnt(v) == bfs_cycle_count(self.index.graph, v)
+
+    @invariant()
+    def all_queries_correct(self):
+        g = self.index.graph
+        for v in g.vertices():
+            assert self.index.sccnt(v) == bfs_cycle_count(g, v)
+
+    @invariant()
+    def labels_sorted_and_unique(self):
+        for v in self.index.graph.vertices():
+            for labels in (self.index.label_in[v], self.index.label_out[v]):
+                hubs = [e[0] for e in labels]
+                assert hubs == sorted(hubs)
+                assert len(hubs) == len(set(hubs))
+
+
+class RedundancyMachine(DynamicIndexMachine):
+    strategy_name = "redundancy"
+
+
+class MinimalityMachine(DynamicIndexMachine):
+    strategy_name = "minimality"
+
+
+TestRedundancyMachine = RedundancyMachine.TestCase
+TestRedundancyMachine.settings = settings(
+    max_examples=25, stateful_step_count=12, deadline=None
+)
+
+TestMinimalityMachine = MinimalityMachine.TestCase
+TestMinimalityMachine.settings = settings(
+    max_examples=15, stateful_step_count=10, deadline=None
+)

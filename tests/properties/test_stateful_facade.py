@@ -1,0 +1,89 @@
+"""Stateful test at the facade level, including vertex operations.
+
+Exercises ShortestCycleCounter end to end: edge insertions/deletions,
+vertex attachment/detachment, persistence round-trips — always checking
+against the BFS oracle on the live graph.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.baselines.bfs_cycle import bfs_cycle_count
+from repro.core.counter import ShortestCycleCounter
+from repro.graph.digraph import DiGraph
+
+MAX_N = 9
+
+
+class FacadeMachine(RuleBasedStateMachine):
+    @initialize(seed=st.integers(0, 2**20))
+    def setup(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        n = rng.randint(3, 6)
+        g = DiGraph(n)
+        for _ in range(rng.randrange(0, 2 * n)):
+            a, b = rng.randrange(n), rng.randrange(n)
+            if a != b and not g.has_edge(a, b):
+                g.add_edge(a, b)
+        self.counter = ShortestCycleCounter.build(g)
+
+    @rule(a=st.integers(0, MAX_N + 3), b=st.integers(0, MAX_N + 3))
+    def insert(self, a, b):
+        n = self.counter.graph.n
+        a, b = a % n, b % n
+        if a == b or self.counter.graph.has_edge(a, b):
+            return
+        self.counter.insert_edge(a, b)
+
+    @precondition(lambda self: self.counter.graph.m > 0)
+    @rule(pick=st.integers(0, 10_000))
+    def delete(self, pick):
+        edges = list(self.counter.graph.edges())
+        self.counter.delete_edge(*edges[pick % len(edges)])
+
+    @precondition(lambda self: self.counter.graph.n < MAX_N)
+    @rule()
+    def add_vertex(self):
+        v = self.counter.add_vertex()
+        assert self.counter.count(v).count == 0
+
+    @rule(v=st.integers(0, MAX_N + 3))
+    def detach(self, v):
+        self.counter.detach_vertex(v % self.counter.graph.n)
+
+    @rule()
+    def save_load_roundtrip(self):
+        import io
+        import os
+        import tempfile
+
+        handle, path = tempfile.mkstemp(suffix=".idx")
+        os.close(handle)
+        try:
+            self.counter.save(path)
+            loaded = ShortestCycleCounter.load(path)
+            for v in self.counter.graph.vertices():
+                assert loaded.count(v) == self.counter.count(v)
+        finally:
+            os.unlink(path)
+
+    @invariant()
+    def oracle_agreement(self):
+        g = self.counter.graph
+        for v in g.vertices():
+            assert self.counter.count(v) == bfs_cycle_count(g, v)
+
+
+TestFacadeMachine = FacadeMachine.TestCase
+TestFacadeMachine.settings = settings(
+    max_examples=20, stateful_step_count=10, deadline=None
+)

@@ -1,0 +1,84 @@
+"""Tests for the whole-graph cycle analysis helpers."""
+
+from repro.analysis import (
+    CycleProfile,
+    cycle_length_distribution,
+    girth,
+    profile_graph,
+)
+from repro.core.csc import CSCIndex
+from repro.graph.digraph import DiGraph
+from repro.paperdata import figure2_graph
+from tests.conftest import random_digraph
+
+
+class TestGirth:
+    def test_triangle(self, triangle):
+        assert girth(triangle) == 3
+
+    def test_two_cycle_beats_triangle(self):
+        g = DiGraph.from_edges(4, [(0, 1), (1, 2), (2, 0), (1, 3), (3, 1)])
+        assert girth(g) == 2
+
+    def test_acyclic(self, dag):
+        assert girth(dag) == float("inf")
+
+    def test_figure2(self, fig2):
+        assert girth(fig2) == 6  # all cycles run the long way around
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        g = random_digraph(25, 80, seed=3)
+        nxg = nx.DiGraph(list(g.edges()))
+        try:
+            expected = min(len(c) for c in nx.simple_cycles(nxg))
+        except ValueError:
+            expected = float("inf")
+        assert girth(g) == expected
+
+
+class TestProfile:
+    def test_counts_cover_all_vertices(self, fig2):
+        profile = profile_graph(fig2)
+        assert set(profile.counts) == set(fig2.vertices())
+
+    def test_cyclic_vertices(self, fig2):
+        profile = profile_graph(fig2)
+        # v3/v5/v6 feed into the big loop but only v1,v2,v4,v7..v10 lie on it
+        assert profile.cyclic_vertices == sum(
+            1 for c in profile.counts.values() if c.has_cycle
+        )
+
+    def test_distribution_sums_to_cyclic(self, fig2):
+        profile = profile_graph(fig2)
+        assert sum(profile.length_distribution.values()) == (
+            profile.cyclic_vertices
+        )
+
+    def test_vertices_with_length(self, fig2):
+        profile = profile_graph(fig2)
+        six = profile.vertices_with_length(6)
+        assert 6 in six  # v7
+        assert profile.vertices_with_length(17) == []
+
+    def test_top_by_count_ordering(self):
+        g = figure2_graph()
+        profile = profile_graph(g)
+        top = profile.top_by_count(3)
+        counts = [c.count for _, c in top]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_reuses_provided_index(self, fig2):
+        idx = CSCIndex.build(fig2)
+        profile = profile_graph(fig2, index=idx)
+        assert isinstance(profile, CycleProfile)
+        assert profile.counts[6] == idx.sccnt(6)
+
+    def test_distribution_function(self, triangle):
+        assert cycle_length_distribution(triangle) == {3: 3}
+
+    def test_empty_graph(self):
+        profile = profile_graph(DiGraph(0))
+        assert profile.girth == float("inf")
+        assert profile.cyclic_vertices == 0

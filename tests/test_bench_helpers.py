@@ -1,0 +1,67 @@
+"""Tests for the bench-support helpers (table rendering, timing)."""
+
+from repro.bench.tables import format_table, format_value
+from repro.bench.timing import time_call, time_per_item
+
+
+class TestFormatValue:
+    def test_integers_passthrough(self):
+        assert format_value(42) == "42"
+        assert format_value("abc") == "abc"
+
+    def test_float_ranges(self):
+        assert format_value(0.0) == "0"
+        assert format_value(1234.5) == "1,234"
+        assert format_value(3.14159) == "3.14"
+        assert format_value(0.01234) == "0.0123"
+        assert format_value(1.2e-7) == "1.20e-07"
+
+    def test_infinity(self):
+        assert format_value(float("inf")) == "inf"
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(
+            ["name", "v"], [["a", 1], ["long-name", 22]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("name")
+        assert set(lines[2]) <= {"-", " "}
+        # all rows padded to the same width
+        assert len({len(line) for line in lines[1:]}) <= 2
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestTiming:
+    def test_time_call_returns_result(self):
+        elapsed, result = time_call(lambda: 7 * 6)
+        assert result == 42
+        assert elapsed >= 0
+
+    def test_time_per_item_empty(self):
+        assert time_per_item(lambda x: x, []) == 0.0
+
+    def test_time_per_item_positive(self):
+        mean = time_per_item(lambda x: sum(range(50)), [1, 2, 3], repeat=2)
+        assert mean > 0
+
+
+class TestBaselineCounterUpdates:
+    def test_hpspc_counter_insert_and_delete(self):
+        from repro.baselines.bfs_cycle import bfs_cycle_count
+        from repro.baselines.hpspc_scc import HPSPCCycleCounter
+        from repro.graph.digraph import DiGraph
+
+        g = DiGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        counter = HPSPCCycleCounter(g)
+        stats = counter.insert_edge(3, 0)
+        assert stats.operation == "insert"
+        assert counter.count(0) == (1, 4)
+        counter.delete_edge(3, 0)
+        for v in g.vertices():
+            assert counter.count(v) == bfs_cycle_count(g, v)

@@ -1,0 +1,80 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph.io import write_edge_list
+from repro.paperdata import figure2_graph
+
+
+@pytest.fixture
+def fig2_file(tmp_path):
+    path = tmp_path / "fig2.txt"
+    write_edge_list(figure2_graph(), path)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for argv in (
+            ["stats", "g.txt"],
+            ["build", "g.txt", "i.bin"],
+            ["query", "i.bin", "3"],
+            ["profile", "g.txt"],
+            ["datasets"],
+            ["experiments", "table2"],
+        ):
+            args = parser.parse_args(argv)
+            assert args.command == argv[0]
+
+
+class TestCommands:
+    def test_stats(self, fig2_file, capsys):
+        assert main(["stats", fig2_file]) == 0
+        out = capsys.readouterr().out
+        assert "10" in out and "13" in out
+
+    def test_build_and_query(self, fig2_file, tmp_path, capsys):
+        index_path = str(tmp_path / "fig2.idx")
+        assert main(["build", fig2_file, index_path]) == 0
+        assert main(["query", index_path, "6", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "built CSC index" in out
+        # v7 (0-indexed 6): 3 cycles of length 6
+        assert any(
+            line.split()[:3] == ["6", "3", "6"]
+            for line in out.splitlines()
+            if line.strip() and line.split()[0] == "6"
+        )
+
+    def test_query_out_of_range(self, fig2_file, tmp_path, capsys):
+        index_path = str(tmp_path / "fig2.idx")
+        main(["build", fig2_file, index_path])
+        assert main(["query", index_path, "99"]) == 2
+        assert "out of range" in capsys.readouterr().err
+
+    def test_profile(self, fig2_file, capsys):
+        assert main(["profile", fig2_file, "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "girth: 6" in out
+        assert "top 3 by count" in out
+
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("G04", "WSR", "p2p-Gnutella04"):
+            assert name in out
+
+    def test_experiments_subset(self, capsys):
+        assert main(["experiments", "table2", "table3"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out and "Table III" in out
+
+    def test_experiments_unknown_id(self, capsys):
+        assert main(["experiments", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err

@@ -1,0 +1,83 @@
+"""Tests for the exception hierarchy and failure injection."""
+
+import pytest
+
+from repro import errors
+from repro.core.counter import ShortestCycleCounter
+from repro.graph.digraph import DiGraph
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            errors.GraphError,
+            errors.VertexError(1, 0),
+            errors.EdgeExistsError(0, 1),
+            errors.EdgeNotFoundError(0, 1),
+            errors.SelfLoopError(2),
+            errors.IndexingError,
+            errors.OrderingError,
+            errors.PackingOverflowError("count", 99, 4),
+            errors.SerializationError,
+        ):
+            cls = exc if isinstance(exc, type) else type(exc)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_vertex_error_attributes(self):
+        err = errors.VertexError(7, 5)
+        assert err.vertex == 7 and err.n == 5
+        assert "7" in str(err)
+
+    def test_edge_error_attributes(self):
+        err = errors.EdgeExistsError(1, 2)
+        assert (err.tail, err.head) == (1, 2)
+        err2 = errors.EdgeNotFoundError(3, 4)
+        assert (err2.tail, err2.head) == (3, 4)
+
+    def test_packing_error_attributes(self):
+        err = errors.PackingOverflowError("distance", 2**20, 17)
+        assert err.field == "distance"
+        assert err.bits == 17
+
+    def test_one_except_clause_catches_everything(self):
+        g = DiGraph(2)
+        caught = 0
+        for action in (
+            lambda: g.add_edge(0, 0),
+            lambda: g.remove_edge(0, 1),
+            lambda: g.add_edge(0, 9),
+        ):
+            try:
+                action()
+            except errors.ReproError:
+                caught += 1
+        assert caught == 3
+
+
+class TestFailureInjection:
+    def test_counter_load_truncated_file(self, tmp_path):
+        counter = ShortestCycleCounter.build(
+            DiGraph.from_edges(3, [(0, 1), (1, 2)])
+        )
+        path = tmp_path / "c.bin"
+        counter.save(path)
+        path.write_bytes(path.read_bytes()[:-7])
+        with pytest.raises(errors.SerializationError):
+            ShortestCycleCounter.load(path)
+
+    def test_counter_load_garbage(self, tmp_path):
+        path = tmp_path / "garbage.bin"
+        path.write_bytes(b"\x00" * 64)
+        with pytest.raises(errors.SerializationError):
+            ShortestCycleCounter.load(path)
+
+    def test_index_failure_leaves_counter_usable(self):
+        counter = ShortestCycleCounter.build(
+            DiGraph.from_edges(3, [(0, 1), (1, 2), (2, 0)])
+        )
+        with pytest.raises(errors.EdgeExistsError):
+            counter.insert_edge(0, 1)
+        with pytest.raises(errors.EdgeNotFoundError):
+            counter.delete_edge(1, 0)
+        # still consistent after both failed updates
+        assert counter.count(0) == (1, 3)

@@ -1,0 +1,90 @@
+"""Stress tests with exponentially many shortest paths.
+
+A chain of k diamond gadgets has 2^k shortest paths end to end; the
+paper's fixed 24-bit count field would overflow at k = 24, while the
+Python implementation must stay exact (and the packer must refuse or
+saturate, never wrap)."""
+
+import pytest
+
+from repro.baselines.bfs_cycle import bfs_cycle_count
+from repro.core.csc import CSCIndex
+from repro.errors import PackingOverflowError
+from repro.graph.digraph import DiGraph
+from repro.labeling.hpspc import HPSPCIndex
+from repro.labeling.packing import pack_entry, unpack_entry
+
+
+def diamond_chain(k: int) -> tuple[DiGraph, int, int]:
+    """k diamonds in series: source 0, sink 3k, 2^k shortest paths."""
+    n = 3 * k + 1
+    g = DiGraph(n)
+    for i in range(k):
+        base = 3 * i
+        g.add_edge(base, base + 1)
+        g.add_edge(base, base + 2)
+        g.add_edge(base + 1, base + 3)
+        g.add_edge(base + 2, base + 3)
+    return g, 0, 3 * k
+
+
+class TestExponentialPathCounts:
+    @pytest.mark.parametrize("k", [5, 10, 30])
+    def test_hpspc_exact(self, k):
+        g, s, t = diamond_chain(k)
+        idx = HPSPCIndex.build(g)
+        assert idx.spcnt(s, t) == (2 * k, 2**k)
+
+    def test_csc_exact_cycle_count_beyond_24_bits(self):
+        """Close the chain into a cycle: 2^26 shortest cycles — exact in
+        Python, overflowing the paper's 24-bit count field."""
+        k = 26
+        g, s, t = diamond_chain(k)
+        g.add_edge(t, s)
+        idx = CSCIndex.build(g)
+        result = idx.sccnt(s)
+        assert result.count == 2**k
+        assert result.length == 2 * k + 1
+        assert result == bfs_cycle_count(g, s)
+
+    def test_packing_saturates_these_counts(self):
+        count = 2**26
+        with pytest.raises(PackingOverflowError):
+            pack_entry(0, 1, count)
+        packed = pack_entry(0, 1, count, saturate=True)
+        assert unpack_entry(packed)[2] == 2**24 - 1
+
+    def test_serialization_keeps_large_counts(self):
+        k = 26
+        g, s, t = diamond_chain(k)
+        g.add_edge(t, s)
+        idx = CSCIndex.build(g)
+        loaded = CSCIndex.from_bytes(idx.to_bytes(), g)
+        assert loaded.sccnt(s).count == 2**k
+
+
+class TestDynamicLargeCounts:
+    def test_insertion_doubles_count(self):
+        """Adding one more diamond edge multiplies the cycle count."""
+        from repro.core.maintenance import insert_edge
+
+        k = 12
+        g, s, t = diamond_chain(k)
+        g.add_edge(t, s)
+        # remove one arm of the last diamond, then re-add dynamically
+        g.remove_edge(3 * (k - 1), 3 * (k - 1) + 2)
+        idx = CSCIndex.build(g)
+        assert idx.sccnt(s).count == 2 ** (k - 1)
+        insert_edge(idx, 3 * (k - 1), 3 * (k - 1) + 2)
+        assert idx.sccnt(s).count == 2**k
+
+    def test_deletion_halves_count(self):
+        from repro.core.maintenance import delete_edge
+
+        k = 12
+        g, s, t = diamond_chain(k)
+        g.add_edge(t, s)
+        idx = CSCIndex.build(g)
+        assert idx.sccnt(s).count == 2**k
+        delete_edge(idx, 0, 1)
+        assert idx.sccnt(s).count == 2 ** (k - 1)

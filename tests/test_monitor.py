@@ -1,0 +1,108 @@
+"""Tests for the continuous cycle monitor."""
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.monitor import Alert, CycleMonitor
+
+
+@pytest.fixture
+def chain():
+    """0 -> 1 -> 2 -> 3, one edge short of a 4-cycle."""
+    return DiGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+
+
+class TestAlerts:
+    def test_alert_on_first_cycle(self, chain):
+        monitor = CycleMonitor(chain, watch=[0], threshold=1)
+        assert monitor.alerts == []
+        monitor.insert(3, 0)
+        assert len(monitor.alerts) == 1
+        alert = monitor.alerts[0]
+        assert alert.vertex == 0
+        assert alert.count == (1, 4)
+        assert alert.cause == (3, 0, "insert")
+
+    def test_no_repeat_alert_while_above(self, chain):
+        monitor = CycleMonitor(chain, watch=[0], threshold=1)
+        monitor.insert(3, 0)
+        monitor.insert(1, 0)  # more cycles, still above threshold
+        assert len(monitor.alerts) == 1
+
+    def test_rearm_after_dropping_below(self, chain):
+        monitor = CycleMonitor(chain, watch=[0], threshold=1)
+        monitor.insert(3, 0)
+        monitor.delete(3, 0)  # drops below, re-arms
+        monitor.insert(3, 0)
+        assert len(monitor.alerts) == 2
+
+    def test_threshold_above_one(self, chain):
+        monitor = CycleMonitor(chain, watch=[0], threshold=2)
+        monitor.insert(3, 0)  # one cycle: below threshold
+        assert monitor.alerts == []
+        monitor.insert(1, 0)  # 0->1->0: now the SHORTEST cycle is len 2 x1
+        assert monitor.alerts == []  # count is 1 again (shorter cycle)
+        monitor.insert(2, 0)
+        monitor.insert(0, 2)  # second length-2 cycle through 0
+        assert len(monitor.alerts) == 1
+        assert monitor.alerts[0].count.count == 2
+
+    def test_pre_existing_cycles_do_not_alert(self):
+        g = DiGraph.from_edges(3, [(0, 1), (1, 2), (2, 0)])
+        monitor = CycleMonitor(g, threshold=1)
+        assert monitor.alerts == []  # armed as already-above
+
+    def test_callback_invoked(self, chain):
+        fired: list[Alert] = []
+        monitor = CycleMonitor(
+            chain, watch=[0], threshold=1, on_alert=fired.append
+        )
+        monitor.insert(3, 0)
+        assert fired == monitor.alerts
+
+    def test_invalid_threshold(self, chain):
+        with pytest.raises(ValueError):
+            CycleMonitor(chain, threshold=0)
+
+
+class TestStream:
+    def test_process_returns_new_alerts(self, chain):
+        monitor = CycleMonitor(chain, watch=[0, 1], threshold=1)
+        alerts = monitor.process(
+            [("insert", 3, 0), ("delete", 3, 0), ("insert", 3, 0)]
+        )
+        assert len(alerts) == 4  # 0 and 1 alert twice each
+        assert {a.vertex for a in alerts} == {0, 1}
+
+    def test_unknown_op_rejected(self, chain):
+        monitor = CycleMonitor(chain)
+        with pytest.raises(ValueError):
+            monitor.process([("upsert", 0, 1)])
+
+    def test_watch_added_later(self, chain):
+        monitor = CycleMonitor(chain, watch=[0], threshold=1)
+        monitor.watch(2)
+        monitor.insert(3, 0)
+        assert {a.vertex for a in monitor.alerts} == {0, 2}
+
+    def test_watch_existing_above_does_not_alert(self):
+        g = DiGraph.from_edges(2, [(0, 1), (1, 0)])
+        monitor = CycleMonitor(g, watch=[], threshold=1)
+        monitor.watch(0)  # already above: arm silently
+        assert monitor.alerts == []
+
+
+class TestTopK:
+    def test_top_ranking(self):
+        g = DiGraph.from_edges(
+            6, [(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0), (5, 0)]
+        )
+        monitor = CycleMonitor(g)
+        top = monitor.top(2)
+        assert top[0][0] == 0
+        assert top[0][1].count == 2
+
+    def test_top_respects_watch_set(self):
+        g = DiGraph.from_edges(3, [(0, 1), (1, 2), (2, 0)])
+        monitor = CycleMonitor(g, watch=[1])
+        assert [v for v, _ in monitor.top(5)] == [1]

@@ -1,0 +1,76 @@
+"""Tests validating the paper-fixture reconstructions themselves."""
+
+from repro.baselines.bfs_cycle import bfs_cycle_count
+from repro.graph.traversal import count_shortest_paths
+from repro.paperdata import (
+    FIGURE1_ROLES,
+    FIGURE2_EDGES,
+    FIGURE2_ORDER,
+    figure1_graph,
+    figure2_graph,
+    figure2_order,
+)
+
+
+class TestFigure2Reconstruction:
+    def test_shape(self):
+        g = figure2_graph()
+        assert g.n == 10
+        assert g.m == len(FIGURE2_EDGES) == 13
+
+    def test_example3_in_neighbors_of_v7(self):
+        """Example 3: v7 has in-neighbors {v4, v5, v6}."""
+        g = figure2_graph()
+        assert sorted(g.in_neighbors(6)) == [3, 4, 5]
+
+    def test_example1_three_shortest_cycles_of_length_6(self):
+        g = figure2_graph()
+        assert bfs_cycle_count(g, 6) == (3, 6)
+
+    def test_example2_path_counts(self):
+        """SPCnt(v10, v8) = 3 at distance 4 (oracle-level check)."""
+        g = figure2_graph()
+        assert count_shortest_paths(g, 9, 7) == (4, 3)
+
+    def test_example4_degree_ties(self):
+        """The order encodes degree-descending with id tie-breaks."""
+        g = figure2_graph()
+        order = figure2_order()
+        degrees = [g.degree(v) for v in order]
+        assert degrees == sorted(degrees, reverse=True)
+        assert order[0] == 0 and order[1] == 6  # v1 then v7
+
+    def test_example4_reverse_paths_v10_to_v4(self):
+        """Two shortest v10 -> v4 paths of length 2, one via v1."""
+        g = figure2_graph()
+        assert count_shortest_paths(g, 9, 3) == (2, 2)
+
+    def test_order_is_zero_indexed_permutation(self):
+        assert sorted(figure2_order()) == list(range(10))
+        assert sorted(FIGURE2_ORDER) == list(range(1, 11))
+
+
+class TestFigure1Reconstruction:
+    def test_shape_matches_roles(self):
+        g = figure1_graph()
+        assert g.n == len(FIGURE1_ROLES) == 14
+
+    def test_c1_dominates_cycle_count(self):
+        """Figure 1's point: far more shortest cycles pass through C1 than
+        through C3."""
+        g = figure1_graph()
+        c1 = bfs_cycle_count(g, 0)
+        c3 = bfs_cycle_count(g, 2)
+        assert c1.length == 4 and c3.length == 4
+        assert c1.count > c3.count
+        assert c3.count == 1
+
+    def test_normal_accounts_have_no_cycles(self):
+        g = figure1_graph()
+        for v in (10, 11, 12, 13):
+            assert bfs_cycle_count(g, v).count == 0
+
+    def test_c2_on_both_cycle_families(self):
+        g = figure1_graph()
+        c2 = bfs_cycle_count(g, 1)
+        assert c2.count >= bfs_cycle_count(g, 0).count

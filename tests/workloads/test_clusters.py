@@ -1,0 +1,84 @@
+"""Tests for the five-cluster query workload (Section VI-A)."""
+
+from repro.graph.digraph import DiGraph
+from repro.workloads.clusters import CLUSTER_NAMES, cluster_vertices
+from tests.conftest import random_digraph
+
+
+class TestClustering:
+    def test_all_vertices_assigned_exactly_once(self):
+        g = random_digraph(60, 240, seed=1)
+        workload = cluster_vertices(g)
+        assigned = [v for name in CLUSTER_NAMES for v in workload.clusters[name]]
+        assert sorted(assigned) == list(g.vertices())
+
+    def test_five_clusters_exist(self):
+        g = random_digraph(40, 120, seed=2)
+        workload = cluster_vertices(g)
+        assert set(workload.clusters) == set(CLUSTER_NAMES)
+
+    def test_high_cluster_has_larger_degrees_than_bottom(self):
+        g = random_digraph(80, 500, seed=3)
+        workload = cluster_vertices(g)
+        high = workload.clusters["High"]
+        bottom = workload.clusters["Bottom"]
+        if high and bottom:
+            assert min(workload.degree_key[v] for v in high) > max(
+                workload.degree_key[v] for v in bottom
+            )
+
+    def test_degree_key_is_min_in_out(self):
+        g = DiGraph.from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 0)])
+        workload = cluster_vertices(g)
+        assert workload.degree_key[0] == 1  # min(out=3, in=1)
+
+    def test_uniform_degrees_collapse_to_bottom(self):
+        g = DiGraph.from_edges(3, [(0, 1), (1, 2), (2, 0)])
+        workload = cluster_vertices(g)
+        assert workload.clusters["Bottom"] == [0, 1, 2]
+
+    def test_extremes_in_extreme_clusters(self):
+        g = random_digraph(50, 300, seed=4)
+        workload = cluster_vertices(g)
+        keys = workload.degree_key
+        max_v = max(keys, key=keys.get)
+        min_v = min(keys, key=keys.get)
+        assert max_v in workload.clusters["High"]
+        assert min_v in workload.clusters["Bottom"]
+
+    def test_empty_graph(self):
+        workload = cluster_vertices(DiGraph(0))
+        assert all(not workload.clusters[name] for name in CLUSTER_NAMES)
+
+    def test_limit_sampling(self):
+        g = random_digraph(100, 300, seed=5)
+        workload = cluster_vertices(g, limit=30, seed=1)
+        assigned = [v for n in CLUSTER_NAMES for v in workload.clusters[n]]
+        assert len(assigned) == 30
+
+    def test_non_empty_order(self):
+        g = random_digraph(50, 250, seed=6)
+        names = [name for name, _ in cluster_vertices(g).non_empty()]
+        assert names == [n for n in CLUSTER_NAMES if n in names]
+
+
+class TestSampling:
+    def test_sample_caps_cluster_size(self):
+        g = random_digraph(100, 400, seed=7)
+        workload = cluster_vertices(g).sample(5, seed=2)
+        assert all(
+            len(workload.clusters[name]) <= 5 for name in CLUSTER_NAMES
+        )
+
+    def test_sample_deterministic(self):
+        g = random_digraph(100, 400, seed=8)
+        a = cluster_vertices(g).sample(7, seed=3)
+        b = cluster_vertices(g).sample(7, seed=3)
+        assert a.clusters == b.clusters
+
+    def test_sample_subset_of_original(self):
+        g = random_digraph(100, 400, seed=9)
+        full = cluster_vertices(g)
+        sampled = full.sample(4, seed=4)
+        for name in CLUSTER_NAMES:
+            assert set(sampled.clusters[name]) <= set(full.clusters[name])

@@ -1,0 +1,65 @@
+"""Tests for the fraud-detection workload (Figure 1 motif)."""
+
+import pytest
+
+from repro.baselines.bfs_cycle import bfs_cycle_count
+from repro.workloads.fraud import make_transaction_network
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return make_transaction_network(n=300, m=1500, rings=8, ring_size=4, seed=5)
+
+
+class TestStructure:
+    def test_hub_cycle_count_is_exactly_rings(self, scenario):
+        """The hub's shortest cycles are exactly the planted rings."""
+        result = bfs_cycle_count(scenario.graph, scenario.hub)
+        assert result == (8, 4)
+
+    def test_collector_matches_hub(self, scenario):
+        result = bfs_cycle_count(scenario.graph, scenario.collector)
+        assert result == (8, 4)
+
+    def test_mule_accounts_on_one_ring(self, scenario):
+        for ring in scenario.rings.values():
+            for mule in ring[1:-1]:
+                result = bfs_cycle_count(scenario.graph, mule)
+                assert result == (1, 4)
+
+    def test_rings_have_requested_shape(self, scenario):
+        assert len(scenario.rings) == 8
+        for ring in scenario.rings.values():
+            assert len(ring) == 4
+            assert ring[0] == scenario.hub
+            assert ring[-1] == scenario.collector
+            for tail, head in zip(ring, ring[1:]):
+                assert scenario.graph.has_edge(tail, head)
+        assert scenario.graph.has_edge(scenario.collector, scenario.hub)
+
+    def test_ring_members_property(self, scenario):
+        members = scenario.ring_members
+        assert scenario.hub in members
+        assert scenario.collector in members
+        assert len(members) == 2 + 8 * 2  # hub + collector + 2 mules/ring
+
+    def test_is_planted(self, scenario):
+        assert scenario.is_planted(scenario.hub)
+        outsiders = set(range(scenario.n)) - scenario.ring_members
+        assert not scenario.is_planted(next(iter(outsiders)))
+
+    def test_deterministic(self):
+        a = make_transaction_network(n=200, m=900, rings=4, seed=3)
+        b = make_transaction_network(n=200, m=900, rings=4, seed=3)
+        assert a.graph == b.graph
+        assert a.hub == b.hub
+
+
+class TestValidation:
+    def test_ring_size_must_fit_motif(self):
+        with pytest.raises(ValueError):
+            make_transaction_network(n=100, m=200, rings=2, ring_size=2)
+
+    def test_too_many_rings_rejected(self):
+        with pytest.raises(ValueError):
+            make_transaction_network(n=20, m=30, rings=50, ring_size=5)

@@ -1,0 +1,53 @@
+"""Tests for the p2p file-sharing workload (Application 2)."""
+
+from repro.core.counter import ShortestCycleCounter
+from repro.types import CycleCount
+from repro.workloads.p2p import index_server_candidates, make_p2p_network
+
+
+class TestScenario:
+    def test_shape(self):
+        scenario = make_p2p_network(hosts=100, connections=3, events=10, seed=1)
+        assert scenario.graph.n == 100
+        assert all(
+            scenario.graph.out_degree(v) == 3
+            for v in scenario.graph.vertices()
+        )
+        assert len(scenario.events) == 10
+
+    def test_events_not_in_graph(self):
+        scenario = make_p2p_network(hosts=80, connections=3, events=15, seed=2)
+        for tail, head in scenario.events:
+            assert not scenario.graph.has_edge(tail, head)
+            assert tail != head
+
+    def test_events_unique(self):
+        scenario = make_p2p_network(hosts=80, connections=3, events=20, seed=3)
+        assert len(set(scenario.events)) == 20
+
+    def test_deterministic(self):
+        a = make_p2p_network(hosts=50, connections=2, events=5, seed=4)
+        b = make_p2p_network(hosts=50, connections=2, events=5, seed=4)
+        assert a.graph == b.graph and a.events == b.events
+
+    def test_events_replayable_through_counter(self):
+        scenario = make_p2p_network(hosts=60, connections=2, events=8, seed=5)
+        counter = ShortestCycleCounter.build(scenario.graph)
+        for tail, head in scenario.events:
+            counter.insert_edge(tail, head)
+        assert counter.graph.m == scenario.graph.m + 8
+
+
+class TestRanking:
+    def test_candidates_prefer_many_short_cycles(self):
+        counts = {
+            0: CycleCount(5, 3),
+            1: CycleCount(5, 2),
+            2: CycleCount(9, 6),
+            3: CycleCount(0, float("inf")),
+        }
+        assert index_server_candidates(counts, k=2) == [2, 1]
+
+    def test_acyclic_hosts_excluded(self):
+        counts = {0: CycleCount(0, float("inf"))}
+        assert index_server_candidates(counts, k=3) == []

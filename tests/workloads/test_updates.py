@@ -1,0 +1,70 @@
+"""Tests for update workloads (Section VI protocol, Figure 12 clustering)."""
+
+from repro.graph.digraph import DiGraph
+from repro.workloads.clusters import CLUSTER_NAMES
+from repro.workloads.updates import (
+    cluster_edges_by_degree,
+    edge_degree,
+    random_edge_batch,
+)
+from tests.conftest import random_digraph
+
+
+class TestBatch:
+    def test_batch_size(self):
+        g = random_digraph(40, 150, seed=1)
+        batch = random_edge_batch(g, 20, seed=2)
+        assert len(batch) == 20
+        assert len(set(batch.edges)) == 20
+
+    def test_batch_edges_exist(self):
+        g = random_digraph(40, 150, seed=3)
+        batch = random_edge_batch(g, 25, seed=4)
+        assert all(g.has_edge(*e) for e in batch.edges)
+
+    def test_oversized_batch_returns_all(self):
+        g = random_digraph(10, 15, seed=5)
+        batch = random_edge_batch(g, 999, seed=6)
+        assert sorted(batch.edges) == sorted(g.edges())
+
+    def test_deterministic(self):
+        g = random_digraph(40, 150, seed=7)
+        assert (
+            random_edge_batch(g, 10, seed=8).edges
+            == random_edge_batch(g, 10, seed=8).edges
+        )
+
+
+class TestEdgeDegree:
+    def test_paper_definition(self):
+        """Edge degree of (v, w) = in_degree(v) + out_degree(w)."""
+        g = DiGraph.from_edges(4, [(0, 1), (2, 0), (3, 0), (1, 2), (1, 3)])
+        assert edge_degree(g, (0, 1)) == 2 + 2
+
+
+class TestEdgeClustering:
+    def test_partition(self):
+        g = random_digraph(60, 300, seed=9)
+        batch = random_edge_batch(g, 40, seed=10)
+        clusters = cluster_edges_by_degree(g, batch.edges)
+        assigned = [e for name in CLUSTER_NAMES for e in clusters[name]]
+        assert sorted(assigned) == sorted(batch.edges)
+
+    def test_high_has_larger_degrees(self):
+        g = random_digraph(60, 300, seed=11)
+        batch = random_edge_batch(g, 40, seed=12)
+        clusters = cluster_edges_by_degree(g, batch.edges)
+        if clusters["High"] and clusters["Bottom"]:
+            assert min(
+                edge_degree(g, e) for e in clusters["High"]
+            ) > max(edge_degree(g, e) for e in clusters["Bottom"])
+
+    def test_empty_batch(self):
+        g = random_digraph(10, 20, seed=13)
+        clusters = cluster_edges_by_degree(g, [])
+        assert all(not clusters[name] for name in CLUSTER_NAMES)
+
+    def test_uniform_degrees_go_bottom(self):
+        g = DiGraph.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        clusters = cluster_edges_by_degree(g, list(g.edges()))
+        assert len(clusters["Bottom"]) == 4
