@@ -44,6 +44,20 @@ def main() -> None:
         f"{r.count and r.count or 0} (entries removed: {update.entries_removed})"
     )
 
+    print("\n== batched updates ==")
+    # A burst of stream updates goes through the batch engine: one
+    # repair pass per distinct affected hub instead of one per edge.
+    batch = counter.apply_batch(
+        [("insert", 2, 9), ("insert", 6, 0), ("delete", 2, 9)]
+    )
+    r = counter.count(6)
+    print(
+        f"batch of {batch.submitted} ops -> net +{batch.inserted}/"
+        f"-{batch.deleted} edges ({batch.cancelled} cancelled in-batch), "
+        f"SCCnt(v7) = {r.count} x len {r.length}"
+    )
+    counter.delete_edges([(6, 0)])
+
     print("\n== building from scratch ==")
     g = DiGraph.from_edges(4, [(0, 1), (1, 2), (2, 0), (2, 3)])
     c = ShortestCycleCounter.build(g)

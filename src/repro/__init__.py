@@ -30,9 +30,11 @@ from repro.baselines import (
 )
 from repro.monitor import Alert, CycleMonitor
 from repro.core import (
+    BatchStats,
     CSCIndex,
     ShortestCycleCounter,
     UpdateStats,
+    apply_batch,
     delete_edge,
     insert_edge,
 )
@@ -44,6 +46,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Alert",
+    "BatchStats",
     "CSCIndex",
     "CycleCount",
     "CycleMonitor",
@@ -57,6 +60,7 @@ __all__ = [
     "NO_CYCLE",
     "ShortestCycleCounter",
     "UpdateStats",
+    "apply_batch",
     "bfs_cycle_count",
     "bipartite_conversion",
     "degree_order",

@@ -8,6 +8,9 @@ Commands
   index;
 * ``profile <edgelist>`` — whole-graph cycle profile (girth, length
   distribution, top vertices);
+* ``batch-update <edgelist>`` — replay a mixed update stream through the
+  batched maintenance engine (optionally comparing against per-edge
+  maintenance);
 * ``datasets`` — list the built-in dataset stand-ins;
 * ``experiments [ids ...]`` — regenerate paper tables/figures.
 """
@@ -21,7 +24,9 @@ from typing import Sequence
 
 from repro.analysis import profile_graph
 from repro.bench.tables import format_table
+from repro.core.batch import DEFAULT_REBUILD_THRESHOLD
 from repro.core.counter import ShortestCycleCounter
+from repro.core.maintenance import STRATEGIES
 from repro.graph.datasets import DATASET_ORDER, DATASETS, PAPER_SIZES
 from repro.graph.io import read_edge_list
 
@@ -51,6 +56,31 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("profile", help="whole-graph cycle profile")
     p.add_argument("edgelist")
     p.add_argument("--top", type=int, default=10)
+
+    p = sub.add_parser(
+        "batch-update",
+        help="replay a mixed update stream in maintenance batches",
+    )
+    p.add_argument("edgelist")
+    p.add_argument("--ops", type=int, default=64,
+                   help="total update ops to generate (default 64)")
+    p.add_argument("--batch-size", type=int, default=16,
+                   help="ops per maintenance batch (default 16)")
+    p.add_argument("--insert-fraction", type=float, default=0.5,
+                   help="fraction of ops that are insertions (default 0.5)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--strategy", choices=list(STRATEGIES),
+                   default="redundancy")
+    p.add_argument("--rebuild-threshold", type=float,
+                   default=DEFAULT_REBUILD_THRESHOLD,
+                   help="affected-hub fraction above which a batch falls "
+                   "back to a full rebuild")
+    p.add_argument("--no-cluster", action="store_true",
+                   help="keep stream order instead of degree-ordering "
+                   "the batches")
+    p.add_argument("--compare", action="store_true",
+                   help="also replay the stream per edge and report the "
+                   "batch speedup")
 
     sub.add_parser("datasets", help="list built-in dataset stand-ins")
 
@@ -116,6 +146,83 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_batch_update(args) -> int:
+    from repro.workloads.updates import batched_workload
+
+    graph = read_edge_list(args.edgelist)
+    counter = ShortestCycleCounter.build(
+        graph, strategy=args.strategy, copy_graph=False
+    )
+    workload = batched_workload(
+        counter.graph,
+        args.ops,
+        args.batch_size,
+        seed=args.seed,
+        insert_fraction=args.insert_fraction,
+        cluster=not args.no_cluster,
+    )
+    if not workload.batches:
+        print("no feasible update ops on this graph")
+        return 0
+    ops = workload.ops
+    rows = []
+    batch_time = 0.0
+    for i, batch in enumerate(workload.batches):
+        start = time.perf_counter()
+        stats = counter.apply_batch(
+            batch, rebuild_threshold=args.rebuild_threshold
+        )
+        elapsed = time.perf_counter() - start
+        batch_time += elapsed
+        rows.append(
+            [
+                i,
+                stats.submitted,
+                stats.inserted,
+                stats.deleted,
+                stats.hubs_processed,
+                stats.net_entry_delta,
+                "rebuild" if stats.rebuilt else "incremental",
+                f"{elapsed * 1e3:.1f}",
+            ]
+        )
+    print(
+        format_table(
+            ["batch", "ops", "ins", "del", "hubs", "entries±", "path",
+             "ms"],
+            rows,
+            title=f"{len(ops)} ops in batches of {args.batch_size}",
+        )
+    )
+    agg = counter.stats()
+    print(
+        f"applied {agg['edges_inserted']} insertions and "
+        f"{agg['edges_deleted']} deletions across "
+        f"{agg['batches_applied']} batches "
+        f"({agg['batch_rebuilds']} rebuild fallbacks) in "
+        f"{batch_time * 1e3:.1f} ms"
+    )
+    if args.compare:
+        per_edge = ShortestCycleCounter.build(
+            read_edge_list(args.edgelist),
+            strategy=args.strategy,
+            copy_graph=False,
+        )
+        start = time.perf_counter()
+        for op, tail, head in ops:
+            if op == "insert":
+                per_edge.insert_edge(tail, head)
+            else:
+                per_edge.delete_edge(tail, head)
+        edge_time = time.perf_counter() - start
+        speedup = edge_time / batch_time if batch_time else float("inf")
+        print(
+            f"per-edge replay: {edge_time * 1e3:.1f} ms -> batch speedup "
+            f"{speedup:.2f}x"
+        )
+    return 0
+
+
 def _cmd_datasets(_args) -> int:
     rows = []
     for name in DATASET_ORDER:
@@ -163,6 +270,7 @@ _COMMANDS = {
     "build": _cmd_build,
     "query": _cmd_query,
     "profile": _cmd_profile,
+    "batch-update": _cmd_batch_update,
     "datasets": _cmd_datasets,
     "experiments": _cmd_experiments,
 }

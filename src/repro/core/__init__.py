@@ -1,6 +1,12 @@
 """The paper's primary contribution: the CSC index, its dynamic
 maintenance, and the user-facing counter facade."""
 
+from repro.core.batch import (
+    DEFAULT_REBUILD_THRESHOLD,
+    BatchStats,
+    apply_batch,
+    normalize_batch,
+)
 from repro.core.csc import CSCIndex
 from repro.core.counter import IndexStats, ShortestCycleCounter
 from repro.core.maintenance import (
@@ -11,11 +17,15 @@ from repro.core.maintenance import (
 )
 
 __all__ = [
+    "BatchStats",
     "CSCIndex",
+    "DEFAULT_REBUILD_THRESHOLD",
     "IndexStats",
     "ShortestCycleCounter",
     "STRATEGIES",
     "UpdateStats",
+    "apply_batch",
     "delete_edge",
     "insert_edge",
+    "normalize_batch",
 ]

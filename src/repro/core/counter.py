@@ -17,8 +17,13 @@ CycleCount(count=1, length=4)
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Sequence, Union
+from typing import Iterable, Sequence, Union
 
+from repro.core.batch import (
+    DEFAULT_REBUILD_THRESHOLD,
+    BatchStats,
+    apply_batch,
+)
 from repro.core.csc import CSCIndex
 from repro.core.maintenance import (
     STRATEGIES,
@@ -54,7 +59,7 @@ class ShortestCycleCounter:
             )
         self._index = index
         self._strategy = strategy
-        self._updates: list[UpdateStats] = []
+        self._updates: list[Union[UpdateStats, BatchStats]] = []
 
     # ------------------------------------------------------------------
     @classmethod
@@ -110,21 +115,58 @@ class ShortestCycleCounter:
         self._updates.append(stats)
         return stats
 
+    def apply_batch(
+        self,
+        ops: Iterable[tuple[str, int, int]],
+        rebuild_threshold: float = DEFAULT_REBUILD_THRESHOLD,
+        on_invalid: str = "raise",
+    ) -> BatchStats:
+        """Apply a mixed batch of ``("insert"|"delete", tail, head)`` ops
+        with one repair pass per distinct affected hub (BATCH-INCCNT/
+        DECCNT), falling back to a full rebuild when more than
+        ``rebuild_threshold`` of all hubs are affected.
+
+        Infeasible ops — inserting a present edge or deleting an absent
+        one, judged against the edge state at that point *within* the
+        batch — raise before anything mutates (``on_invalid="raise"``,
+        the default) or are skipped and reported in the returned stats
+        (``on_invalid="skip"``).
+        """
+        stats = apply_batch(
+            self._index,
+            ops,
+            self._strategy,
+            rebuild_threshold=rebuild_threshold,
+            on_invalid=on_invalid,
+        )
+        self._updates.append(stats)
+        return stats
+
     def insert_edges(
-        self, edges: Sequence[tuple[int, int]]
-    ) -> list[UpdateStats]:
-        """Insert a batch of edges, maintaining the index after each one
-        (the paper processes updates one edge at a time)."""
-        return [self.insert_edge(tail, head) for tail, head in edges]
+        self,
+        edges: Sequence[tuple[int, int]],
+        on_invalid: str = "raise",
+    ) -> BatchStats:
+        """Insert a batch of edges through :meth:`apply_batch` (one repair
+        pass per distinct affected hub instead of one per edge)."""
+        return self.apply_batch(
+            [("insert", tail, head) for tail, head in edges],
+            on_invalid=on_invalid,
+        )
 
     def delete_edges(
-        self, edges: Sequence[tuple[int, int]]
-    ) -> list[UpdateStats]:
-        """Delete a batch of edges, repairing the index after each one."""
-        return [self.delete_edge(tail, head) for tail, head in edges]
+        self,
+        edges: Sequence[tuple[int, int]],
+        on_invalid: str = "raise",
+    ) -> BatchStats:
+        """Delete a batch of edges through :meth:`apply_batch`."""
+        return self.apply_batch(
+            [("delete", tail, head) for tail, head in edges],
+            on_invalid=on_invalid,
+        )
 
-    def detach_vertex(self, v: int) -> list[UpdateStats]:
-        """Remove every edge incident to ``v``.
+    def detach_vertex(self, v: int) -> BatchStats:
+        """Remove every edge incident to ``v`` as one batch.
 
         The paper models vertex deletion as a series of edge deletions
         (Section II); the vertex itself stays as an isolated id so other
@@ -178,12 +220,27 @@ class ShortestCycleCounter:
         return self._strategy
 
     @property
-    def update_log(self) -> list[UpdateStats]:
-        """Stats of every update applied through this counter."""
+    def update_log(self) -> list[Union[UpdateStats, BatchStats]]:
+        """Stats of every update applied through this counter
+        (:class:`UpdateStats` for single edges, :class:`BatchStats` for
+        batches)."""
         return list(self._updates)
 
     def stats(self) -> IndexStats:
-        """Index and graph statistics."""
+        """Index and graph statistics, including aggregated update and
+        batch counters."""
+        edges_inserted = edges_deleted = batches_applied = 0
+        batch_rebuilds = 0
+        for record in self._updates:
+            if isinstance(record, BatchStats):
+                batches_applied += 1
+                edges_inserted += record.inserted
+                edges_deleted += record.deleted
+                batch_rebuilds += record.rebuilt
+            elif record.operation == "insert":
+                edges_inserted += 1
+            elif record.operation == "delete":
+                edges_deleted += 1
         return IndexStats(
             n=self.graph.n,
             m=self.graph.m,
@@ -192,6 +249,10 @@ class ShortestCycleCounter:
             average_label_size=self._index.average_label_size(),
             strategy=self._strategy,
             updates_applied=len(self._updates),
+            edges_inserted=edges_inserted,
+            edges_deleted=edges_deleted,
+            batches_applied=batches_applied,
+            batch_rebuilds=batch_rebuilds,
         )
 
     def save(self, path: Union[str, Path]) -> None:

@@ -54,7 +54,13 @@ from repro.core.csc import CSCIndex
 from repro.graph.traversal import INF, bfs_distances
 from repro.labeling.hpspc import UNREACHED
 
-__all__ = ["UpdateStats", "insert_edge", "delete_edge", "STRATEGIES"]
+__all__ = [
+    "UpdateStats",
+    "insert_edge",
+    "delete_edge",
+    "deletion_affected_hubs",
+    "STRATEGIES",
+]
 
 STRATEGIES = ("redundancy", "minimality")
 
@@ -356,6 +362,65 @@ def _clean_vertex(
 # ---------------------------------------------------------------------------
 
 
+def deletion_affected_hubs(
+    index: CSCIndex,
+    a: int,
+    b: int,
+    forward_dists: dict[int, list[float]] | None = None,
+    reverse_dists: dict[int, list[float]] | None = None,
+) -> tuple[set[int], set[int]]:
+    """Affected hubs of deleting ``(a, b)``: the Section V-C distance
+    conditions, evaluated on the *current* graph (which must still
+    contain the edge).
+
+    Returns ``(aff_in, aff_out)`` as original-vertex sets: hubs whose
+    in-side (forward) respectively out-side (backward) labels need a
+    repair BFS once the edge is gone.
+
+    ``forward_dists`` / ``reverse_dists`` are optional per-source BFS
+    caches (``{source: bfs_distances(...)}``) for callers that evaluate
+    many deletions against one frozen graph — the batch engine's edges
+    often share endpoints, so the same BFS would otherwise rerun.
+    """
+    graph = index.graph
+
+    def _dist(source: int, reverse: bool) -> list[float]:
+        cache = reverse_dists if reverse else forward_dists
+        if cache is None:
+            return bfs_distances(graph, source, reverse=reverse)
+        dist = cache.get(source)
+        if dist is None:
+            dist = cache[source] = bfs_distances(
+                graph, source, reverse=reverse
+            )
+        return dist
+
+    d_to_a = _dist(a, True)
+    d_to_b = _dist(b, True)
+    d_from_a = _dist(a, False)
+    d_from_b = _dist(b, False)
+    aff_in = {
+        v
+        for v in graph.vertices()
+        if d_to_b[v] is not INF and d_to_a[v] + 1 == d_to_b[v]
+    }
+    aff_out = {
+        u
+        for u in graph.vertices()
+        if d_from_a[u] is not INF and d_from_b[u] + 1 == d_from_a[u]
+    }
+    # The one Gb pair the hop conditions cannot see is the cycle pair
+    # (a_out, a_in): its distance is the cycle length through `a`, not a
+    # plain 2d-1 hop distance.  If the deleted edge lies on a shortest
+    # cycle through `a`, hub a_in's cycle entry must be repaired too.
+    if (
+        d_from_b[a] is not INF
+        and index.cycle_gb_distance(a) == 2 * (d_from_b[a] + 1) - 1
+    ):
+        aff_out.add(a)
+    return aff_in, aff_out
+
+
 def delete_edge(index: CSCIndex, a: int, b: int) -> UpdateStats:
     """Delete edge ``(a, b)`` from the graph and repair the index (DECCNT).
 
@@ -368,32 +433,8 @@ def delete_edge(index: CSCIndex, a: int, b: int) -> UpdateStats:
 
         raise EdgeNotFoundError(a, b)
     # Pre-deletion hop BFSes give the affected-hub conditions exactly.
-    d_to_a = bfs_distances(graph, a, reverse=True)
-    d_to_b = bfs_distances(graph, b, reverse=True)
-    d_from_a = bfs_distances(graph, a)
-    d_from_b = bfs_distances(graph, b)
-    # The one Gb pair the hop conditions cannot see is the cycle pair
-    # (a_out, a_in): its distance is the cycle length through `a`, not a
-    # plain 2d-1 hop distance.  If the deleted edge lies on a shortest
-    # cycle through `a`, hub a_in's cycle entry must be repaired too.
-    pre_cycle_gb_a = index.cycle_gb_distance(a)
+    aff_in, aff_out = deletion_affected_hubs(index, a, b)
     graph.remove_edge(a, b)
-
-    aff_in = {
-        v
-        for v in graph.vertices()
-        if d_to_b[v] is not INF and d_to_a[v] + 1 == d_to_b[v]
-    }
-    aff_out = {
-        u
-        for u in graph.vertices()
-        if d_from_a[u] is not INF and d_from_b[u] + 1 == d_from_a[u]
-    }
-    if (
-        d_from_b[a] is not INF
-        and pre_cycle_gb_a == 2 * (d_from_b[a] + 1) - 1
-    ):
-        aff_out.add(a)
     index.ensure_inverted()
     stats = UpdateStats("delete", (a, b))
     stats.details["affected_in_hubs"] = len(aff_in)

@@ -7,7 +7,11 @@ tracks the top-k most-cycled accounts.  :class:`CycleMonitor` packages that
 on top of :class:`~repro.core.counter.ShortestCycleCounter`.
 
 Alerts fire on threshold *crossings* (below -> at/above), not on every
-update, so a hot account does not spam its subscribers.
+update, so a hot account does not spam its subscribers.  When the stream
+runs hot, :meth:`CycleMonitor.process` can drain it in *batches*
+(``batch_size=...``): each chunk is applied through the batched
+maintenance engine (one repair pass per distinct affected hub) and alerts
+are evaluated once per chunk, at its boundary.
 """
 
 from __future__ import annotations
@@ -15,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
+from repro.core.batch import DEFAULT_REBUILD_THRESHOLD
 from repro.core.counter import ShortestCycleCounter
 from repro.core.maintenance import UpdateStats
 from repro.graph.digraph import DiGraph
@@ -110,19 +115,73 @@ class CycleMonitor:
         return stats
 
     def process(
-        self, events: Iterable[tuple[str, int, int]]
+        self,
+        events: Iterable[tuple[str, int, int]],
+        batch_size: int | None = None,
+        rebuild_threshold: float = DEFAULT_REBUILD_THRESHOLD,
+        on_invalid: str = "raise",
     ) -> list[Alert]:
         """Apply a stream of ``("insert"|"delete", tail, head)`` events;
-        returns the alerts the stream produced."""
+        returns the alerts the stream produced.
+
+        With ``batch_size=None`` (the default) every event is applied and
+        scanned individually, so each alert's ``cause`` is the exact
+        triggering update.  With a ``batch_size`` the stream is drained in
+        chunks through the batched maintenance engine: alerts are
+        evaluated once per chunk, and a crossing's ``cause`` is the last
+        *applied* event of the chunk that surfaced it (skipped ops are
+        never blamed).  Within-chunk flickers (a
+        vertex crossing up and back down between two scans) are
+        intentionally coalesced away — the batch is one logical update.
+        ``rebuild_threshold`` and ``on_invalid`` are passed through to
+        :meth:`~repro.core.counter.ShortestCycleCounter.apply_batch`.
+        """
         seen = len(self._alerts)
-        for op, tail, head in events:
-            if op == "insert":
-                self.insert(tail, head)
-            elif op == "delete":
-                self.delete(tail, head)
-            else:
-                raise ValueError(f"unknown stream op {op!r}")
+        if batch_size is None:
+            for op, tail, head in events:
+                if op == "insert":
+                    self.insert(tail, head)
+                elif op == "delete":
+                    self.delete(tail, head)
+                else:
+                    raise ValueError(f"unknown stream op {op!r}")
+            return self._alerts[seen:]
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        chunk: list[tuple[str, int, int]] = []
+        for event in events:
+            chunk.append(event)
+            if len(chunk) == batch_size:
+                self._process_chunk(chunk, rebuild_threshold, on_invalid)
+                chunk = []
+        if chunk:
+            self._process_chunk(chunk, rebuild_threshold, on_invalid)
         return self._alerts[seen:]
+
+    def _process_chunk(
+        self,
+        chunk: list[tuple[str, int, int]],
+        rebuild_threshold: float,
+        on_invalid: str,
+    ) -> None:
+        stats = self._counter.apply_batch(
+            chunk,
+            rebuild_threshold=rebuild_threshold,
+            on_invalid=on_invalid,
+        )
+        if stats.applied == 0:
+            return  # net no-op chunk: graph (hence counts) unchanged
+        # Attribute crossings to the last event that actually survived
+        # normalization — a skipped op never touched the graph and must
+        # not show up as an alert cause.
+        remaining_skips = list(stats.skipped)
+        for event in reversed(chunk):
+            if event in remaining_skips:
+                remaining_skips.remove(event)
+                continue
+            op, tail, head = event
+            self._scan((tail, head, op))
+            return
 
     def top(self, k: int = 10) -> list[tuple[int, CycleCount]]:
         """Current top-k watched vertices by shortest-cycle count."""

@@ -13,8 +13,11 @@ from repro.workloads.p2p import (
     make_p2p_network,
 )
 from repro.workloads.updates import (
+    BatchUpdateWorkload,
     UpdateWorkload,
+    batched_workload,
     cluster_edges_by_degree,
+    mixed_update_stream,
     random_edge_batch,
 )
 
@@ -27,7 +30,10 @@ __all__ = [
     "P2PScenario",
     "index_server_candidates",
     "make_p2p_network",
+    "BatchUpdateWorkload",
     "UpdateWorkload",
+    "batched_workload",
     "cluster_edges_by_degree",
+    "mixed_update_stream",
     "random_edge_batch",
 ]

@@ -5,6 +5,13 @@ The paper's dynamic-maintenance protocol: pick a batch of random edges,
 label-entry deltas.  Figure 12 additionally clusters the deleted edges by
 *edge degree* — for edge ``(v, w)``, ``in_degree(v) + out_degree(w)`` —
 into the same five bands as the query clusters.
+
+For the batched maintenance engine this module also generates *mixed op
+streams* (interleaved insertions and deletions over distinct edge slots,
+feasible in any order) and groups them into batches, optionally ordered
+by the Figure 12 edge-degree clustering — updates around the same
+high-degree hubs land in the same batch, which is exactly where the
+batch engine's affected-hub union amortizes best.
 """
 
 from __future__ import annotations
@@ -15,7 +22,14 @@ from dataclasses import dataclass
 from repro.graph.digraph import DiGraph
 from repro.workloads.clusters import CLUSTER_NAMES
 
-__all__ = ["UpdateWorkload", "random_edge_batch", "cluster_edges_by_degree"]
+__all__ = [
+    "UpdateWorkload",
+    "BatchUpdateWorkload",
+    "random_edge_batch",
+    "cluster_edges_by_degree",
+    "mixed_update_stream",
+    "batched_workload",
+]
 
 
 @dataclass(frozen=True)
@@ -72,3 +86,101 @@ def cluster_edges_by_degree(
             band = 4 - min(4, int(fraction * 5))
         clusters[CLUSTER_NAMES[band]].append(e)
     return clusters
+
+
+# ---------------------------------------------------------------------------
+# Mixed op streams and batches (for the batched maintenance engine)
+# ---------------------------------------------------------------------------
+
+Op = tuple[str, int, int]
+
+
+@dataclass(frozen=True)
+class BatchUpdateWorkload:
+    """A mixed update stream pre-grouped into maintenance batches."""
+
+    batches: list[list[Op]]
+    seed: int
+
+    def __len__(self) -> int:
+        return len(self.batches)
+
+    @property
+    def ops(self) -> list[Op]:
+        """The stream flattened back to one op sequence."""
+        return [op for batch in self.batches for op in batch]
+
+
+def mixed_update_stream(
+    graph: DiGraph,
+    count: int,
+    seed: int = 0,
+    insert_fraction: float = 0.5,
+) -> list[Op]:
+    """A shuffled stream of ``count`` ops over *distinct* edge slots:
+    deletions of existing edges and insertions of currently-absent edges.
+
+    Because every op touches its own edge slot, the stream is feasible in
+    any order — prerequisite for the degree-ordered batching of
+    :func:`batched_workload` — and sums to the paper's delete/re-insert
+    protocol when ``insert_fraction=0.5``.
+    """
+    if not 0.0 <= insert_fraction <= 1.0:
+        raise ValueError("insert_fraction must be within [0, 1]")
+    rng = random.Random(seed)
+    edges = list(graph.edges())
+    n = graph.n
+    want_inserts = round(count * insert_fraction)
+    want_deletes = count - want_inserts
+    deletions = rng.sample(edges, min(want_deletes, len(edges)))
+    insertions: list[tuple[int, int]] = []
+    free_slots = n * (n - 1) - graph.m
+    want_inserts = min(want_inserts, free_slots)
+    chosen: set[tuple[int, int]] = set()
+    attempts = 0
+    while len(insertions) < want_inserts and attempts < 100 * (count + 1):
+        attempts += 1
+        tail, head = rng.randrange(n), rng.randrange(n)
+        slot = (tail, head)
+        if tail != head and slot not in chosen and not graph.has_edge(*slot):
+            chosen.add(slot)
+            insertions.append(slot)
+    ops = [("delete", a, b) for a, b in deletions]
+    ops += [("insert", a, b) for a, b in insertions]
+    rng.shuffle(ops)
+    return ops
+
+
+def batched_workload(
+    graph: DiGraph,
+    count: int,
+    batch_size: int,
+    seed: int = 0,
+    insert_fraction: float = 0.5,
+    cluster: bool = True,
+) -> BatchUpdateWorkload:
+    """Group a mixed update stream into batches of ``batch_size``.
+
+    With ``cluster=True`` (the default) the ops are first ordered by the
+    Figure 12 edge-degree bands (High first), so each batch concentrates
+    on edges around the same hubs — maximizing the affected-hub overlap
+    the batch engine amortizes.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be at least 1")
+    ops = mixed_update_stream(graph, count, seed, insert_fraction)
+    if cluster and ops:
+        by_edge: dict[tuple[int, int], list[Op]] = {}
+        for op in ops:
+            by_edge.setdefault((op[1], op[2]), []).append(op)
+        clusters = cluster_edges_by_degree(graph, list(by_edge))
+        ops = [
+            op
+            for name in CLUSTER_NAMES
+            for edge in clusters[name]
+            for op in by_edge[edge]
+        ]
+    batches = [
+        ops[i : i + batch_size] for i in range(0, len(ops), batch_size)
+    ]
+    return BatchUpdateWorkload(batches, seed)

@@ -1,14 +1,36 @@
-"""Shared fixtures and hypothesis strategies for the test suite."""
+"""Shared fixtures, hypothesis profiles, and strategies for the suite."""
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
+from hypothesis import HealthCheck, settings
 from hypothesis import strategies as st
 
 from repro.graph.digraph import DiGraph
 from repro.paperdata import figure2_graph, figure2_order
+
+# Profiles are selected with HYPOTHESIS_PROFILE (see .github/workflows):
+# * ci   — fixed seed (derandomized) so CI failures reproduce locally;
+# * deep — the nightly budget; tests that pin max_examples keep their
+#   pinned value, so the deep budget mostly grows the @pytest.mark.slow
+#   differential variants.
+settings.register_profile(
+    "ci",
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "deep",
+    deadline=None,
+    max_examples=500,
+    stateful_step_count=30,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 @pytest.fixture

@@ -1,0 +1,336 @@
+"""Unit tests for the batched maintenance engine (BATCH-INCCNT/DECCNT)."""
+
+import pytest
+
+from repro.baselines.bfs_cycle import bfs_cycle_count
+from repro.core.batch import (
+    DEFAULT_REBUILD_THRESHOLD,
+    BatchStats,
+    apply_batch,
+    normalize_batch,
+)
+from repro.core.counter import ShortestCycleCounter
+from repro.core.csc import CSCIndex
+from repro.core.maintenance import delete_edge, insert_edge
+from repro.errors import (
+    EdgeExistsError,
+    EdgeNotFoundError,
+    SelfLoopError,
+    VertexError,
+)
+from repro.graph.digraph import DiGraph
+from tests.conftest import random_digraph
+
+
+def assert_exact(index: CSCIndex):
+    for v in index.graph.vertices():
+        assert index.sccnt(v) == bfs_cycle_count(index.graph, v)
+
+
+def snapshot(index: CSCIndex):
+    return (
+        sorted(index.graph.edges()),
+        [list(e) for e in index.label_in],
+        [list(e) for e in index.label_out],
+    )
+
+
+class TestNormalize:
+    def test_net_effect(self):
+        g = DiGraph.from_edges(4, [(0, 1), (1, 2)])
+        ops = [
+            ("insert", 2, 3),          # net insert
+            ("delete", 0, 1),          # net delete
+            ("insert", 3, 0),          # cancelled by the next op
+            ("delete", 3, 0),
+            ("delete", 1, 2),          # delete-then-reinsert: cancelled
+            ("insert", 1, 2),
+        ]
+        inserts, deletes, skipped, submitted = normalize_batch(g, ops)
+        assert inserts == [(2, 3)]
+        assert deletes == [(0, 1)]
+        assert skipped == []
+        assert submitted == 6
+
+    def test_sequence_feasibility_is_positional(self):
+        """insert-then-delete of an absent edge is feasible; the reverse
+        order is not."""
+        g = DiGraph(3)
+        normalize_batch(g, [("insert", 0, 1), ("delete", 0, 1)])
+        with pytest.raises(EdgeNotFoundError):
+            normalize_batch(g, [("delete", 0, 1), ("insert", 0, 1)])
+
+    def test_duplicate_insert_within_call_raises(self):
+        g = DiGraph(3)
+        with pytest.raises(EdgeExistsError):
+            normalize_batch(g, [("insert", 0, 1), ("insert", 0, 1)])
+
+    def test_duplicate_delete_within_call_raises(self):
+        g = DiGraph.from_edges(3, [(0, 1)])
+        with pytest.raises(EdgeNotFoundError):
+            normalize_batch(g, [("delete", 0, 1), ("delete", 0, 1)])
+
+    def test_skip_mode_reports_dropped_ops(self):
+        g = DiGraph.from_edges(3, [(0, 1)])
+        ops = [
+            ("insert", 0, 1),          # already present: skipped
+            ("insert", 1, 2),
+            ("insert", 1, 2),          # duplicate within call: skipped
+            ("delete", 2, 0),          # absent: skipped
+        ]
+        inserts, deletes, skipped, submitted = normalize_batch(
+            g, ops, on_invalid="skip"
+        )
+        assert inserts == [(1, 2)]
+        assert deletes == []
+        assert skipped == [("insert", 0, 1), ("insert", 1, 2),
+                           ("delete", 2, 0)]
+        assert submitted == 4
+
+    def test_malformed_ops_always_raise(self):
+        g = DiGraph(3)
+        with pytest.raises(ValueError):
+            normalize_batch(g, [("upsert", 0, 1)], on_invalid="skip")
+        with pytest.raises(VertexError):
+            normalize_batch(g, [("insert", 0, 9)], on_invalid="skip")
+        with pytest.raises(SelfLoopError):
+            normalize_batch(g, [("insert", 1, 1)], on_invalid="skip")
+        with pytest.raises(ValueError):
+            normalize_batch(g, [("insert", 0, 1)], on_invalid="maybe")
+
+
+class TestApplyBatch:
+    def test_empty_batch_is_noop(self):
+        index = CSCIndex.build(DiGraph.from_edges(3, [(0, 1), (1, 0)]))
+        before = snapshot(index)
+        stats = apply_batch(index, [])
+        assert snapshot(index) == before
+        assert stats.applied == 0
+        assert not stats.rebuilt
+        assert stats.hubs_processed == 0
+
+    def test_insert_then_delete_same_edge_is_noop(self):
+        g = random_digraph(8, 16, seed=4)
+        index = CSCIndex.build(g)
+        before = snapshot(index)
+        stats = apply_batch(
+            index, [("insert", 0, 7), ("delete", 0, 7)]
+        )
+        assert snapshot(index) == before
+        assert stats.cancelled == 2
+        assert stats.applied == 0
+
+    def test_delete_then_reinsert_same_edge_is_noop(self):
+        g = DiGraph.from_edges(3, [(0, 1), (1, 2), (2, 0)])
+        index = CSCIndex.build(g)
+        before = snapshot(index)
+        stats = apply_batch(
+            index, [("delete", 2, 0), ("insert", 2, 0)]
+        )
+        assert snapshot(index) == before
+        assert stats.cancelled == 2
+
+    def test_raise_mode_is_atomic(self):
+        """A failing batch must leave graph and index untouched."""
+        g = DiGraph.from_edges(4, [(0, 1), (1, 2), (2, 0)])
+        index = CSCIndex.build(g)
+        before = snapshot(index)
+        with pytest.raises(EdgeExistsError):
+            apply_batch(
+                index,
+                [("insert", 2, 3), ("delete", 0, 1), ("insert", 1, 2)],
+            )
+        assert snapshot(index) == before
+
+    def test_skip_mode_applies_feasible_rest(self):
+        g = DiGraph.from_edges(4, [(0, 1), (1, 2)])
+        index = CSCIndex.build(g)
+        stats = apply_batch(
+            index,
+            [("insert", 2, 0), ("insert", 0, 1), ("delete", 3, 0)],
+            on_invalid="skip",
+        )
+        assert stats.inserted == 1
+        assert stats.skipped == [("insert", 0, 1), ("delete", 3, 0)]
+        assert index.graph.has_edge(2, 0)
+        assert index.sccnt(0) == (1, 3)
+        assert_exact(index)
+
+    def test_mixed_batch_matches_sequential(self):
+        g = random_digraph(12, 40, seed=7)
+        edges = list(g.edges())
+        absent = [
+            (a, b)
+            for a in g.vertices()
+            for b in g.vertices()
+            if a != b and not g.has_edge(a, b)
+        ]
+        ops = [("delete", *e) for e in edges[:6]]
+        ops += [("insert", *e) for e in absent[:2]]
+
+        sequential = CSCIndex.build(g.copy())
+        for op, a, b in ops:
+            if op == "insert":
+                insert_edge(sequential, a, b)
+            else:
+                delete_edge(sequential, a, b)
+        batched = CSCIndex.build(g.copy())
+        stats = apply_batch(batched, ops, rebuild_threshold=1.0)
+        assert not stats.rebuilt
+        assert batched.graph == sequential.graph
+        for v in g.vertices():
+            assert batched.sccnt(v) == sequential.sccnt(v)
+        assert_exact(batched)
+
+    def test_deletion_hubs_repaired_once(self):
+        """The whole point: per-edge replay repairs a shared hub per
+        edge, the batch repairs the union once."""
+        g = random_digraph(12, 40, seed=9)
+        ops = [("delete", *e) for e in list(g.edges())[:6]]
+        per_edge_hubs = 0
+        sequential = CSCIndex.build(g.copy())
+        for _op, a, b in ops:
+            per_edge_hubs += delete_edge(sequential, a, b).hubs_processed
+        batched = CSCIndex.build(g.copy())
+        stats = apply_batch(batched, ops, rebuild_threshold=1.0)
+        assert 0 < stats.hubs_processed < per_edge_hubs
+
+    def test_rebuild_fallback_triggers(self):
+        g = DiGraph.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        index = CSCIndex.build(g)
+        stats = apply_batch(
+            index, [("delete", 0, 1)], rebuild_threshold=0.0
+        )
+        assert stats.rebuilt
+        assert stats.hubs_processed == 0
+        assert_exact(index)
+        assert index.validate() == []
+
+    def test_rebuild_fallback_applies_pending_inserts(self):
+        g = DiGraph.from_edges(4, [(0, 1), (1, 2), (2, 0)])
+        index = CSCIndex.build(g)
+        stats = apply_batch(
+            index,
+            [("delete", 2, 0), ("insert", 2, 3), ("insert", 3, 0)],
+            rebuild_threshold=-1.0,
+        )
+        assert stats.rebuilt
+        assert index.graph.has_edge(2, 3) and index.graph.has_edge(3, 0)
+        assert index.sccnt(0) == (1, 4)
+        assert_exact(index)
+
+    def test_insert_only_batch_never_rebuilds(self):
+        """The cost model weighs fingerprint repairs (deletions); cheap
+        INCCNT replays must not trip it."""
+        g = DiGraph.from_edges(5, [(0, 1), (1, 2)])
+        index = CSCIndex.build(g)
+        stats = apply_batch(
+            index,
+            [("insert", 2, 3), ("insert", 3, 4), ("insert", 4, 0)],
+            rebuild_threshold=0.0,
+        )
+        assert not stats.rebuilt
+        assert index.sccnt(0) == (1, 5)
+        assert_exact(index)
+
+    def test_after_rebuild_fallback_updates_still_work(self):
+        g = DiGraph.from_edges(4, [(0, 1), (1, 2), (2, 0), (2, 3)])
+        index = CSCIndex.build(g)
+        apply_batch(index, [("delete", 2, 0)], rebuild_threshold=-1.0)
+        insert_edge(index, 3, 0)
+        insert_edge(index, 2, 0)
+        assert_exact(index)
+
+    def test_unknown_strategy_rejected(self):
+        index = CSCIndex.build(DiGraph(3))
+        with pytest.raises(ValueError):
+            apply_batch(index, [("insert", 0, 1)], strategy="yolo")
+
+
+class TestBatchStats:
+    def test_counts_and_delta(self):
+        g = DiGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        index = CSCIndex.build(g)
+        stats = apply_batch(
+            index,
+            [("insert", 3, 0), ("delete", 0, 1)],
+            rebuild_threshold=1.0,
+        )
+        assert stats.operation == "batch"
+        assert (stats.submitted, stats.inserted, stats.deleted) == (2, 1, 1)
+        assert stats.net_entry_delta == (
+            stats.entries_added - stats.entries_removed
+        )
+        assert "affected_in_hubs" in stats.details
+
+    def test_affected_fraction_counts_delete_hubs(self):
+        g = DiGraph.from_edges(3, [(0, 1), (1, 2), (2, 0)])
+        index = CSCIndex.build(g)
+        stats = apply_batch(
+            index, [("delete", 0, 1)], rebuild_threshold=1.0
+        )
+        assert 0.0 < stats.affected_hub_fraction <= 1.0
+        index2 = CSCIndex.build(DiGraph(3))
+        stats2 = apply_batch(index2, [("insert", 0, 1)])
+        assert stats2.affected_hub_fraction == 0.0
+
+
+class TestFacade:
+    def test_apply_batch_records_log_and_stats(self):
+        g = DiGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        counter = ShortestCycleCounter.build(g)
+        counter.apply_batch([("insert", 3, 0), ("delete", 0, 1)])
+        counter.insert_edge(0, 1)
+        log = counter.update_log
+        assert [s.operation for s in log] == ["batch", "insert"]
+        assert isinstance(log[0], BatchStats)
+        stats = counter.stats()
+        assert stats["updates_applied"] == 2
+        assert stats["batches_applied"] == 1
+        assert stats["edges_inserted"] == 2
+        assert stats["edges_deleted"] == 1
+
+    def test_batch_rebuilds_aggregated(self):
+        g = DiGraph.from_edges(3, [(0, 1), (1, 2), (2, 0)])
+        counter = ShortestCycleCounter.build(g)
+        counter.apply_batch([("delete", 2, 0)], rebuild_threshold=-1.0)
+        assert counter.stats()["batch_rebuilds"] == 1
+
+    def test_insert_edges_duplicate_raises_atomically(self):
+        counter = ShortestCycleCounter.build(DiGraph(4))
+        with pytest.raises(EdgeExistsError):
+            counter.insert_edges([(0, 1), (1, 2), (0, 1)])
+        assert counter.graph.m == 0
+        assert counter.update_log == []
+
+    def test_insert_edges_skip_mode(self):
+        counter = ShortestCycleCounter.build(DiGraph(4))
+        stats = counter.insert_edges(
+            [(0, 1), (1, 2), (0, 1)], on_invalid="skip"
+        )
+        assert stats.inserted == 2
+        assert stats.skipped == [("insert", 0, 1)]
+        assert counter.graph.m == 2
+
+    def test_delete_edges_duplicate_raises_atomically(self):
+        g = DiGraph.from_edges(3, [(0, 1), (1, 2)])
+        counter = ShortestCycleCounter.build(g)
+        with pytest.raises(EdgeNotFoundError):
+            counter.delete_edges([(0, 1), (0, 1)])
+        assert counter.graph.m == 2
+
+    def test_empty_batches(self):
+        counter = ShortestCycleCounter.build(DiGraph(3))
+        assert counter.insert_edges([]).applied == 0
+        assert counter.delete_edges([]).applied == 0
+        assert counter.apply_batch([]).applied == 0
+
+    def test_strategy_threaded_through(self):
+        counter = ShortestCycleCounter.build(
+            DiGraph(3), strategy="minimality"
+        )
+        stats = counter.apply_batch([("insert", 0, 1)])
+        assert stats.strategy == "minimality"
+
+    def test_default_threshold_exported(self):
+        assert 0.0 < DEFAULT_REBUILD_THRESHOLD < 1.0

@@ -16,7 +16,8 @@ class TestBatchUpdates:
     def test_insert_edges(self):
         counter = ShortestCycleCounter.build(DiGraph(4))
         stats = counter.insert_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
-        assert len(stats) == 4
+        assert stats.inserted == 4
+        assert stats.deleted == 0
         assert counter.count(0) == (1, 4)
         assert_consistent(counter)
 
@@ -25,7 +26,7 @@ class TestBatchUpdates:
         counter = ShortestCycleCounter.build(g)
         batch = list(g.edges())[:5]
         stats = counter.delete_edges(batch)
-        assert len(stats) == 5
+        assert stats.deleted == 5
         assert counter.graph.m == g.m - 5
         assert_consistent(counter)
 
@@ -50,7 +51,7 @@ class TestVertexUpdates:
 
     def test_detach_isolated_vertex_is_noop(self):
         counter = ShortestCycleCounter.build(DiGraph(3))
-        assert counter.detach_vertex(2) == []
+        assert counter.detach_vertex(2).applied == 0
 
     def test_add_vertex_then_connect(self):
         g = DiGraph.from_edges(3, [(0, 1), (1, 2)])

@@ -26,6 +26,7 @@ class TestParser:
             ["build", "g.txt", "i.bin"],
             ["query", "i.bin", "3"],
             ["profile", "g.txt"],
+            ["batch-update", "g.txt"],
             ["datasets"],
             ["experiments", "table2"],
         ):
@@ -78,3 +79,36 @@ class TestCommands:
     def test_experiments_unknown_id(self, capsys):
         assert main(["experiments", "fig99"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestBatchUpdate:
+    def test_batch_update_runs(self, fig2_file, capsys):
+        assert main(
+            ["batch-update", fig2_file, "--ops", "8", "--batch-size", "4",
+             "--seed", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "batches of 4" in out
+        assert "batches" in out and "insertions" in out
+
+    def test_batch_update_compare_reports_speedup(self, fig2_file, capsys):
+        assert main(
+            ["batch-update", fig2_file, "--ops", "6", "--batch-size", "3",
+             "--compare"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "per-edge replay" in out and "speedup" in out
+
+    def test_batch_update_rebuild_threshold_flag(self, fig2_file, capsys):
+        assert main(
+            ["batch-update", fig2_file, "--ops", "6", "--batch-size", "6",
+             "--rebuild-threshold", "-1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "rebuild" in out
+
+    def test_batch_update_strategy_flag(self, fig2_file, capsys):
+        assert main(
+            ["batch-update", fig2_file, "--ops", "4", "--batch-size", "2",
+             "--strategy", "minimality", "--no-cluster"]
+        ) == 0

@@ -79,6 +79,86 @@ class TestStream:
         with pytest.raises(ValueError):
             monitor.process([("upsert", 0, 1)])
 
+    def test_batch_mode_alerts_at_chunk_boundary(self, chain):
+        monitor = CycleMonitor(chain, watch=[0], threshold=1)
+        alerts = monitor.process(
+            [("insert", 3, 0), ("insert", 1, 0)], batch_size=2
+        )
+        assert len(alerts) == 1
+        # cause is the last event of the chunk that surfaced the crossing
+        assert alerts[0].cause == (1, 0, "insert")
+
+    def test_batch_mode_coalesces_within_chunk_flicker(self, chain):
+        """A cross-up-and-back-down inside one chunk never alerts; per
+        event the same stream alerts (and re-arms) each time."""
+        events = [("insert", 3, 0), ("delete", 3, 0)]
+        batched = CycleMonitor(chain, watch=[0], threshold=1)
+        assert batched.process(events, batch_size=2) == []
+        per_event = CycleMonitor(chain, watch=[0], threshold=1)
+        assert len(per_event.process(events)) == 1
+
+    def test_batch_mode_matches_per_event_final_state(self, chain):
+        events = [
+            ("insert", 3, 0),
+            ("insert", 1, 0),
+            ("delete", 3, 0),
+            ("insert", 0, 2),
+        ]
+        batched = CycleMonitor(chain, watch=[0, 1, 2], threshold=1)
+        batched.process(events, batch_size=3)
+        per_event = CycleMonitor(chain, watch=[0, 1, 2], threshold=1)
+        per_event.process(events)
+        for v in (0, 1, 2):
+            assert (
+                batched.counter.count(v) == per_event.counter.count(v)
+            )
+
+    def test_batch_mode_partial_last_chunk(self, chain):
+        monitor = CycleMonitor(chain, watch=[0], threshold=1)
+        alerts = monitor.process([("insert", 3, 0)], batch_size=10)
+        assert len(alerts) == 1
+
+    def test_batch_mode_unknown_op_rejected(self, chain):
+        monitor = CycleMonitor(chain)
+        with pytest.raises(ValueError):
+            monitor.process([("upsert", 0, 1)], batch_size=5)
+
+    def test_batch_mode_invalid_batch_size(self, chain):
+        monitor = CycleMonitor(chain)
+        with pytest.raises(ValueError):
+            monitor.process([("insert", 3, 0)], batch_size=0)
+
+    def test_batch_mode_cause_never_names_a_skipped_op(self, chain):
+        """A skipped op never mutated the graph, so it must not appear
+        as an alert cause; attribution falls back to the last applied
+        event of the chunk."""
+        monitor = CycleMonitor(chain, watch=[0], threshold=1)
+        alerts = monitor.process(
+            [("insert", 3, 0), ("delete", 0, 3)],  # (0,3) absent: skipped
+            batch_size=2,
+            on_invalid="skip",
+        )
+        assert len(alerts) == 1
+        assert alerts[0].cause == (3, 0, "insert")
+
+    def test_batch_mode_all_skipped_chunk_is_silent(self, chain):
+        monitor = CycleMonitor(chain, watch=[0], threshold=1)
+        alerts = monitor.process(
+            [("delete", 0, 3), ("delete", 3, 1)],  # both absent
+            batch_size=2,
+            on_invalid="skip",
+        )
+        assert alerts == []
+
+    def test_batch_mode_records_batch_stats(self, chain):
+        monitor = CycleMonitor(chain, watch=[0])
+        monitor.process(
+            [("insert", 3, 0), ("delete", 2, 3)], batch_size=2
+        )
+        log = monitor.counter.update_log
+        assert [s.operation for s in log] == ["batch"]
+        assert log[0].applied == 2
+
     def test_watch_added_later(self, chain):
         monitor = CycleMonitor(chain, watch=[0], threshold=1)
         monitor.watch(2)

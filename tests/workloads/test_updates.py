@@ -1,10 +1,15 @@
-"""Tests for update workloads (Section VI protocol, Figure 12 clustering)."""
+"""Tests for update workloads (Section VI protocol, Figure 12 clustering,
+and the mixed batch generators for the batched maintenance engine)."""
+
+import pytest
 
 from repro.graph.digraph import DiGraph
 from repro.workloads.clusters import CLUSTER_NAMES
 from repro.workloads.updates import (
+    batched_workload,
     cluster_edges_by_degree,
     edge_degree,
+    mixed_update_stream,
     random_edge_batch,
 )
 from tests.conftest import random_digraph
@@ -68,3 +73,104 @@ class TestEdgeClustering:
         g = DiGraph.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
         clusters = cluster_edges_by_degree(g, list(g.edges()))
         assert len(clusters["Bottom"]) == 4
+
+
+class TestMixedStream:
+    def test_ops_are_feasible_in_stream_order(self):
+        g = random_digraph(30, 120, seed=21)
+        ops = mixed_update_stream(g, 40, seed=22)
+        sim = g.copy()
+        for op, a, b in ops:
+            if op == "insert":
+                sim.add_edge(a, b)  # raises if infeasible
+            else:
+                sim.remove_edge(a, b)
+
+    def test_distinct_edge_slots_feasible_in_any_order(self):
+        g = random_digraph(30, 120, seed=23)
+        ops = mixed_update_stream(g, 40, seed=24)
+        slots = [(a, b) for _op, a, b in ops]
+        assert len(set(slots)) == len(slots)
+        sim = g.copy()
+        for op, a, b in reversed(ops):  # reversed order still applies
+            if op == "insert":
+                sim.add_edge(a, b)
+            else:
+                sim.remove_edge(a, b)
+
+    def test_insert_fraction_respected(self):
+        g = random_digraph(30, 120, seed=25)
+        ops = mixed_update_stream(g, 40, seed=26, insert_fraction=0.25)
+        inserts = sum(1 for op, *_ in ops if op == "insert")
+        assert inserts == 10 and len(ops) == 40
+
+    def test_all_deletes_and_all_inserts(self):
+        g = random_digraph(20, 60, seed=27)
+        assert all(
+            op == "delete"
+            for op, *_ in mixed_update_stream(g, 20, insert_fraction=0.0)
+        )
+        assert all(
+            op == "insert"
+            for op, *_ in mixed_update_stream(g, 20, insert_fraction=1.0)
+        )
+
+    def test_deterministic(self):
+        g = random_digraph(30, 120, seed=28)
+        assert mixed_update_stream(g, 30, seed=5) == mixed_update_stream(
+            g, 30, seed=5
+        )
+
+    def test_count_bounded_by_available_slots(self):
+        g = DiGraph.from_edges(3, [(0, 1)])
+        ops = mixed_update_stream(g, 50, seed=1, insert_fraction=0.0)
+        assert len(ops) == 1  # only one edge to delete
+
+    def test_invalid_fraction(self):
+        g = random_digraph(5, 8, seed=29)
+        with pytest.raises(ValueError):
+            mixed_update_stream(g, 5, insert_fraction=1.5)
+
+
+class TestBatchedWorkload:
+    def test_batch_sizes(self):
+        g = random_digraph(30, 120, seed=31)
+        workload = batched_workload(g, 25, batch_size=8, seed=32)
+        assert len(workload) == 4
+        assert [len(b) for b in workload.batches] == [8, 8, 8, 1]
+        assert len(workload.ops) == 25
+
+    def test_clustered_batches_order_high_degree_first(self):
+        g = random_digraph(60, 400, seed=33)
+        workload = batched_workload(
+            g, 40, batch_size=10, seed=34, cluster=True
+        )
+        ops = workload.ops
+        degrees = [edge_degree(g, (a, b)) for _op, a, b in ops]
+        # High band leads the stream: the first batch's mean edge degree
+        # dominates the last batch's.
+        first = degrees[:10]
+        last = degrees[-10:]
+        assert sum(first) / len(first) >= sum(last) / len(last)
+
+    def test_cluster_false_preserves_stream_order(self):
+        g = random_digraph(30, 120, seed=35)
+        workload = batched_workload(
+            g, 20, batch_size=6, seed=36, cluster=False
+        )
+        assert workload.ops == mixed_update_stream(g, 20, seed=36)
+
+    def test_batches_apply_cleanly_through_engine(self):
+        from repro.core.counter import ShortestCycleCounter
+
+        g = random_digraph(20, 80, seed=37)
+        counter = ShortestCycleCounter.build(g)
+        workload = batched_workload(g, 20, batch_size=5, seed=38)
+        for batch in workload.batches:
+            counter.apply_batch(batch)
+        assert counter.stats()["batches_applied"] == len(workload)
+
+    def test_invalid_batch_size(self):
+        g = random_digraph(5, 8, seed=39)
+        with pytest.raises(ValueError):
+            batched_workload(g, 5, batch_size=0)
