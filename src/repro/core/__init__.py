@@ -9,6 +9,7 @@ from repro.core.batch import (
 )
 from repro.core.csc import CSCIndex
 from repro.core.counter import IndexStats, ShortestCycleCounter
+from repro.core.labelstore import LabelStore
 from repro.core.maintenance import (
     STRATEGIES,
     UpdateStats,
@@ -21,6 +22,7 @@ __all__ = [
     "CSCIndex",
     "DEFAULT_REBUILD_THRESHOLD",
     "IndexStats",
+    "LabelStore",
     "ShortestCycleCounter",
     "STRATEGIES",
     "UpdateStats",

@@ -254,10 +254,7 @@ def apply_batch(
         for a, b in inserts:
             graph.add_edge(a, b)
         fresh = CSCIndex.build(graph, order)
-        index.label_in = fresh.label_in
-        index.label_out = fresh.label_out
-        index._inv_in = None
-        index._inv_out = None
+        index.adopt_labels(fresh)
         stats.rebuilt = True
         return stats
 

@@ -188,8 +188,8 @@ class ShortestCycleCounter:
         v = index.graph.add_vertex()
         index.order.append(v)
         index.pos.append(len(index.order) - 1)
-        index.label_in.append([(index.pos[v], 0, 1, True)])
-        index.label_out.append([])
+        index.store_in.add_vertex([(index.pos[v], 0, 1, True)])
+        index.store_out.add_vertex()
         if index._inv_in is not None:
             index._inv_in.append({v})
             index._inv_out.append(set())

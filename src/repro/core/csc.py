@@ -46,18 +46,23 @@ from typing import Sequence
 
 from repro.errors import SerializationError
 from repro.graph.digraph import DiGraph
-from repro.labeling.hpspc import UNREACHED, merge_labels
-from repro.labeling.ordering import degree_order, positions, validate_order
-from repro.labeling.packing import (
-    labels_from_bytes,
-    labels_to_bytes,
-    packed_size_bytes,
+from repro.labeling.hpspc import UNREACHED
+from repro.labeling.labelstore import (
+    HUB_SHIFT,
+    LabelStore,
+    LabelTable,
+    coerce_store,
+    join_bydist_min_dist,
 )
+from repro.labeling.ordering import degree_order, positions, validate_order
 from repro.types import NO_CYCLE, CycleCount
 
 __all__ = ["CSCIndex"]
 
 Entry = tuple[int, int, int, bool]
+
+_INDEX_MAGIC = b"RPCI"
+_INDEX_VERSION = 1
 
 
 class CSCIndex:
@@ -72,8 +77,14 @@ class CSCIndex:
         "graph",
         "order",
         "pos",
-        "label_in",
-        "label_out",
+        "store_in",
+        "store_out",
+        "_qmaps_in",
+        "_qmaps_out",
+        "_qdist_in",
+        "_qdist_out",
+        "_qdd_in",
+        "_qdd_out",
         "_inv_in",
         "_inv_out",
     )
@@ -83,18 +94,59 @@ class CSCIndex:
         graph: DiGraph,
         order: list[int],
         pos: list[int],
-        label_in: list[list[Entry]],
-        label_out: list[list[Entry]],
+        label_in,
+        label_out,
     ) -> None:
         self.graph = graph
         self.order = order
         self.pos = pos
-        self.label_in = label_in
-        self.label_out = label_out
+        # Labels live in packed flat-array stores; the seed's
+        # list-of-tuple-lists is accepted and packed on the way in.
+        self.store_in: LabelStore = coerce_store(label_in)
+        self.store_out: LabelStore = coerce_store(label_out)
+        # Direct aliases of the stores' per-vertex hub maps: the query
+        # kernels are called millions of times, so they skip the
+        # store-attribute hops.  The alias stays valid because stores
+        # mutate the map list in place; anything that swaps a store out
+        # must call _bind_query_maps() again.
+        self._qmaps_in = self.store_in.ensure_maps()
+        self._qmaps_out = self.store_out.ensure_maps()
+        self._qdist_in = self.store_in.ensure_bydist()
+        self._qdist_out = self.store_out.ensure_bydist()
+        self._qdd_in = self.store_in.ensure_dists()
+        self._qdd_out = self.store_out.ensure_dists()
         # Inverted indexes (hub_pos -> set of labeled vertices); built lazily
         # by ensure_inverted() since only dynamic maintenance needs them.
         self._inv_in: list[set[int]] | None = None
         self._inv_out: list[set[int]] | None = None
+
+    def _bind_query_maps(self) -> None:
+        self._qmaps_in = self.store_in.ensure_maps()
+        self._qmaps_out = self.store_out.ensure_maps()
+        self._qdist_in = self.store_in.ensure_bydist()
+        self._qdist_out = self.store_out.ensure_bydist()
+        self._qdd_in = self.store_in.ensure_dists()
+        self._qdd_out = self.store_out.ensure_dists()
+
+    @property
+    def label_in(self) -> LabelTable:
+        """``Lin`` as a list-compatible view over the packed store."""
+        return LabelTable(self.store_in)
+
+    @label_in.setter
+    def label_in(self, labels) -> None:
+        self.store_in = coerce_store(labels)
+        self._bind_query_maps()
+
+    @property
+    def label_out(self) -> LabelTable:
+        """``Lout`` as a list-compatible view over the packed store."""
+        return LabelTable(self.store_out)
+
+    @label_out.setter
+    def label_out(self, labels) -> None:
+        self.store_out = coerce_store(labels)
+        self._bind_query_maps()
 
     # ------------------------------------------------------------------
     # Construction
@@ -133,8 +185,8 @@ class CSCIndex:
             self.graph.copy() if copy_graph else self.graph,
             list(self.order),
             list(self.pos),
-            [list(entries) for entries in self.label_in],
-            [list(entries) for entries in self.label_out],
+            self.store_in.copy(),
+            self.store_out.copy(),
         )
 
     # ------------------------------------------------------------------
@@ -144,19 +196,50 @@ class CSCIndex:
         """``SCCnt(v)``: count and length of the shortest cycles through
         ``v`` (Section IV-D).
 
-        Evaluates ``SPCnt_Gb(v_out, v_in)`` by a sorted merge of
-        ``Lout(v_out)`` and ``Lin(v_in)``; the ``Gb`` distance ``d`` maps to
-        cycle length ``(d + 1) / 2``.
+        Evaluates ``SPCnt_Gb(v_out, v_in)`` by a merge-join of
+        ``Lout(v_out)`` and ``Lin(v_in)`` over the packed store's hub maps
+        (iterate the smaller side, probe the larger at C dict speed); the
+        ``Gb`` distance ``d`` maps to cycle length ``(d + 1) / 2``.
         """
-        d, c = merge_labels(self.label_out[v], self.label_in[v])
-        if d == UNREACHED or c == 0:
+        # Iterate the smaller side's distance-sorted view, probe the
+        # larger side's {hub: dist} dict (counts fetched only on
+        # improve/tie); stop once the sorted distance passes the best sum
+        # found (probe-side distances are >= 0).
+        if len(self._qmaps_out[v]) <= len(self._qmaps_in[v]):
+            items = self._qdist_out[v]
+            probe = self._qdd_in[v]
+            counts = self._qmaps_in[v]
+        else:
+            items = self._qdist_in[v]
+            probe = self._qdd_out[v]
+            counts = self._qmaps_out[v]
+        best = UNREACHED
+        total = 0
+        get = probe.get
+        for d_a, h, c_a in items:
+            if d_a > best:
+                break
+            od = get(h)
+            if od is not None:
+                d = d_a + od
+                if d < best:
+                    best = d
+                    total = c_a * counts[h][1]
+                elif d == best:
+                    total += c_a * counts[h][1]
+        if total == 0 or best == UNREACHED:
             return NO_CYCLE
-        return CycleCount(c, (d + 1) // 2)
+        # tuple.__new__ skips NamedTuple's python-level __new__ (~280ns
+        # per call on the benchmark machine); the result is a normal
+        # CycleCount in every observable way.
+        return tuple.__new__(CycleCount, (total, (best + 1) // 2))
 
     def cycle_gb_distance(self, v: int) -> int:
         """Raw ``Gb`` distance of ``SPCnt(v_out, v_in)`` (``UNREACHED`` when
         no cycle exists) — exposed for tests and diagnostics."""
-        return merge_labels(self.label_out[v], self.label_in[v])[0]
+        if len(self._qmaps_out[v]) <= len(self._qmaps_in[v]):
+            return join_bydist_min_dist(self._qdist_out[v], self._qdd_in[v])
+        return join_bydist_min_dist(self._qdist_in[v], self._qdd_out[v])
 
     # ------------------------------------------------------------------
     # Internal distance/count queries over the implicit Gb
@@ -169,23 +252,45 @@ class CSCIndex:
         ``sd(x_in, h) = sd(x_out, h) + 1``, with the hub ``x_in`` itself at
         distance 0 replacing the shifted cycle entry.
         """
+        return self.derived_out_into(x, {})
+
+    def derived_out_into(
+        self, x: int, buf: dict[int, tuple[int, int]]
+    ) -> dict[int, tuple[int, int]]:
+        """Reusable-buffer variant of :meth:`derived_out_map` — clears and
+        refills ``buf`` so maintenance loops that derive one map per hub
+        never reallocate."""
+        buf.clear()
         px = self.pos[x]
-        mapping: dict[int, tuple[int, int]] = {px: (0, 1)}
-        for q, d, c, _f in self.label_out[x]:
+        buf[px] = (0, 1)
+        for q, dc in self._qmaps_out[x].items():
             if q != px:
-                mapping[q] = (d + 1, c)
-        return mapping
+                buf[q] = (dc[0] + 1, dc[1])
+        return buf
 
     def qdist_in_in(self, x: int, y: int) -> int:
-        """``sd_Gb(x_in, y_in)`` via the full label cover."""
+        """``sd_Gb(x_in, y_in)`` via the full label cover.
+
+        Merge-join over the maintained hub maps: probes ``Lin(y_in)``
+        against the couple-shifted ``Lout(x_out)`` without materializing
+        the derived map.
+        """
         if x == y:
             return 0
-        out_map = self.derived_out_map(x)
+        mx = self._qmaps_out[x]
+        my = self._qmaps_in[y]
+        px = self.pos[x]
         best = UNREACHED
-        for q, d, _c, _f in self.label_in[y]:
-            pair = out_map.get(q)
-            if pair is not None and pair[0] + d < best:
-                best = pair[0] + d
+        pair = my.get(px)
+        if pair is not None:
+            best = pair[0]  # hub x_in itself, at derived distance 0
+        get = mx.get
+        for q, dc in my.items():
+            other = get(q)
+            if other is not None and q != px:
+                d = other[0] + 1 + dc[0]
+                if d < best:
+                    best = d
         return best
 
     def qdist_out_in(self, x: int, y: int) -> int:
@@ -194,15 +299,13 @@ class CSCIndex:
         For ``x == y`` this is the cycle distance.  Correct for all pairs
         actually covered by the reduced index (see module docstring); used by
         CLEAN-LABEL and maintenance pruning, always on (source=out,
-        target=in) pairs, which the Vin-hub cover handles.
+        target=in) pairs, which the Vin-hub cover handles.  A merge-join
+        over the maintained hub maps — the seed rebuilt a dict of
+        ``Lin(y)`` on every call.
         """
-        in_map = {q: d for q, d, _c, _f in self.label_in[y]}
-        best = UNREACHED
-        for q, d, _c, _f in self.label_out[x]:
-            other = in_map.get(q)
-            if other is not None and d + other < best:
-                best = d + other
-        return best
+        if len(self._qmaps_out[x]) <= len(self._qmaps_in[y]):
+            return join_bydist_min_dist(self._qdist_out[x], self._qdd_in[y])
+        return join_bydist_min_dist(self._qdist_in[y], self._qdd_out[x])
 
     # ------------------------------------------------------------------
     # Inverted indexes for maintenance
@@ -215,18 +318,30 @@ class CSCIndex:
             n = self.graph.n
             inv_in: list[set[int]] = [set() for _ in range(n)]
             inv_out: list[set[int]] = [set() for _ in range(n)]
+            in_packed = self.store_in.packed
+            out_packed = self.store_out.packed
             for w in range(n):
-                for q, _d, _c, _f in self.label_in[w]:
-                    inv_in[q].add(w)
-                for q, _d, _c, _f in self.label_out[w]:
-                    inv_out[q].add(w)
+                for e in in_packed[w]:
+                    inv_in[e >> HUB_SHIFT].add(w)
+                for e in out_packed[w]:
+                    inv_out[e >> HUB_SHIFT].add(w)
             self._inv_in = inv_in
             self._inv_out = inv_out
         return self._inv_in, self._inv_out
 
-    def entry_index(self, entries: list[Entry], hub_pos: int) -> int:
-        """Position of ``hub_pos`` in a sorted entry list, or ``-1``."""
-        i = bisect_left(entries, hub_pos, key=lambda e: e[0])
+    def entry_index(self, entries, hub_pos: int) -> int:
+        """Position of ``hub_pos`` in a sorted entry sequence, or ``-1``.
+
+        For a packed :class:`~repro.labeling.labelstore.LabelView` this is
+        a direct bisect over the packed words (hub bits are most
+        significant) — no per-call ``key=lambda``.  Plain tuple lists fall
+        back to bisecting against the 1-tuple ``(hub_pos,)``, which
+        compares lexicographically below every real entry of that hub.
+        """
+        finder = getattr(entries, "hub_index", None)
+        if finder is not None:
+            return finder(hub_pos)
+        i = bisect_left(entries, (hub_pos,))
         if i < len(entries) and entries[i][0] == hub_pos:
             return i
         return -1
@@ -305,13 +420,14 @@ class CSCIndex:
     # ------------------------------------------------------------------
     def total_entries(self) -> int:
         """Stored label entries (the reduced representation's footprint)."""
-        return sum(len(lbl) for lbl in self.label_in) + sum(
-            len(lbl) for lbl in self.label_out
+        return (
+            self.store_in.total_entries() + self.store_out.total_entries()
         )
 
     def size_bytes(self) -> int:
-        """Index size under the paper's 64-bit entry encoding."""
-        return packed_size_bytes(self.total_entries())
+        """Index size under the paper's 64-bit entry encoding — now the
+        bytes actually held by the packed arrays, not an estimate."""
+        return self.store_in.nbytes() + self.store_out.nbytes()
 
     def average_label_size(self) -> float:
         """Mean stored entries per vertex per direction."""
@@ -325,33 +441,70 @@ class CSCIndex:
         """``(Lin(v_in), Lout(v_out))`` with hub *vertex ids* — the
         Table III view (hub ids name the ``v_in`` vertex of that original
         vertex)."""
-        lin = {(self.order[q], d, c) for (q, d, c, _) in self.label_in[v]}
-        lout = {(self.order[q], d, c) for (q, d, c, _) in self.label_out[v]}
+        lin = {
+            (self.order[q], d, c) for (q, d, c, _) in self.store_in.entries(v)
+        }
+        lout = {
+            (self.order[q], d, c)
+            for (q, d, c, _) in self.store_out.entries(v)
+        }
         return lin, lout
 
+    def adopt_labels(self, other: "CSCIndex") -> None:
+        """Take over another index's label stores (the batch engine's
+        rebuild fallback) and drop caches tied to the old labels."""
+        self.store_in = other.store_in
+        self.store_out = other.store_out
+        self._bind_query_maps()
+        self._inv_in = None
+        self._inv_out = None
+
     def to_bytes(self) -> bytes:
-        """Serialize the labels (graph not included)."""
+        """Serialize the labels (graph not included).
+
+        The packed stores are dumped with one ``array.tobytes`` memcpy per
+        vertex (container format ``RPCI``) — the seed looped a
+        ``struct.pack`` per entry.
+        """
+        order_blob = b"".join(v.to_bytes(4, "little") for v in self.order)
         return b"".join(
             [
-                labels_to_bytes(self.order, self.label_in),
-                labels_to_bytes(self.order, self.label_out),
+                _INDEX_MAGIC,
+                bytes([_INDEX_VERSION]),
+                len(self.order).to_bytes(4, "little"),
+                order_blob,
+                self.store_in.to_bytes(),
+                self.store_out.to_bytes(),
             ]
         )
 
     @classmethod
     def from_bytes(cls, blob: bytes, graph: DiGraph) -> "CSCIndex":
         """Rebuild an index from :meth:`to_bytes` output plus its graph."""
-        from repro.labeling.hpspc import labels_from_bytes_prefix
-
-        (order, label_in), consumed = labels_from_bytes_prefix(blob)
-        order2, label_out = labels_from_bytes(blob[consumed:])
-        if order2 != order:
-            raise SerializationError("in/out label blobs disagree on order")
-        if len(order) != graph.n:
+        if len(blob) < 9 or blob[:4] != _INDEX_MAGIC:
+            raise SerializationError("not a packed CSC index blob")
+        if blob[4] != _INDEX_VERSION:
             raise SerializationError(
-                f"index was built for n={len(order)}, graph has n={graph.n}"
+                f"unsupported CSC index version {blob[4]}"
             )
-        return cls(graph, order, positions(order), label_in, label_out)
+        n = int.from_bytes(blob[5:9], "little")
+        if len(blob) < 9 + 4 * n:
+            raise SerializationError("truncated CSC index blob")
+        order = [
+            int.from_bytes(blob[9 + 4 * i: 13 + 4 * i], "little")
+            for i in range(n)
+        ]
+        offset = 9 + 4 * n
+        store_in, consumed = LabelStore.from_bytes_prefix(blob[offset:])
+        offset += consumed
+        store_out = LabelStore.from_bytes(blob[offset:])
+        if len(store_in) != n or len(store_out) != n:
+            raise SerializationError("in/out label blobs disagree on order")
+        if n != graph.n:
+            raise SerializationError(
+                f"index was built for n={n}, graph has n={graph.n}"
+            )
+        return cls(graph, order, positions(order), store_in, store_out)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,33 @@
+"""Packed flat-array label store — canonical import path.
+
+The implementation lives in :mod:`repro.labeling.labelstore` (the
+labeling layer owns label representations; importing it from ``core``
+here would cycle through ``repro.core.__init__`` while
+``repro.labeling.hpspc`` is still initializing).  This module is the
+documented ``repro.core.labelstore`` entry point used by the index and
+maintenance layers.
+"""
+
+from repro.labeling.labelstore import (
+    COUNT_SATURATED,
+    HUB_SHIFT,
+    UNREACHED,
+    LabelStore,
+    LabelTable,
+    LabelView,
+    coerce_store,
+    join_min_count,
+    join_min_dist,
+)
+
+__all__ = [
+    "COUNT_SATURATED",
+    "HUB_SHIFT",
+    "UNREACHED",
+    "LabelStore",
+    "LabelTable",
+    "LabelView",
+    "coerce_store",
+    "join_min_count",
+    "join_min_dist",
+]

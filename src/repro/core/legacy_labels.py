@@ -1,0 +1,128 @@
+"""The seed's tuple-list query kernels, frozen for differential testing.
+
+These are byte-for-byte the pre-packed-store implementations of the hot
+query paths (``CSCIndex.sccnt`` / ``qdist_in_in`` / ``qdist_out_in`` /
+``derived_out_map`` and the HP-SPC label merge), operating on labels as
+plain lists of ``(hub_pos, dist, count, canonical)`` tuples.  They serve
+two purposes:
+
+* the Hypothesis differential harness
+  (``tests/properties/test_packed_differential.py``) proves the packed
+  store's merge-join kernels bit-identical to them on random graphs and
+  update streams;
+* ``benchmarks/run_all.py`` times them against the packed kernels on the
+  same label data, so the BENCH_query.json speedup claim is measured
+  against the real pre-PR code, not a strawman.
+
+Do not "optimize" this module — its value is staying exactly what the
+seed shipped.
+"""
+
+from __future__ import annotations
+
+from repro.types import NO_CYCLE, CycleCount
+
+__all__ = [
+    "UNREACHED",
+    "legacy_merge_labels",
+    "legacy_sccnt",
+    "legacy_cycle_gb_distance",
+    "legacy_derived_out_map",
+    "legacy_qdist_in_in",
+    "legacy_qdist_out_in",
+]
+
+UNREACHED = 1 << 60
+
+Entry = tuple[int, int, int, bool]
+
+
+def legacy_merge_labels(
+    out_labels: list[Entry], in_labels: list[Entry]
+) -> tuple[int, int]:
+    """Two-pointer sorted merge over tuple lists (seed ``merge_labels``)."""
+    best = UNREACHED
+    total = 0
+    i = j = 0
+    len_a, len_b = len(out_labels), len(in_labels)
+    while i < len_a and j < len_b:
+        entry_a = out_labels[i]
+        entry_b = in_labels[j]
+        if entry_a[0] < entry_b[0]:
+            i += 1
+        elif entry_a[0] > entry_b[0]:
+            j += 1
+        else:
+            d = entry_a[1] + entry_b[1]
+            if d < best:
+                best = d
+                total = entry_a[2] * entry_b[2]
+            elif d == best:
+                total += entry_a[2] * entry_b[2]
+            i += 1
+            j += 1
+    return best, total
+
+
+def legacy_sccnt(
+    label_out: list[list[Entry]], label_in: list[list[Entry]], v: int
+) -> CycleCount:
+    """Seed ``CSCIndex.sccnt`` over tuple-list label tables."""
+    d, c = legacy_merge_labels(label_out[v], label_in[v])
+    if d == UNREACHED or c == 0:
+        return NO_CYCLE
+    return CycleCount(c, (d + 1) // 2)
+
+
+def legacy_cycle_gb_distance(
+    label_out: list[list[Entry]], label_in: list[list[Entry]], v: int
+) -> int:
+    """Seed ``CSCIndex.cycle_gb_distance``."""
+    return legacy_merge_labels(label_out[v], label_in[v])[0]
+
+
+def legacy_derived_out_map(
+    label_out: list[list[Entry]], pos: list[int], x: int
+) -> dict[int, tuple[int, int]]:
+    """Seed ``CSCIndex.derived_out_map`` (rebuilds a dict per call)."""
+    px = pos[x]
+    mapping: dict[int, tuple[int, int]] = {px: (0, 1)}
+    for q, d, c, _f in label_out[x]:
+        if q != px:
+            mapping[q] = (d + 1, c)
+    return mapping
+
+
+def legacy_qdist_in_in(
+    label_out: list[list[Entry]],
+    label_in: list[list[Entry]],
+    pos: list[int],
+    x: int,
+    y: int,
+) -> int:
+    """Seed ``CSCIndex.qdist_in_in``."""
+    if x == y:
+        return 0
+    out_map = legacy_derived_out_map(label_out, pos, x)
+    best = UNREACHED
+    for q, d, _c, _f in label_in[y]:
+        pair = out_map.get(q)
+        if pair is not None and pair[0] + d < best:
+            best = pair[0] + d
+    return best
+
+
+def legacy_qdist_out_in(
+    label_out: list[list[Entry]],
+    label_in: list[list[Entry]],
+    x: int,
+    y: int,
+) -> int:
+    """Seed ``CSCIndex.qdist_out_in`` (rebuilds a dict per call)."""
+    in_map = {q: d for q, d, _c, _f in label_in[y]}
+    best = UNREACHED
+    for q, d, _c, _f in label_out[x]:
+        other = in_map.get(q)
+        if other is not None and d + other < best:
+            best = d + other
+    return best

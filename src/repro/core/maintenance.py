@@ -19,6 +19,15 @@ updating entries per Algorithm 7.  Stale seeds (possible under the
 redundancy strategy) start strictly above the query distance everywhere and
 prune immediately, so they are harmless.
 
+Labels live in the packed flat-array store
+(:mod:`repro.labeling.labelstore`), so the repair passes patch 64-bit
+entries in place.  Every pruning query is a merge-join over the store's
+maintained hub maps: the hub-side map (derived once per pass into a
+buffer reused across the whole update) is iterated, and the visited
+vertex's map is probed at C dict speed — the seed instead scanned the
+vertex's tuple list and, per hub, rebuilt the hub-side dict from
+scratch.
+
 Two strategies (Section V-B):
 
 * ``"redundancy"`` (default) — dominated stale entries stay; queries remain
@@ -46,13 +55,12 @@ otherwise re-enter query minima with a rotten count.
 
 from __future__ import annotations
 
-from bisect import insort
 from collections import deque
 from dataclasses import dataclass, field
 
 from repro.core.csc import CSCIndex
 from repro.graph.traversal import INF, bfs_distances
-from repro.labeling.hpspc import UNREACHED
+from repro.labeling.labelstore import UNREACHED, LabelStore
 
 __all__ = [
     "UpdateStats",
@@ -92,6 +100,19 @@ def _check_strategy(strategy: str) -> None:
         )
 
 
+def _canonical_shift_map(
+    store: LabelStore, v: int, limit_hub: int, shift: int
+) -> dict[int, int]:
+    """``{hub: dist + shift}`` over ``v``'s canonical entries whose hub
+    ranks strictly above ``limit_hub`` (i.e. ``hub < limit_hub``)."""
+    maps = store._maps or store.ensure_maps()
+    return {
+        h: dc[0] + shift
+        for h, dc in maps[v].items()
+        if h < limit_hub and dc[2]
+    }
+
+
 # ---------------------------------------------------------------------------
 # Incremental update (Algorithm 5: INCCNT)
 # ---------------------------------------------------------------------------
@@ -111,28 +132,36 @@ def insert_edge(
     stats = UpdateStats("insert", (a, b), strategy)
     pos = index.pos
     pa, pb = pos[a], pos[b]
+    maps_in = index.store_in.ensure_maps()
+    maps_out = index.store_out.ensure_maps()
 
     forward_seeds: dict[int, tuple[int, int]] = {}
-    for q, d, c, _f in index.label_in[a]:
+    for q, dc in maps_in[a].items():
         if q < pb:
             # sd(q_in, a_out) = d + 1; BFS starts at b_in one edge later.
-            forward_seeds[q] = (d + 2, c)
+            forward_seeds[q] = (dc[0] + 2, dc[1])
     backward_seeds: dict[int, tuple[int, int]] = {}
     if pb <= pa:
         backward_seeds[pb] = (1, 1)  # hub b_in itself: a_out -> b_in
-    for q, d, c, _f in index.label_out[b]:
+    for q, dc in maps_out[b].items():
         if q != pb and q <= pa:
             # sd(b_in, q_in) = d + 1; reverse BFS starts at a_out.
-            backward_seeds[q] = (d + 2, c)
+            backward_seeds[q] = (dc[0] + 2, dc[1])
 
+    # Hub-side full-map buffers, reused across every hub of this update.
+    full_buf: dict[int, int] = {}
     for q in sorted(set(forward_seeds) | set(backward_seeds)):
         stats.hubs_processed += 1
         seed = forward_seeds.get(q)
         if seed is not None:
-            _forward_pass(index, q, b, seed[0], seed[1], strategy, stats)
+            _forward_pass(
+                index, q, b, seed[0], seed[1], strategy, stats, full_buf
+            )
         seed = backward_seeds.get(q)
         if seed is not None:
-            _backward_pass(index, q, a, seed[0], seed[1], strategy, stats)
+            _backward_pass(
+                index, q, a, seed[0], seed[1], strategy, stats, full_buf
+            )
     return stats
 
 
@@ -144,21 +173,24 @@ def _forward_pass(
     c0: int,
     strategy: str,
     stats: UpdateStats,
+    out_full: dict[int, int],
 ) -> None:
     """Algorithm 6 (FORWARD-PASS): update in-labels below hub ``q``."""
     graph = index.graph
     pos = index.pos
-    label_in = index.label_in
+    store_in = index.store_in
     hub_vertex = index.order[q]
-    # Full and canonical views of the derived Lout(q_in).
-    out_full: dict[int, int] = {q: 0}
-    out_canon: dict[int, int] = {}
-    for q2, d2, _c2, f2 in index.label_out[hub_vertex]:
+    # Full and canonical views of the derived Lout(q_in); the full map
+    # fills a buffer reused across the whole insert.
+    out_full.clear()
+    out_full[q] = 0
+    for q2, dc in index.store_out.ensure_maps()[hub_vertex].items():
         if q2 != q:
-            out_full[q2] = d2 + 1
-            if f2 and q2 < q:
-                out_canon[q2] = d2 + 1
+            out_full[q2] = dc[0] + 1
+    out_canon = _canonical_shift_map(index.store_out, hub_vertex, q, 1)
 
+    maps_in = store_in.ensure_maps()
+    full_items = list(out_full.items())
     dist: dict[int, int] = {start: d0}
     cnt: dict[int, int] = {start: c0}
     queue: deque[int] = deque((start,))
@@ -166,17 +198,21 @@ def _forward_pass(
         w = queue.popleft()
         d_w = dist[w]
         stats.vertices_visited += 1
+        # Full-index pruning query (Algorithm 6): every hub of the derived
+        # Lout(q_in) ranks at or above q, so probing w's full map against
+        # those hubs covers exactly the seed's <=q label prefix scan.
         d_query = UNREACHED
-        for q2, d2, _c2, _f2 in label_in[w]:
-            if q2 > q:
-                break
-            od = out_full.get(q2)
-            if od is not None and od + d2 < d_query:
-                d_query = od + d2
+        get = maps_in[w].get
+        for h2, od in full_items:
+            t = get(h2)
+            if t is not None:
+                d2 = od + t[0]
+                if d2 < d_query:
+                    d_query = d2
         if d_w > d_query:
             continue  # Case 1: not on a new shortest path
         _update_entry(
-            index, index.label_in, index._inv_in, w, q, d_w, cnt[w],
+            index, store_in, index._inv_in, w, q, d_w, cnt[w],
             out_canon, forward=True, strategy=strategy, stats=stats,
         )
         d_next = d_w + 2
@@ -200,19 +236,20 @@ def _backward_pass(
     c0: int,
     strategy: str,
     stats: UpdateStats,
+    in_full: dict[int, int],
 ) -> None:
     """BACKWARD-PASS: update out-labels below hub ``q`` (reverse BFS)."""
     graph = index.graph
     pos = index.pos
-    label_out = index.label_out
+    store_out = index.store_out
     hub_vertex = index.order[q]
-    in_full: dict[int, int] = {}
-    in_canon: dict[int, int] = {}
-    for q2, d2, _c2, f2 in index.label_in[hub_vertex]:
-        in_full[q2] = d2
-        if f2 and q2 < q:
-            in_canon[q2] = d2
+    in_full.clear()
+    for q2, dc in index.store_in.ensure_maps()[hub_vertex].items():
+        in_full[q2] = dc[0]
+    in_canon = _canonical_shift_map(index.store_in, hub_vertex, q, 0)
 
+    maps_out = store_out.ensure_maps()
+    full_items = list(in_full.items())
     dist: dict[int, int] = {start: d0}
     cnt: dict[int, int] = {start: c0}
     queue: deque[int] = deque((start,))
@@ -221,16 +258,17 @@ def _backward_pass(
         d_w = dist[w]
         stats.vertices_visited += 1
         d_query = UNREACHED
-        for q2, d2, _c2, _f2 in label_out[w]:
-            if q2 > q:
-                break
-            od = in_full.get(q2)
-            if od is not None and od + d2 < d_query:
-                d_query = od + d2
+        get = maps_out[w].get
+        for h2, od in full_items:
+            t = get(h2)
+            if t is not None:
+                d2 = od + t[0]
+                if d2 < d_query:
+                    d_query = d2
         if d_w > d_query:
             continue
         _update_entry(
-            index, index.label_out, index._inv_out, w, q, d_w, cnt[w],
+            index, store_out, index._inv_out, w, q, d_w, cnt[w],
             in_canon, forward=False, strategy=strategy, stats=stats,
         )
         if w == hub_vertex:
@@ -250,7 +288,7 @@ def _backward_pass(
 
 def _update_entry(
     index: CSCIndex,
-    table: list[list],
+    store: LabelStore,
     inv: list[set[int]] | None,
     w: int,
     q: int,
@@ -261,32 +299,33 @@ def _update_entry(
     strategy: str,
     stats: UpdateStats,
 ) -> None:
-    """Algorithm 7 (UPDATE-LABEL) with canonical-flag recomputation."""
-    entries = table[w]
-    # Canonical distance via strictly higher canonical hubs, for the flag.
+    """Algorithm 7 (UPDATE-LABEL) with canonical-flag recomputation —
+    patches the packed entry in place."""
+    # Canonical distance via strictly higher canonical hubs, for the flag
+    # (hub_canon's keys all rank strictly above q by construction).
     d_canon = UNREACHED
-    for q2, d2, _c2, f2 in entries:
-        if q2 >= q:
-            break
-        if f2:
-            od = hub_canon.get(q2)
-            if od is not None and od + d2 < d_canon:
-                d_canon = od + d2
+    get = (store._maps or store.ensure_maps())[w].get
+    for h2, od in hub_canon.items():
+        t = get(h2)
+        if t is not None and t[2]:
+            d2 = od + t[0]
+            if d2 < d_canon:
+                d_canon = d2
     flag = d_canon > d
-    i = index.entry_index(entries, q)
+    i = store.hub_index(w, q)
     if i >= 0:
-        _q, d_old, c_old, _f_old = entries[i]
+        _q, d_old, c_old, _f_old = store.decode(w, i)
         if d < d_old:
-            entries[i] = (q, d, c, flag)
+            store.set_at(w, i, q, d, c, flag)
             stats.entries_updated += 1
             if strategy == "minimality":
                 _clean_vertex(index, w, forward, stats)
         elif d == d_old:
-            entries[i] = (q, d, c_old + c, flag)
+            store.set_at(w, i, q, d, c_old + c, flag)
             stats.entries_updated += 1
         # d > d_old is impossible: the pruning query is bounded by d_old.
     else:
-        insort(entries, (q, d, c, flag), key=lambda e: e[0])
+        store.insert_sorted(w, q, d, c, flag)
         if inv is not None:
             inv[q].add(w)
         stats.entries_added += 1
@@ -310,7 +349,8 @@ def _clean_vertex(
     inv_in, inv_out = index.ensure_inverted()
     order = index.order
     if forward:
-        entries = index.label_in[w]
+        store = index.store_in
+        entries = store.entries(w)
         keep = []
         for entry in entries:
             q2, d2, _c2, _f2 = entry
@@ -320,20 +360,21 @@ def _clean_vertex(
             else:
                 keep.append(entry)
         if len(keep) != len(entries):
-            entries[:] = keep
+            store.replace_vertex(w, keep)
         hub_w = index.pos[w]
+        other = index.store_out
         for v in list(inv_out[hub_w]):
-            entries_v = index.label_out[v]
-            i = index.entry_index(entries_v, hub_w)
+            i = other.hub_index(v, hub_w)
             if i < 0:
                 inv_out[hub_w].discard(v)
                 continue
-            if entries_v[i][1] > index.qdist_out_in(v, w):
-                del entries_v[i]
+            if other.decode(v, i)[1] > index.qdist_out_in(v, w):
+                other.delete_at(v, i)
                 inv_out[hub_w].discard(v)
                 stats.entries_removed += 1
     else:
-        entries = index.label_out[w]
+        store = index.store_out
+        entries = store.entries(w)
         keep = []
         for entry in entries:
             q2, d2, _c2, _f2 = entry
@@ -343,16 +384,16 @@ def _clean_vertex(
             else:
                 keep.append(entry)
         if len(keep) != len(entries):
-            entries[:] = keep
+            store.replace_vertex(w, keep)
         hub_w = index.pos[w]
+        other = index.store_in
         for v in list(inv_in[hub_w]):
-            entries_v = index.label_in[v]
-            i = index.entry_index(entries_v, hub_w)
+            i = other.hub_index(v, hub_w)
             if i < 0:
                 inv_in[hub_w].discard(v)
                 continue
-            if entries_v[i][1] > index.qdist_in_in(w, v):
-                del entries_v[i]
+            if other.decode(v, i)[1] > index.qdist_in_in(w, v):
+                other.delete_at(v, i)
                 inv_in[hub_w].discard(v)
                 stats.entries_removed += 1
 
@@ -453,30 +494,29 @@ def _repair_hub(
     index: CSCIndex, h: int, forward: bool, stats: UpdateStats
 ) -> None:
     """Re-run the construction BFS for hub ``h_in`` on the current graph and
-    replace the hub's label fingerprint (fresh upserts + stale removals)."""
+    replace the hub's label fingerprint (fresh upserts + stale removals),
+    patching packed entries in place."""
     graph = index.graph
     pos = index.pos
     ph = pos[h]
     inv_in, inv_out = index.ensure_inverted()
     if forward:
-        side_labels = index.label_out[h]
-        target_table = index.label_in
+        target = index.store_in
         inv = inv_in
         neighbors = graph.out_neighbors
-        hub_dist = {
-            q: d + 1 for q, d, _c, f in side_labels if q < ph and f
-        }
+        hub_dist = _canonical_shift_map(index.store_out, h, ph, 1)
         rank_ok = lambda u: pos[u] > ph  # noqa: E731
         seeds = [(h, 0, 1)]
     else:
-        side_labels = index.label_in[h]
-        target_table = index.label_out
+        target = index.store_out
         inv = inv_out
         neighbors = graph.in_neighbors
-        hub_dist = {q: d for q, d, _c, f in side_labels if q < ph and f}
+        hub_dist = _canonical_shift_map(index.store_in, h, ph, 0)
         rank_ok = lambda u: pos[u] >= ph  # noqa: E731
         seeds = [(u, 1, 1) for u in graph.in_neighbors(h) if pos[u] >= ph]
 
+    target_maps = target.ensure_maps()
+    hub_items = list(hub_dist.items())
     dist: dict[int, int] = {}
     cnt: dict[int, int] = {}
     queue: deque[int] = deque()
@@ -489,14 +529,17 @@ def _repair_hub(
         w = queue.popleft()
         d_w = dist[w]
         stats.vertices_visited += 1
+        # Pruning query over canonical entries of strictly higher hubs:
+        # iterate the hub-side canonical map (keys rank above ph), probe
+        # w's maintained map, keep canonical matches only.
         d_via = UNREACHED
-        for q, dq, _cq, canonical in target_table[w]:
-            if q >= ph:
-                break
-            if canonical:
-                hd = hub_dist.get(q)
-                if hd is not None and hd + dq < d_via:
-                    d_via = hd + dq
+        get = target_maps[w].get
+        for h2, hd in hub_items:
+            t = get(h2)
+            if t is not None and t[2]:
+                d2 = hd + t[0]
+                if d2 < d_via:
+                    d_via = d2
         if d_via < d_w:
             continue
         fresh[w] = (d_w, cnt[w], d_via > d_w)
@@ -516,20 +559,18 @@ def _repair_hub(
 
     stale = inv[ph] - fresh.keys()
     for w, (d, c, flag) in fresh.items():
-        entries = target_table[w]
-        i = index.entry_index(entries, ph)
+        i = target.hub_index(w, ph)
         if i >= 0:
-            if entries[i][1:] != (d, c, flag):
-                entries[i] = (ph, d, c, flag)
+            if target.decode(w, i)[1:] != (d, c, flag):
+                target.set_at(w, i, ph, d, c, flag)
                 stats.entries_updated += 1
         else:
-            insort(entries, (ph, d, c, flag), key=lambda e: e[0])
+            target.insert_sorted(w, ph, d, c, flag)
             inv[ph].add(w)
             stats.entries_added += 1
     for w in stale:
-        entries = target_table[w]
-        i = index.entry_index(entries, ph)
+        i = target.hub_index(w, ph)
         if i >= 0:
-            del entries[i]
+            target.delete_at(w, i)
             stats.entries_removed += 1
         inv[ph].discard(w)

@@ -1,6 +1,13 @@
 """Hub labeling substrate: orderings, the HP-SPC index, label packing."""
 
 from repro.labeling.hpspc import HPSPCIndex, UNREACHED, merge_labels
+from repro.labeling.labelstore import (
+    LabelStore,
+    LabelTable,
+    LabelView,
+    join_min_count,
+    join_min_dist,
+)
 from repro.labeling.ordering import (
     degree_order,
     min_in_out_order,
@@ -20,7 +27,12 @@ from repro.labeling.packing import (
 
 __all__ = [
     "HPSPCIndex",
+    "LabelStore",
+    "LabelTable",
+    "LabelView",
     "UNREACHED",
+    "join_min_count",
+    "join_min_dist",
     "merge_labels",
     "degree_order",
     "min_in_out_order",

@@ -19,17 +19,21 @@ the HP-SPC baseline enjoys the same update model as CSC:
 
 Unlike the CSC variant there is no couple structure and no cycle-pair
 special case — labels live on the original digraph with hop distances.
+As in :mod:`repro.core.maintenance`, the repair passes patch the packed
+label store in place and every pruning query is a merge-join over the
+store's maintained hub maps (iterate the fixed hub-side map, probe the
+visited vertex's map at C dict speed).
 """
 
 from __future__ import annotations
 
-from bisect import bisect_left, insort
 from collections import deque
 
 from repro.core.maintenance import STRATEGIES, UpdateStats
 from repro.errors import EdgeNotFoundError
 from repro.graph.traversal import INF, bfs_distances
 from repro.labeling.hpspc import HPSPCIndex, UNREACHED
+from repro.labeling.labelstore import HUB_SHIFT, LabelStore, join_min_dist
 
 __all__ = ["insert_edge", "delete_edge", "ensure_inverted"]
 
@@ -44,21 +48,27 @@ def ensure_inverted(
         n = index.graph.n
         inv_in: list[set[int]] = [set() for _ in range(n)]
         inv_out: list[set[int]] = [set() for _ in range(n)]
+        in_packed = index.store_in.packed
+        out_packed = index.store_out.packed
         for w in range(n):
-            for q, *_ in index.label_in[w]:
-                inv_in[q].add(w)
-            for q, *_ in index.label_out[w]:
-                inv_out[q].add(w)
+            for e in in_packed[w]:
+                inv_in[e >> HUB_SHIFT].add(w)
+            for e in out_packed[w]:
+                inv_out[e >> HUB_SHIFT].add(w)
         inv = (inv_in, inv_out)
         index._dyn_inverted = inv
     return inv
 
 
-def _entry_index(entries: list, hub_pos: int) -> int:
-    i = bisect_left(entries, hub_pos, key=lambda e: e[0])
-    if i < len(entries) and entries[i][0] == hub_pos:
-        return i
-    return -1
+def _canonical_map(
+    store: LabelStore, v: int, limit_hub: int
+) -> dict[int, int]:
+    """``{hub: dist}`` over ``v``'s canonical entries with ``hub <
+    limit_hub`` (strictly higher rank)."""
+    maps = store._maps or store.ensure_maps()
+    return {
+        h: dc[0] for h, dc in maps[v].items() if h < limit_hub and dc[2]
+    }
 
 
 def insert_edge(
@@ -74,12 +84,14 @@ def insert_edge(
     stats = UpdateStats("insert", (a, b), strategy)
     pos = index.pos
     pa, pb = pos[a], pos[b]
+    maps_in = index.store_in.ensure_maps()
+    maps_out = index.store_out.ensure_maps()
 
     forward_seeds = {
-        q: (d + 1, c) for q, d, c, _f in index.label_in[a] if q < pb
+        q: (dc[0] + 1, dc[1]) for q, dc in maps_in[a].items() if q < pb
     }
     backward_seeds = {
-        q: (d + 1, c) for q, d, c, _f in index.label_out[b] if q < pa
+        q: (dc[0] + 1, dc[1]) for q, dc in maps_out[b].items() if q < pa
     }
     for q in sorted(set(forward_seeds) | set(backward_seeds)):
         stats.hubs_processed += 1
@@ -107,18 +119,18 @@ def _pass(
     pos = index.pos
     hub_vertex = index.order[q]
     if forward:
-        table = index.label_in
-        side = index.label_out[hub_vertex]
+        store = index.store_in
+        side_store = index.store_out
         neighbors = graph.out_neighbors
     else:
-        table = index.label_out
-        side = index.label_in[hub_vertex]
+        store = index.store_out
+        side_store = index.store_in
         neighbors = graph.in_neighbors
-    full: dict[int, int] = {q2: d2 for q2, d2, _c2, _f2 in side}
-    canon: dict[int, int] = {
-        q2: d2 for q2, d2, _c2, f2 in side if f2 and q2 < q
-    }
+    side_map = side_store.ensure_maps()[hub_vertex]
+    full_items = [(h, dc[0]) for h, dc in side_map.items()]
+    canon = {h: dc[0] for h, dc in side_map.items() if h < q and dc[2]}
     inv = ensure_inverted(index)[0 if forward else 1]
+    target_maps = store.ensure_maps()
 
     dist: dict[int, int] = {start: d0}
     cnt: dict[int, int] = {start: c0}
@@ -127,17 +139,20 @@ def _pass(
         w = queue.popleft()
         d_w = dist[w]
         stats.vertices_visited += 1
+        # Full-index pruning query: Lout(hub)'s hubs all rank at or above
+        # q, so probing w's map covers exactly the seed's <=q prefix scan.
         d_query = UNREACHED
-        for q2, d2, _c2, _f2 in table[w]:
-            if q2 > q:
-                break
-            od = full.get(q2)
-            if od is not None and od + d2 < d_query:
-                d_query = od + d2
+        get = target_maps[w].get
+        for h2, od in full_items:
+            t = get(h2)
+            if t is not None:
+                d2 = od + t[0]
+                if d2 < d_query:
+                    d_query = d2
         if d_w > d_query:
             continue
         _update_entry(
-            index, table, inv, w, q, d_w, cnt[w], canon, forward,
+            index, store, inv, w, q, d_w, cnt[w], canon, forward,
             strategy, stats,
         )
         d_next = d_w + 1
@@ -155,7 +170,7 @@ def _pass(
 
 def _update_entry(
     index: HPSPCIndex,
-    table: list[list],
+    store: LabelStore,
     inv: list[set[int]],
     w: int,
     q: int,
@@ -166,29 +181,30 @@ def _update_entry(
     strategy: str,
     stats: UpdateStats,
 ) -> None:
-    entries = table[w]
+    # Canonical distance via strictly higher canonical hubs (hub_canon's
+    # keys all rank above q by construction), for the flag.
     d_canon = UNREACHED
-    for q2, d2, _c2, f2 in entries:
-        if q2 >= q:
-            break
-        if f2:
-            od = hub_canon.get(q2)
-            if od is not None and od + d2 < d_canon:
-                d_canon = od + d2
+    get = (store._maps or store.ensure_maps())[w].get
+    for h2, od in hub_canon.items():
+        t = get(h2)
+        if t is not None and t[2]:
+            d2 = od + t[0]
+            if d2 < d_canon:
+                d_canon = d2
     flag = d_canon > d
-    i = _entry_index(entries, q)
+    i = store.hub_index(w, q)
     if i >= 0:
-        _q, d_old, c_old, _f_old = entries[i]
+        _q, d_old, c_old, _f_old = store.decode(w, i)
         if d < d_old:
-            entries[i] = (q, d, c, flag)
+            store.set_at(w, i, q, d, c, flag)
             stats.entries_updated += 1
             if strategy == "minimality":
                 _clean_vertex(index, w, forward, stats)
         elif d == d_old:
-            entries[i] = (q, d, c_old + c, flag)
+            store.set_at(w, i, q, d, c_old + c, flag)
             stats.entries_updated += 1
     else:
-        insort(entries, (q, d, c, flag), key=lambda e: e[0])
+        store.insert_sorted(w, q, d, c, flag)
         inv[q].add(w)
         stats.entries_added += 1
         if strategy == "minimality":
@@ -197,9 +213,9 @@ def _update_entry(
 
 def _query_pair(index: HPSPCIndex, s: int, t: int) -> int:
     """Full-label distance query (internal; avoids float inf)."""
-    from repro.labeling.hpspc import merge_labels
-
-    return merge_labels(index.label_out[s], index.label_in[t])[0]
+    maps_o = index.store_out.ensure_maps()
+    maps_i = index.store_in.ensure_maps()
+    return join_min_dist(maps_o[s], maps_i[t])
 
 
 def _clean_vertex(
@@ -209,7 +225,8 @@ def _clean_vertex(
     inv_in, inv_out = ensure_inverted(index)
     order = index.order
     if forward:
-        entries = index.label_in[w]
+        store = index.store_in
+        entries = store.entries(w)
         keep = []
         for entry in entries:
             q2, d2, _c2, _f2 = entry
@@ -219,20 +236,21 @@ def _clean_vertex(
             else:
                 keep.append(entry)
         if len(keep) != len(entries):
-            entries[:] = keep
+            store.replace_vertex(w, keep)
         hub_w = index.pos[w]
+        other = index.store_out
         for v in list(inv_out[hub_w]):
-            entries_v = index.label_out[v]
-            i = _entry_index(entries_v, hub_w)
+            i = other.hub_index(v, hub_w)
             if i < 0:
                 inv_out[hub_w].discard(v)
                 continue
-            if entries_v[i][1] > _query_pair(index, v, w):
-                del entries_v[i]
+            if other.decode(v, i)[1] > _query_pair(index, v, w):
+                other.delete_at(v, i)
                 inv_out[hub_w].discard(v)
                 stats.entries_removed += 1
     else:
-        entries = index.label_out[w]
+        store = index.store_out
+        entries = store.entries(w)
         keep = []
         for entry in entries:
             q2, d2, _c2, _f2 = entry
@@ -242,16 +260,16 @@ def _clean_vertex(
             else:
                 keep.append(entry)
         if len(keep) != len(entries):
-            entries[:] = keep
+            store.replace_vertex(w, keep)
         hub_w = index.pos[w]
+        other = index.store_in
         for v in list(inv_in[hub_w]):
-            entries_v = index.label_in[v]
-            i = _entry_index(entries_v, hub_w)
+            i = other.hub_index(v, hub_w)
             if i < 0:
                 inv_in[hub_w].discard(v)
                 continue
-            if entries_v[i][1] > _query_pair(index, w, v):
-                del entries_v[i]
+            if other.decode(v, i)[1] > _query_pair(index, w, v):
+                other.delete_at(v, i)
                 inv_in[hub_w].discard(v)
                 stats.entries_removed += 1
 
@@ -300,16 +318,17 @@ def _repair_hub(
     ph = pos[h]
     inv_in, inv_out = ensure_inverted(index)
     if forward:
-        target_table = index.label_in
+        target = index.store_in
         inv = inv_in
         neighbors = graph.out_neighbors
-        side = index.label_out[h]
+        hub_dist = _canonical_map(index.store_out, h, ph)
     else:
-        target_table = index.label_out
+        target = index.store_out
         inv = inv_out
         neighbors = graph.in_neighbors
-        side = index.label_in[h]
-    hub_dist = {q: d for q, d, _c, f in side if f and q < ph}
+        hub_dist = _canonical_map(index.store_in, h, ph)
+    target_maps = target.ensure_maps()
+    hub_items = list(hub_dist.items())
 
     dist: dict[int, int] = {h: 0}
     cnt: dict[int, int] = {h: 1}
@@ -319,14 +338,16 @@ def _repair_hub(
         w = queue.popleft()
         d_w = dist[w]
         stats.vertices_visited += 1
+        # Canonical pruning query, flipped into a join over the hub-side
+        # canonical map (do not shadow the hub argument ``h``).
         d_via = UNREACHED
-        for q, dq, _cq, canonical in target_table[w]:
-            if q >= ph:
-                break
-            if canonical:
-                hd = hub_dist.get(q)
-                if hd is not None and hd + dq < d_via:
-                    d_via = hd + dq
+        get = target_maps[w].get
+        for h2, hd in hub_items:
+            t = get(h2)
+            if t is not None and t[2]:
+                d2 = hd + t[0]
+                if d2 < d_via:
+                    d_via = d2
         if d_via < d_w:
             continue
         fresh[w] = (d_w, cnt[w], d_via > d_w)
@@ -344,20 +365,18 @@ def _repair_hub(
 
     stale = inv[ph] - fresh.keys()
     for w, (d, c, flag) in fresh.items():
-        entries = target_table[w]
-        i = _entry_index(entries, ph)
+        i = target.hub_index(w, ph)
         if i >= 0:
-            if entries[i][1:] != (d, c, flag):
-                entries[i] = (ph, d, c, flag)
+            if target.decode(w, i)[1:] != (d, c, flag):
+                target.set_at(w, i, ph, d, c, flag)
                 stats.entries_updated += 1
         else:
-            insort(entries, (ph, d, c, flag), key=lambda e: e[0])
+            target.insert_sorted(w, ph, d, c, flag)
             inv[ph].add(w)
             stats.entries_added += 1
     for w in stale:
-        entries = target_table[w]
-        i = _entry_index(entries, ph)
+        i = target.hub_index(w, ph)
         if i >= 0:
-            del entries[i]
+            target.delete_at(w, i)
             stats.entries_removed += 1
         inv[ph].discard(w)

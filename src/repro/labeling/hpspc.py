@@ -18,9 +18,10 @@ count equals the full ``|SP(h, w)|``; the distance check during construction
 the highest-ranked vertex over *all* shortest ``v -> w`` paths always owns
 canonical entries on both sides (DESIGN.md §3.2).
 
-Label entries are stored as tuples ``(hub_pos, dist, count, canonical)``
-sorted by ``hub_pos`` (the hub's rank position; 0 = highest), so queries are
-linear merges.
+Label entries are sorted by ``hub_pos`` (the hub's rank position; 0 =
+highest) and held in a packed :class:`~repro.labeling.labelstore.LabelStore`
+(the paper's 64-bit entry layout); queries are merge-joins over per-vertex
+hub maps.  ``label_in`` / ``label_out`` expose the classic tuple-list view.
 """
 
 from __future__ import annotations
@@ -29,6 +30,13 @@ from collections import deque
 from typing import Sequence
 
 from repro.graph.digraph import DiGraph
+from repro.labeling.labelstore import (
+    UNREACHED,
+    LabelStore,
+    LabelTable,
+    coerce_store,
+    join_min_count,
+)
 from repro.labeling.ordering import degree_order, positions, validate_order
 from repro.labeling.packing import (
     labels_from_bytes,
@@ -38,9 +46,6 @@ from repro.labeling.packing import (
 from repro.errors import SerializationError
 
 __all__ = ["HPSPCIndex", "UNREACHED"]
-
-#: Sentinel distance for "not reached"; larger than any real distance.
-UNREACHED = 1 << 60
 
 Entry = tuple[int, int, int, bool]
 
@@ -54,7 +59,7 @@ class HPSPCIndex:
     """
 
     __slots__ = (
-        "graph", "order", "pos", "label_in", "label_out", "_dyn_inverted",
+        "graph", "order", "pos", "store_in", "store_out", "_dyn_inverted",
     )
 
     def __init__(
@@ -62,16 +67,27 @@ class HPSPCIndex:
         graph: DiGraph,
         order: list[int],
         pos: list[int],
-        label_in: list[list[Entry]],
-        label_out: list[list[Entry]],
+        label_in,
+        label_out,
     ) -> None:
         self.graph = graph
         self.order = order
         self.pos = pos
-        self.label_in = label_in
-        self.label_out = label_out
+        # Accepts the seed's list-of-tuple-lists or a LabelStore/-Table.
+        self.store_in: LabelStore = coerce_store(label_in)
+        self.store_out: LabelStore = coerce_store(label_out)
         # Inverted indexes, built lazily by repro.labeling.dynamic.
         self._dyn_inverted = None
+
+    @property
+    def label_in(self) -> LabelTable:
+        """``Lin`` as a list-compatible view over the packed store."""
+        return LabelTable(self.store_in)
+
+    @property
+    def label_out(self) -> LabelTable:
+        """``Lout`` as a list-compatible view over the packed store."""
+        return LabelTable(self.store_out)
 
     # ------------------------------------------------------------------
     # Construction
@@ -116,7 +132,10 @@ class HPSPCIndex:
         Returns ``(distance, count)``; ``(inf, 0)`` when unreachable and
         ``(0, 1)`` when ``source == target``.
         """
-        d, c = merge_labels(self.label_out[source], self.label_in[target])
+        so, si = self.store_out, self.store_in
+        maps_o = so._maps or so.ensure_maps()
+        maps_i = si._maps or si.ensure_maps()
+        d, c = join_min_count(maps_o[source], maps_i[target])
         if d == UNREACHED:
             return (float("inf"), 0)
         return (d, c)
@@ -130,9 +149,7 @@ class HPSPCIndex:
     # ------------------------------------------------------------------
     def total_entries(self) -> int:
         """Total number of label entries over all vertices."""
-        return sum(len(lbl) for lbl in self.label_in) + sum(
-            len(lbl) for lbl in self.label_out
-        )
+        return self.store_in.total_entries() + self.store_out.total_entries()
 
     def size_bytes(self) -> int:
         """Index size under the paper's 64-bit entry encoding."""
@@ -145,23 +162,29 @@ class HPSPCIndex:
         return self.total_entries() / (2 * self.graph.n)
 
     def labels_of(self, v: int) -> tuple[list[Entry], list[Entry]]:
-        """``(Lin(v), Lout(v))`` as stored (hub positions, not ids)."""
-        return self.label_in[v], self.label_out[v]
+        """``(Lin(v), Lout(v))`` as decoded tuple lists (hub positions,
+        not ids)."""
+        return self.store_in.entries(v), self.store_out.entries(v)
 
     def named_labels_of(
         self, v: int
     ) -> tuple[set[tuple[int, int, int]], set[tuple[int, int, int]]]:
         """``(Lin(v), Lout(v))`` with hub *vertex ids* — the Table II view."""
-        lin = {(self.order[q], d, c) for (q, d, c, _) in self.label_in[v]}
-        lout = {(self.order[q], d, c) for (q, d, c, _) in self.label_out[v]}
+        lin = {
+            (self.order[q], d, c) for (q, d, c, _) in self.store_in.entries(v)
+        }
+        lout = {
+            (self.order[q], d, c)
+            for (q, d, c, _) in self.store_out.entries(v)
+        }
         return lin, lout
 
     def to_bytes(self) -> bytes:
         """Serialize the labels (graph not included)."""
         return b"".join(
             [
-                labels_to_bytes(self.order, self.label_in),
-                labels_to_bytes(self.order, self.label_out),
+                labels_to_bytes(self.order, self.store_in.to_lists()),
+                labels_to_bytes(self.order, self.store_out.to_lists()),
             ]
         )
 

@@ -80,19 +80,35 @@ class TestFig10:
 
 class TestFig11:
     @pytest.fixture(scope="class")
-    def result(self):
-        return fig11.run(profile="tiny", datasets=["G04", "WBB"], batch_size=6)
+    def results(self):
+        # Two independent runs: the relative-timing assertion below takes
+        # the per-strategy minimum so a one-off warmup/GC hiccup on the
+        # first timed loop of the process cannot invert the comparison
+        # (the packed-store CLEAN-LABEL is fast enough at tiny scale that
+        # the true margin on WBB is only ~1.3x).
+        return [
+            fig11.run(profile="tiny", datasets=["G04", "WBB"], batch_size=6)
+            for _ in range(2)
+        ]
+
+    @pytest.fixture(scope="class")
+    def result(self, results):
+        return results[0]
 
     def test_both_strategies_reported(self, result):
         strategies = set(result.column("strategy"))
         assert strategies == {"redundancy", "minimality"}
 
-    def test_minimality_slower_than_redundancy(self, result):
+    def test_minimality_slower_than_redundancy(self, results):
         """Paper: minimality 58-678x slower; at tiny scale we only require
-        strictly slower."""
+        strictly slower (best-of-two timings per strategy)."""
         for name in ("G04", "WBB"):
-            red = result.data[name]["redundancy"]["per_edge_s"]
-            mini = result.data[name]["minimality"]["per_edge_s"]
+            red = min(
+                r.data[name]["redundancy"]["per_edge_s"] for r in results
+            )
+            mini = min(
+                r.data[name]["minimality"]["per_edge_s"] for r in results
+            )
             assert mini > red
 
     def test_update_cheaper_than_rebuild(self, result):

@@ -1,0 +1,223 @@
+"""Unit tests for the packed flat-array label store and its facades."""
+
+import pytest
+
+from repro.errors import PackingOverflowError, SerializationError
+from repro.labeling.labelstore import (
+    COUNT_SATURATED,
+    HUB_SHIFT,
+    LabelStore,
+    LabelTable,
+    LabelView,
+    join_bydist_min_count,
+    join_bydist_min_dist,
+    join_min_count,
+    join_min_dist,
+    UNREACHED,
+)
+from repro.labeling.packing import COUNT_BITS, DISTANCE_BITS, VERTEX_BITS
+
+
+SAMPLE = [
+    [(0, 0, 1, True), (2, 3, 2, False), (5, 7, 4, True)],
+    [],
+    [(1, 2, 9, True)],
+]
+
+
+def make_store():
+    return LabelStore.from_lists(SAMPLE)
+
+
+class TestRoundTrip:
+    def test_lists_round_trip(self):
+        store = make_store()
+        assert store.to_lists() == SAMPLE
+
+    def test_bytes_round_trip(self):
+        store = make_store()
+        again = LabelStore.from_bytes(store.to_bytes())
+        assert again.to_lists() == SAMPLE
+        assert store.eq_entries(again)
+
+    def test_bytes_round_trip_empty(self):
+        store = LabelStore.from_lists([])
+        assert LabelStore.from_bytes(store.to_bytes()).to_lists() == []
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(SerializationError):
+            LabelStore.from_bytes(b"NOPE" + b"\x00" * 16)
+
+    def test_truncation_rejected(self):
+        blob = make_store().to_bytes()
+        with pytest.raises(SerializationError):
+            LabelStore.from_bytes(blob[:-3])
+
+    def test_trailing_bytes_rejected(self):
+        blob = make_store().to_bytes()
+        with pytest.raises(SerializationError):
+            LabelStore.from_bytes(blob + b"x")
+
+    def test_oversized_count_rejected(self):
+        store = LabelStore.from_lists([[(0, 1, 1 << 64, True)]])
+        with pytest.raises(SerializationError):
+            store.to_bytes()
+
+
+class TestPackedLayout:
+    def test_word_layout_matches_paper(self):
+        store = LabelStore.from_lists([[(3, 5, 7, True)]])
+        word = store.packed[0][0]
+        assert word >> HUB_SHIFT == 3
+        assert (word >> COUNT_BITS) & ((1 << DISTANCE_BITS) - 1) == 5
+        assert word & ((1 << COUNT_BITS) - 1) == 7
+
+    def test_words_sorted_by_hub_field(self):
+        store = make_store()
+        arr = store.packed[0]
+        assert list(arr) == sorted(arr)
+
+    def test_vertex_overflow_raises(self):
+        with pytest.raises(PackingOverflowError):
+            LabelStore.from_lists([[(1 << VERTEX_BITS, 0, 1, True)]])
+
+    def test_distance_overflow_raises(self):
+        with pytest.raises(PackingOverflowError):
+            LabelStore.from_lists([[(0, 1 << DISTANCE_BITS, 1, True)]])
+
+    def test_saturating_count_stays_exact(self):
+        big = (1 << 30) + 17
+        store = LabelStore.from_lists([[(4, 2, big, True)]])
+        # the packed word is clamped, the decoded entry is exact
+        assert store.packed[0][0] & ((1 << COUNT_BITS) - 1) == COUNT_SATURATED
+        assert store.entries(0) == [(4, 2, big, True)]
+        assert store.ensure_maps()[0][4] == (2, big, True)
+        # ... and survives serialization
+        again = LabelStore.from_bytes(store.to_bytes())
+        assert again.entries(0) == [(4, 2, big, True)]
+
+    def test_count_exactly_at_saturation_boundary(self):
+        boundary = COUNT_SATURATED
+        store = LabelStore.from_lists([[(0, 1, boundary, False)]])
+        assert store.entries(0) == [(0, 1, boundary, False)]
+        again = LabelStore.from_bytes(store.to_bytes())
+        assert again.entries(0) == [(0, 1, boundary, False)]
+
+
+class TestMutation:
+    def test_insert_sorted_keeps_order_and_flags(self):
+        store = make_store()
+        store.insert_sorted(0, 3, 1, 1, True)
+        assert [e[0] for e in store.entries(0)] == [0, 2, 3, 5]
+        assert store.entries(0)[2] == (3, 1, 1, True)
+        # canonical bitset shifted, not clobbered
+        assert [e[3] for e in store.entries(0)] == [True, False, True, True]
+
+    def test_set_at_updates_map(self):
+        store = make_store()
+        store.set_at(0, 1, 2, 4, 6, True)
+        assert store.entries(0)[1] == (2, 4, 6, True)
+        assert store.ensure_maps()[0][2] == (4, 6, True)
+
+    def test_delete_at_shifts_bitset(self):
+        store = make_store()
+        store.delete_at(0, 0)
+        assert store.entries(0) == [(2, 3, 2, False), (5, 7, 4, True)]
+        assert store.hub_index(0, 0) == -1
+        assert 0 not in store.ensure_maps()[0]
+
+    def test_hub_index_bisects_packed_words(self):
+        store = make_store()
+        assert store.hub_index(0, 2) == 1
+        assert store.hub_index(0, 4) == -1
+        assert store.hub_index(1, 0) == -1
+
+    def test_add_vertex(self):
+        store = make_store()
+        v = store.add_vertex([(0, 1, 1, True)])
+        assert v == 3
+        assert store.entries(3) == [(0, 1, 1, True)]
+
+    def test_copy_is_independent(self):
+        store = make_store()
+        clone = store.copy()
+        clone.set_at(0, 0, 0, 9, 9, False)
+        assert store.entries(0) == SAMPLE[0]
+        assert clone.entries(0) != SAMPLE[0]
+
+
+class TestJoinKernels:
+    def test_join_min_count_matches_merge_semantics(self):
+        ma = {0: (1, 2, True), 3: (4, 1, False)}
+        mb = {0: (2, 5, True), 3: (0, 7, True), 9: (0, 1, True)}
+        # hub 0: 1+2=3 count 10; hub 3: 4+0=4 -> min is 3
+        assert join_min_count(ma, mb) == (3, 10)
+        assert join_min_dist(ma, mb) == 3
+
+    def test_join_accumulates_ties(self):
+        ma = {0: (1, 2, True), 1: (2, 3, True)}
+        mb = {0: (2, 5, True), 1: (1, 4, True)}
+        # both hubs give distance 3 -> counts accumulate
+        assert join_min_count(ma, mb) == (3, 2 * 5 + 3 * 4)
+
+    def test_disjoint_maps_unreached(self):
+        assert join_min_count({0: (1, 1, True)}, {1: (1, 1, True)}) == (
+            UNREACHED, 0,
+        )
+
+    def test_bydist_join_matches_map_join(self):
+        ma = {0: (1, 2, True), 1: (2, 3, True), 7: (9, 1, False)}
+        mb = {0: (2, 5, True), 1: (1, 4, True), 7: (0, 2, True)}
+        items = sorted((dc[0], h, dc[1]) for h, dc in ma.items())
+        dists = {h: dc[0] for h, dc in mb.items()}
+        assert join_bydist_min_count(items, mb) == join_min_count(ma, mb)
+        assert join_bydist_min_dist(items, dists) == join_min_dist(ma, mb)
+
+    def test_bydist_join_early_exit_keeps_ties(self):
+        # two entries at the tie distance, then a far entry after the
+        # cutoff that must not be visited (its hub would corrupt counts)
+        items = [(1, 0, 2), (1, 1, 3), (50, 2, 1)]
+        mb = {0: (2, 5, True), 1: (2, 4, True), 2: (0, 1000, True)}
+        d, c = join_bydist_min_count(items, mb)
+        assert (d, c) == (3, 2 * 5 + 3 * 4)
+
+
+class TestViews:
+    def test_table_and_view_equality(self):
+        store = make_store()
+        table = LabelTable(store)
+        assert table == LabelTable(make_store())
+        assert table == SAMPLE
+        assert table[0] == SAMPLE[0]
+        assert list(table[0]) == SAMPLE[0]
+        assert (0, 0, 1, True) in table[0]
+        assert table[0][-1] == (5, 7, 4, True)
+
+    def test_view_mutations_write_through(self):
+        store = make_store()
+        view = LabelView(store, 0)
+        view[1] = (2, 3, 11, True)
+        assert store.entries(0)[1] == (2, 3, 11, True)
+        view.append((7, 1, 1, False))
+        assert store.entries(0)[-1] == (7, 1, 1, False)
+        del view[-1]
+        view.reverse()
+        assert store.entries(0) == list(reversed(SAMPLE[0][:1] + [
+            (2, 3, 11, True), (5, 7, 4, True),
+        ]))
+
+    def test_view_reverse_flags_follow_entries(self):
+        store = make_store()
+        LabelView(store, 0).reverse()
+        assert store.entries(0) == list(reversed(SAMPLE[0]))
+
+    def test_table_setitem_replaces_vertex(self):
+        store = make_store()
+        table = LabelTable(store)
+        table[0] = [(1, 1, 1, True)]
+        assert store.entries(0) == [(1, 1, 1, True)]
+
+    def test_table_append_adds_vertex(self):
+        store = make_store()
+        LabelTable(store).append([(0, 0, 1, True)])
+        assert len(store) == 4

@@ -112,3 +112,36 @@ class TestLabelContainer:
         blob[4] = 77
         with pytest.raises(SerializationError):
             labels_from_bytes(bytes(blob))
+
+    def test_saturated_count_at_24_bit_max_round_trips(self):
+        """A count of exactly 2**24 - 1 (the saturation sentinel of the
+        packed store) must round-trip through the container untouched."""
+        boundary = 2**COUNT_BITS - 1
+        labels = [[(0, 1, boundary, True), (1, 2, boundary + 1, False)]]
+        _, loaded = labels_from_bytes(labels_to_bytes([0], labels))
+        assert loaded == labels
+
+
+class TestPackedStoreOverflow:
+    """The new store enforces the paper's field widths on the way in."""
+
+    def test_vertex_23_bit_overflow_raises_in_store(self):
+        from repro.labeling.labelstore import LabelStore
+
+        with pytest.raises(PackingOverflowError):
+            LabelStore.from_lists([[(2**VERTEX_BITS, 0, 1, True)]])
+
+    def test_distance_17_bit_overflow_raises_in_store(self):
+        from repro.labeling.labelstore import LabelStore
+
+        store = LabelStore.from_lists([[]])
+        with pytest.raises(PackingOverflowError):
+            store.insert_sorted(0, 0, 2**DISTANCE_BITS, 1, True)
+
+    def test_count_never_raises_in_store(self):
+        """Counts saturate the word (exact value kept in the side table)
+        instead of raising — mirroring what fixed-width C++ would hold."""
+        from repro.labeling.labelstore import LabelStore
+
+        store = LabelStore.from_lists([[(0, 1, 2**COUNT_BITS + 123, True)]])
+        assert store.entries(0)[0][2] == 2**COUNT_BITS + 123
