@@ -1,0 +1,198 @@
+"""Serving benchmark: read throughput under a deletion-heavy write stream.
+
+The scenario behind ``BENCH_serve.json``: build the index, measure the
+*idle* single-threaded ``sccnt`` rate over a published snapshot, then
+start the serving engine, submit a deletion-heavy mixed update stream
+(deletions are the expensive repair side — Figure 12), and measure the
+aggregate throughput of N reader threads over exactly the writer's
+drain window.  The headline number is ``read_ratio_vs_idle``: what
+fraction of the idle rate the readers sustain while the writer repairs.
+Snapshot isolation is what makes the ratio meaningful at all — without
+it every query would serialize behind each multi-hundred-ms batch
+repair; with it the only contention left is the interpreter lock.
+
+The harness also asserts, per dataset, that the final published epoch is
+bit-identical to a serial per-edge replay of the stream — the serving
+path must never trade correctness for availability.
+
+Usage::
+
+    python benchmarks/bench_serve.py             # small profile
+    python benchmarks/bench_serve.py --smoke     # tiny profile (CI)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.counter import ShortestCycleCounter  # noqa: E402
+from repro.graph.datasets import DATASETS  # noqa: E402
+from repro.service import (  # noqa: E402
+    drive_mixed,
+    idle_read_throughput,
+    serial_replay,
+)
+from repro.workloads.clusters import cluster_vertices  # noqa: E402
+from repro.workloads.updates import mixed_update_stream  # noqa: E402
+
+SCHEMA_VERSION = 1
+DEFAULT_DATASETS = ("G04", "WKT", "WBB")
+SEED = 7
+#: Deletion-heavy stream: 3 deletions per insertion.
+INSERT_FRACTION = 0.25
+
+
+def bench_serve(
+    profile: str,
+    datasets,
+    readers: int,
+    total_ops: int,
+    batch_size: int,
+    per_cluster: int,
+):
+    out = {
+        "datasets": {},
+        "workload": (
+            f"{readers} readers vs 1 writer; "
+            f"mixed stream insert_fraction={INSERT_FRACTION}"
+        ),
+        "readers": readers,
+    }
+    ratios = []
+    for name in datasets:
+        graph = DATASETS[name].build(profile, SEED)
+        counter = ShortestCycleCounter.build(graph, copy_graph=False)
+        base = counter.graph.copy()
+        # The Figure-10 cluster-sampled query population.
+        workload = cluster_vertices(counter.graph).sample(per_cluster, SEED)
+        vertices = [
+            v for cluster in workload.clusters.values() for v in cluster
+        ]
+        if not vertices:
+            vertices = list(range(counter.graph.n))
+        idle_qps = idle_read_throughput(counter, vertices)
+        ops = mixed_update_stream(
+            counter.graph, total_ops, SEED, insert_fraction=INSERT_FRACTION
+        )
+        result = drive_mixed(
+            counter, ops,
+            readers=readers,
+            batch_size=batch_size,
+            query_vertices=vertices,
+        )
+        if result.errors:
+            raise AssertionError(f"{name}: reader errors {result.errors}")
+
+        # Correctness gate: the final epoch must match a serial replay.
+        replay = serial_replay(base, ops)
+        final = result.final
+        mismatches = sum(
+            1 for v in range(final.n) if final.count(v) != replay.count(v)
+        )
+        if mismatches:
+            raise AssertionError(
+                f"{name}: final epoch diverges from serial replay on "
+                f"{mismatches}/{final.n} vertices"
+            )
+
+        stats = result.stats
+        ratio = result.queries_per_second / idle_qps if idle_qps else 0.0
+        ratios.append(ratio)
+        out["datasets"][name] = {
+            "n": graph.n,
+            "m": graph.m,
+            "ops": len(ops),
+            "batch_size": batch_size,
+            "idle_qps_single_thread": idle_qps,
+            "serving_qps_aggregate": result.queries_per_second,
+            "read_ratio_vs_idle": ratio,
+            "reader_queries": result.reader_queries,
+            "drain_seconds": result.drain_seconds,
+            "epochs_published": stats.epoch,
+            "epochs_observed_by_readers": result.epochs_seen,
+            "batches": stats.batches,
+            "rebuild_fallbacks": stats.rebuilds,
+            "ops_skipped": stats.ops_skipped,
+            "bit_identical_to_serial_replay": True,
+        }
+    out["aggregate"] = {
+        "min_read_ratio_vs_idle": min(ratios) if ratios else 0.0,
+        "mean_read_ratio_vs_idle": (
+            sum(ratios) / len(ratios) if ratios else 0.0
+        ),
+    }
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny profile, small stream (CI smoke job)")
+    parser.add_argument("--profile", default=None)
+    parser.add_argument("--datasets", default=None,
+                        help="comma-separated dataset names")
+    parser.add_argument("--readers", type=int, default=None)
+    parser.add_argument("--ops", type=int, default=None)
+    parser.add_argument("--batch-size", type=int, default=None)
+    parser.add_argument("--out-dir", default=str(REPO_ROOT))
+    args = parser.parse_args(argv)
+
+    profile = args.profile or ("tiny" if args.smoke else "small")
+    datasets = (
+        tuple(args.datasets.split(",")) if args.datasets else DEFAULT_DATASETS
+    )
+    readers = args.readers or 3
+    total_ops = args.ops or (12 if args.smoke else 36)
+    batch_size = args.batch_size or (4 if args.smoke else 12)
+    per_cluster = 10 if args.smoke else 40
+
+    meta = {
+        "schema_version": SCHEMA_VERSION,
+        "profile": profile,
+        "seed": SEED,
+        "smoke": args.smoke,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+    }
+
+    t0 = time.perf_counter()
+    serve = {
+        **meta,
+        **bench_serve(
+            profile, datasets, readers, total_ops, batch_size, per_cluster
+        ),
+    }
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    (out_dir / "BENCH_serve.json").write_text(
+        json.dumps(serve, indent=2, sort_keys=True) + "\n"
+    )
+    agg = serve["aggregate"]
+    print(
+        f"BENCH_serve.json: read ratio vs idle "
+        f"min {agg['min_read_ratio_vs_idle']:.2f} / "
+        f"mean {agg['mean_read_ratio_vs_idle']:.2f} "
+        f"({readers} readers)"
+    )
+    for name, row in serve["datasets"].items():
+        print(
+            f"  {name}: {row['serving_qps_aggregate']:.0f} q/s serving vs "
+            f"{row['idle_qps_single_thread']:.0f} q/s idle "
+            f"({100 * row['read_ratio_vs_idle']:.0f}%), writer drained "
+            f"{row['ops']} ops in {row['drain_seconds']:.2f}s over "
+            f"{row['epochs_published']} epochs"
+        )
+    print(f"total bench time {time.perf_counter() - t0:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

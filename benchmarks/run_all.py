@@ -1,8 +1,9 @@
 """Benchmark-trajectory harness: one command, machine-readable results.
 
-Runs the query and update benchmarks on pinned seeds and writes
-``BENCH_query.json`` / ``BENCH_updates.json`` (op/sec, p50/p99 latency,
-index bytes) so every PR's performance claims are measured against the
+Runs the query, update, and serving benchmarks on pinned seeds and
+writes ``BENCH_query.json`` / ``BENCH_updates.json`` /
+``BENCH_serve.json`` (op/sec, p50/p99 latency, index bytes, read-ratio
+under writes) so every PR's performance claims are measured against the
 committed trajectory point of the previous one, not asserted.
 
 * **Query benchmark** — the Figure-10 workload (degree-cluster-sampled
@@ -14,6 +15,9 @@ committed trajectory point of the previous one, not asserted.
   speedup.
 * **Update benchmark** — per-edge DECCNT deletions and INCCNT
   re-insertions plus one mixed ``apply_batch``, timed per op.
+* **Serving benchmark** (:mod:`bench_serve`) — aggregate reader
+  throughput against published snapshots while the single writer drains
+  a deletion-heavy stream, as a fraction of the idle read rate.
 
 Usage::
 
@@ -48,6 +52,8 @@ from repro.workloads.updates import (  # noqa: E402
     mixed_update_stream,
     random_edge_batch,
 )
+
+from bench_serve import bench_serve  # noqa: E402
 
 SCHEMA_VERSION = 1
 #: Figure-10 benchmark graphs: one per dataset family tier.
@@ -280,6 +286,29 @@ def main(argv=None) -> int:
         print(f"  {name}: delete p50={row['delete_per_edge']['p50_us']/1e3:.2f}ms "
               f"insert p50={row['insert_per_edge']['p50_us']/1e3:.2f}ms "
               f"batch {row['mixed_batch']['wall_ms']:.1f}ms")
+
+    serve = {
+        **meta,
+        **bench_serve(
+            profile,
+            datasets,
+            readers=3,
+            total_ops=12 if args.smoke else 36,
+            batch_size=4 if args.smoke else 12,
+            per_cluster=per_cluster,
+        ),
+    }
+    (out_dir / "BENCH_serve.json").write_text(
+        json.dumps(serve, indent=2, sort_keys=True) + "\n"
+    )
+    agg_serve = serve["aggregate"]
+    print(f"BENCH_serve.json: read ratio vs idle "
+          f"min {agg_serve['min_read_ratio_vs_idle']:.2f} / "
+          f"mean {agg_serve['mean_read_ratio_vs_idle']:.2f} (3 readers)")
+    for name, row in serve["datasets"].items():
+        print(f"  {name}: {row['serving_qps_aggregate']:.0f} q/s under "
+              f"writes vs {row['idle_qps_single_thread']:.0f} q/s idle "
+              f"({100 * row['read_ratio_vs_idle']:.0f}%)")
     print(f"total bench time {time.perf_counter() - t0:.1f}s")
     return 0
 

@@ -6,6 +6,9 @@ Public API
 * :class:`~repro.graph.digraph.DiGraph` — dynamic directed graph.
 * :class:`~repro.core.counter.ShortestCycleCounter` — build / query /
   insert / delete / save / load; the system a downstream user adopts.
+* :class:`~repro.service.ServeEngine` /
+  :class:`~repro.service.Snapshot` — snapshot-isolated concurrent
+  serving (single writer, many readers, epoch publication).
 * :class:`~repro.core.csc.CSCIndex` — the raw CSC index (Section IV).
 * :class:`~repro.labeling.hpspc.HPSPCIndex` — the HP-SPC baseline index.
 * :func:`~repro.baselines.bfs_cycle.bfs_cycle_count`,
@@ -40,7 +43,8 @@ from repro.core import (
 )
 from repro.graph import DiGraph, bipartite_conversion
 from repro.labeling import HPSPCIndex, degree_order
-from repro.types import NO_CYCLE, CycleCount
+from repro.service import ServeEngine, ServeStats, Snapshot
+from repro.types import NO_CYCLE, NO_PATH, CycleCount, PathCount
 
 __version__ = "1.0.0"
 
@@ -58,7 +62,12 @@ __all__ = [
     "HPSPCCycleCounter",
     "HPSPCIndex",
     "NO_CYCLE",
+    "NO_PATH",
+    "PathCount",
+    "ServeEngine",
+    "ServeStats",
     "ShortestCycleCounter",
+    "Snapshot",
     "UpdateStats",
     "apply_batch",
     "bfs_cycle_count",

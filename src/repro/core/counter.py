@@ -17,7 +17,7 @@ CycleCount(count=1, length=4)
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Iterable, Sequence, Union
+from typing import TYPE_CHECKING, Iterable, Sequence, Union
 
 from repro.core.batch import (
     DEFAULT_REBUILD_THRESHOLD,
@@ -33,7 +33,10 @@ from repro.core.maintenance import (
 )
 from repro.graph.digraph import DiGraph
 from repro.graph.io import graph_from_bytes, graph_to_bytes
-from repro.types import CycleCount
+from repro.types import CycleCount, PathCount
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.snapshot import Snapshot
 
 __all__ = ["ShortestCycleCounter", "IndexStats"]
 
@@ -91,6 +94,25 @@ class ShortestCycleCounter:
         """Batch form of :meth:`count`."""
         sccnt = self._index.sccnt
         return [sccnt(v) for v in vertices]
+
+    def spcnt(self, x: int, y: int) -> PathCount:
+        """Count and length of the shortest ``x -> y`` paths (answered
+        from the cycle labels; see :meth:`CSCIndex.spcnt`)."""
+        return self._index.spcnt(x, y)
+
+    def snapshot(self, epoch: int = 0, ops_applied: int = 0) -> "Snapshot":
+        """An immutable, epoch-stamped view of the current state.
+
+        The returned :class:`repro.service.Snapshot` answers
+        :meth:`count` / :meth:`spcnt` / :meth:`top_suspicious` from the
+        labels as they are *now*; later updates through this counter
+        copy-on-write around it.  Take snapshots only from the thread
+        applying updates; read them from anywhere (this is the
+        publication primitive of :class:`repro.service.ServeEngine`).
+        """
+        from repro.service.snapshot import Snapshot
+
+        return Snapshot.capture(self, epoch=epoch, ops_applied=ops_applied)
 
     def top_suspicious(self, k: int = 10) -> list[tuple[int, CycleCount]]:
         """The ``k`` vertices with the most shortest cycles (ties broken by

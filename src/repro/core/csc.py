@@ -55,7 +55,7 @@ from repro.labeling.labelstore import (
     join_bydist_min_dist,
 )
 from repro.labeling.ordering import degree_order, positions, validate_order
-from repro.types import NO_CYCLE, CycleCount
+from repro.types import NO_CYCLE, NO_PATH, CycleCount, PathCount
 
 __all__ = ["CSCIndex"]
 
@@ -189,6 +189,32 @@ class CSCIndex:
             self.store_out.copy(),
         )
 
+    def snapshot(self) -> "CSCIndex":
+        """A frozen, query-only view of the current labels.
+
+        Built from :meth:`LabelStore.snapshot` on both sides — O(n)
+        pointer copies, with label data shared copy-on-write — so
+        publishing one per update batch is cheap.  The snapshot *shares
+        the live graph object*: label queries (:meth:`sccnt`,
+        :meth:`spcnt`, :meth:`cycle_gb_distance`) never read adjacency
+        and stay consistent with the captured labels, but graph-reading
+        helpers (:meth:`validate`, maintenance) must not be used on a
+        snapshot whose origin has since advanced.  Use
+        :class:`repro.service.Snapshot` for the bounds-checked serving
+        facade.
+
+        Must be called from the thread that mutates the index (the
+        single writer); the returned index may then be read freely from
+        any number of threads.
+        """
+        return CSCIndex(
+            self.graph,
+            list(self.order),
+            list(self.pos),
+            self.store_in.snapshot(),
+            self.store_out.snapshot(),
+        )
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
@@ -233,6 +259,49 @@ class CSCIndex:
         # per call on the benchmark machine); the result is a normal
         # CycleCount in every observable way.
         return tuple.__new__(CycleCount, (total, (best + 1) // 2))
+
+    def spcnt(self, x: int, y: int) -> PathCount:
+        """``SPCnt(x, y)``: count and length of the shortest ``x -> y``
+        paths in the original graph, answered from the cycle labels.
+
+        Every ``x_in -> y_in`` path in ``Gb`` starts with the couple edge
+        (``x_in``'s only out-edge), so ``SPCnt_Gb(x_in, y_in)`` equals
+        ``SPCnt_Gb(x_out, y_in)`` and its distance is ``2 * sd_G0(x, y)``;
+        and on an ``x_in -> y_in`` path the highest-ranked vertex is
+        always a ``Vin`` vertex, so the couple-skipped ``Vin``-hub cover
+        answers the pair exactly.  The join below probes ``Lin(y_in)``
+        against the couple-shifted ``Lout(x_out)`` — the derived
+        ``Lout(x_in)`` of :meth:`derived_out_map`, without materializing
+        it.  ``spcnt(x, x)`` is the empty path ``(count=1, dist=0)``;
+        cycle queries stay :meth:`sccnt`.
+        """
+        if x == y:
+            return PathCount(1, 0)
+        my = self._qmaps_in[y]
+        mx = self._qmaps_out[x]
+        px = self.pos[x]
+        best = UNREACHED
+        total = 0
+        pair = my.get(px)
+        if pair is not None:
+            # Hub x_in itself, at derived distance 0.
+            best = pair[0]
+            total = pair[1]
+        get = mx.get
+        for q, dc in my.items():
+            if q == px:
+                continue
+            other = get(q)
+            if other is not None:
+                d = other[0] + 1 + dc[0]
+                if d < best:
+                    best = d
+                    total = other[1] * dc[1]
+                elif d == best:
+                    total += other[1] * dc[1]
+        if total == 0 or best == UNREACHED:
+            return NO_PATH
+        return PathCount(total, best // 2)
 
     def cycle_gb_distance(self, v: int) -> int:
         """Raw ``Gb`` distance of ``SPCnt(v_out, v_in)`` (``UNREACHED`` when

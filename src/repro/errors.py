@@ -73,3 +73,16 @@ class PackingOverflowError(IndexingError):
 
 class SerializationError(ReproError):
     """An index or graph byte stream is malformed or has a bad version."""
+
+
+class FrozenSnapshotError(IndexingError):
+    """Attempted to mutate a frozen label-store snapshot.
+
+    Snapshots are the immutable read side of the single-writer /
+    multi-reader serving engine (:mod:`repro.service`); all updates must
+    go through the live store they were taken from.
+    """
+
+
+class ServiceStoppedError(ReproError):
+    """An operation was submitted to a serving engine that is not running."""

@@ -38,6 +38,19 @@ dict on every call.  :class:`LabelStore` is the packed replacement:
   1.3–3x on the benchmark graphs (the paper's graphs have short cycles
   but long-tailed label distances).
 
+Snapshots (:meth:`LabelStore.snapshot`) implement the read side of the
+single-writer / multi-reader serving engine (:mod:`repro.service`):
+taking one is a pointer-level copy of the per-vertex lists — the
+``array('Q')`` payloads, overflow tables, and resident accelerators are
+*shared* — after which the live store goes copy-on-write at per-vertex
+granularity.  The first mutation of a vertex since the last snapshot
+clones just that vertex's structures (:meth:`_own`), so a snapshot costs
+O(n) pointers up front plus O(dirty vertices) data over its lifetime,
+never a full copy.  The snapshot itself is frozen: any mutation raises
+:class:`~repro.errors.FrozenSnapshotError`, which is what makes a
+published snapshot safe to read from many threads while the writer keeps
+repairing the live store.
+
 Serialization (:meth:`LabelStore.to_bytes` / :meth:`from_bytes`) dumps
 the packed arrays with ``array.tobytes`` — one memcpy per vertex instead
 of the seed's per-entry ``struct.pack`` loop — and restores them with
@@ -59,7 +72,7 @@ from array import array
 from bisect import bisect_left
 from typing import Iterable, Iterator, Sequence
 
-from repro.errors import SerializationError
+from repro.errors import FrozenSnapshotError, SerializationError
 from repro.labeling.packing import (
     COUNT_BITS,
     DISTANCE_BITS,
@@ -107,7 +120,8 @@ def _pack(hub: int, dist: int, count: int) -> int:
 class LabelStore:
     """One direction's label table (all vertices) in packed form."""
 
-    __slots__ = ("packed", "canon", "big", "_maps", "_bydist", "_dists")
+    __slots__ = ("packed", "canon", "big", "_maps", "_bydist", "_dists",
+                 "_frozen", "_epoch", "_owner")
 
     def __init__(self, n: int = 0) -> None:
         self.packed: list[array] = [array("Q") for _ in range(n)]
@@ -116,6 +130,14 @@ class LabelStore:
         self._maps: list[dict[int, tuple[int, int, bool]]] | None = None
         self._bydist: list[list[tuple[int, int, int]]] | None = None
         self._dists: list[dict[int, int]] | None = None
+        # Snapshot support: a frozen store rejects mutation; a live store
+        # that has been snapshotted copy-on-writes per vertex (``_owner[v]``
+        # records the epoch in which the writer last took exclusive
+        # ownership of v's structures; ``_owner is None`` = never
+        # snapshotted, the zero-overhead common case).
+        self._frozen = False
+        self._epoch = 0
+        self._owner: list[int] | None = None
 
     # ------------------------------------------------------------------
     # Construction / conversion
@@ -157,12 +179,91 @@ class LabelStore:
         return [self.entries(v) for v in range(len(self.packed))]
 
     def copy(self) -> "LabelStore":
-        """Independent deep copy (join maps rebuilt lazily)."""
+        """Independent deep copy (join maps rebuilt lazily; the copy of a
+        frozen snapshot is a normal mutable store)."""
         clone = LabelStore(0)
         clone.packed = [array("Q", arr) for arr in self.packed]
         clone.canon = list(self.canon)
         clone.big = [dict(b) if b else None for b in self.big]
         return clone
+
+    # ------------------------------------------------------------------
+    # Snapshots (copy-on-write at per-vertex granularity)
+    # ------------------------------------------------------------------
+    @property
+    def frozen(self) -> bool:
+        """Whether this store is an immutable snapshot."""
+        return self._frozen
+
+    def snapshot(self) -> "LabelStore":
+        """An immutable snapshot of the current state.
+
+        The snapshot shares every per-vertex structure (packed array,
+        overflow table, resident accelerators) with this store; only the
+        top-level vertex-indexed lists are copied, so taking one is O(n)
+        pointer copies with **no** label data copied.  Afterwards the
+        live store is copy-on-write: the first mutation of a vertex since
+        the snapshot clones that vertex's structures, so the snapshot
+        keeps answering from the state it captured.
+
+        Must be called from the (single) mutating thread — it reads the
+        vertex lists non-atomically.  The returned store rejects every
+        mutation with :class:`~repro.errors.FrozenSnapshotError`; reads,
+        lazy accelerator builds, and serialization all work.
+        """
+        snap = LabelStore(0)
+        snap.packed = list(self.packed)
+        snap.canon = list(self.canon)
+        snap.big = list(self.big)
+        if self._maps is not None:
+            snap._maps = list(self._maps)
+        if self._dists is not None:
+            snap._dists = list(self._dists)
+        if self._bydist is not None:
+            snap._bydist = list(self._bydist)
+        snap._frozen = True
+        if not self._frozen:
+            # Invalidate all per-vertex ownership: everything is shared
+            # with the new snapshot until the writer touches it again.
+            self._epoch += 1
+            if self._owner is None:
+                self._owner = [0] * len(self.packed)
+        return snap
+
+    def _own(self, v: int) -> None:
+        """Copy-on-write guard: make vertex ``v``'s structures exclusively
+        ours before an in-place mutation (no-op when no snapshot shares
+        them)."""
+        if self._frozen:
+            raise FrozenSnapshotError(
+                "label store snapshot is frozen; apply updates to the "
+                "live store it was taken from"
+            )
+        owner = self._owner
+        if owner is None or owner[v] == self._epoch:
+            return
+        owner[v] = self._epoch
+        self.packed[v] = array("Q", self.packed[v])
+        b = self.big[v]
+        if b is not None:
+            self.big[v] = dict(b)
+        if self._maps is not None:
+            self._maps[v] = dict(self._maps[v])
+        if self._dists is not None:
+            self._dists[v] = dict(self._dists[v])
+        if self._bydist is not None:
+            self._bydist[v] = list(self._bydist[v])
+
+    def _claim(self, v: int) -> None:
+        """Ownership without copying — for wholesale replacement of ``v``'s
+        structures, where copying the old ones would be wasted work."""
+        if self._frozen:
+            raise FrozenSnapshotError(
+                "label store snapshot is frozen; apply updates to the "
+                "live store it was taken from"
+            )
+        if self._owner is not None:
+            self._owner[v] = self._epoch
 
     # ------------------------------------------------------------------
     # Introspection
@@ -338,6 +439,7 @@ class LabelStore:
     def set_at(self, v: int, i: int, hub: int, dist: int, count: int,
                flag: bool) -> None:
         """Overwrite entry ``i`` in place (hub may stay or change)."""
+        self._own(v)
         old_hub = self.packed[v][i] >> HUB_SHIFT
         if self._bydist is not None:
             self._bydist_replace(
@@ -368,6 +470,7 @@ class LabelStore:
         The hub must not already be present (callers upsert through
         :meth:`hub_index` first).
         """
+        self._own(v)
         arr = self.packed[v]
         word = _pack(hub, dist, count)
         i = bisect_left(arr, word)
@@ -386,6 +489,7 @@ class LabelStore:
 
     def delete_at(self, v: int, i: int) -> None:
         """Remove entry ``i``."""
+        self._own(v)
         arr = self.packed[v]
         hub = arr[i] >> HUB_SHIFT
         if self._bydist is not None:
@@ -404,6 +508,7 @@ class LabelStore:
 
     def replace_vertex(self, v: int, entries: Iterable[Entry]) -> None:
         """Wholesale replacement of ``v``'s entries (any order accepted)."""
+        self._claim(v)
         arr = array("Q")
         bits = 0
         self.big[v] = None
@@ -419,10 +524,19 @@ class LabelStore:
 
     def add_vertex(self, entries: Iterable[Entry] = ()) -> int:
         """Append storage for one new vertex; returns its id."""
+        if self._frozen:
+            raise FrozenSnapshotError(
+                "label store snapshot is frozen; apply updates to the "
+                "live store it was taken from"
+            )
         v = len(self.packed)
         self.packed.append(array("Q"))
         self.canon.append(0)
         self.big.append(None)
+        if self._owner is not None:
+            # The new vertex exists only in the live store's lists, so the
+            # writer owns it outright.
+            self._owner.append(self._epoch)
         if self._maps is not None:
             self._maps.append({})
         if self._dists is not None:
@@ -438,6 +552,7 @@ class LabelStore:
     # ------------------------------------------------------------------
     def append_raw(self, v: int, entry: Entry) -> None:
         """Append without any sort/duplicate check (corruption tests)."""
+        self._own(v)
         hub, dist, count, flag = entry
         i = len(self.packed[v])
         self.packed[v].append(_pack(hub, dist, count))
@@ -448,6 +563,7 @@ class LabelStore:
 
     def insert_raw(self, v: int, i: int, entry: Entry) -> None:
         """Positional insert without sort checks."""
+        self._own(v)
         hub, dist, count, flag = entry
         arr = self.packed[v]
         i = max(0, min(i, len(arr)))
@@ -460,6 +576,7 @@ class LabelStore:
 
     def reverse(self, v: int) -> None:
         """Reverse ``v``'s entry order (corruption tests)."""
+        self._own(v)
         arr = self.packed[v]
         arr.reverse()
         k = len(arr)

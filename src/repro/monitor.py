@@ -11,7 +11,11 @@ update, so a hot account does not spam its subscribers.  When the stream
 runs hot, :meth:`CycleMonitor.process` can drain it in *batches*
 (``batch_size=...``): each chunk is applied through the batched
 maintenance engine (one repair pass per distinct affected hub) and alerts
-are evaluated once per chunk, at its boundary.
+are evaluated once per chunk, at its boundary.  Under the concurrent
+serving engine (:mod:`repro.service`) the same coalescing happens per
+*published epoch* instead: :meth:`CycleMonitor.observe_snapshot`
+evaluates crossings against each immutable snapshot the writer
+publishes.
 """
 
 from __future__ import annotations
@@ -34,7 +38,9 @@ class Alert:
 
     vertex: int
     count: CycleCount
-    #: the (tail, head, op) update that triggered the alert
+    #: the ``(tail, head, op)`` update that triggered the alert — or
+    #: ``(epoch, ops_applied, "epoch")`` when the crossing was observed
+    #: on a published serving snapshot (:meth:`CycleMonitor.observe_snapshot`)
     cause: tuple[int, int, str]
 
 
@@ -44,7 +50,11 @@ class CycleMonitor:
     Parameters
     ----------
     graph:
-        Initial graph (copied; apply updates through the monitor).
+        Initial graph (copied; apply updates through the monitor) — or
+        an existing :class:`ShortestCycleCounter` to adopt, for serving
+        mode where a :class:`~repro.service.ServeEngine` owns the
+        updates and this monitor evaluates its published epochs via
+        :meth:`observe_snapshot`.
     watch:
         Vertices to track; defaults to all.
     threshold:
@@ -57,16 +67,23 @@ class CycleMonitor:
 
     def __init__(
         self,
-        graph: DiGraph,
+        graph: DiGraph | ShortestCycleCounter,
         watch: Sequence[int] | None = None,
         threshold: int = 1,
         on_alert: Callable[[Alert], None] | None = None,
     ) -> None:
         if threshold < 1:
             raise ValueError("threshold must be at least 1")
-        self._counter = ShortestCycleCounter.build(graph)
+        if isinstance(graph, ShortestCycleCounter):
+            # Adopt an existing counter (serving mode: the engine owns the
+            # updates; this monitor only evaluates published epochs).
+            self._counter = graph
+        else:
+            self._counter = ShortestCycleCounter.build(graph)
         self._watch = (
-            list(graph.vertices()) if watch is None else list(watch)
+            list(self._counter.graph.vertices())
+            if watch is None
+            else list(watch)
         )
         self._threshold = threshold
         self._on_alert = on_alert
@@ -191,16 +208,52 @@ class CycleMonitor:
         )
         return ranked[:k]
 
+    def observe_snapshot(self, snapshot) -> list[Alert]:
+        """Serving mode: evaluate crossings against a published
+        :class:`~repro.service.Snapshot`.
+
+        Called once per published epoch (by
+        :class:`~repro.service.ServeEngine`, on the writer thread, before
+        the epoch becomes reader-visible).  Crossings between two epochs
+        coalesce exactly like batch-mode chunks: a within-epoch flicker
+        never alerts, and a vertex that drops below the threshold in one
+        epoch re-arms and alerts again when a later epoch re-crosses.
+        The alert ``cause`` is ``(epoch, ops_applied, "epoch")`` — there
+        is no single triggering edge once updates are batched behind a
+        queue.
+        """
+        return self._evaluate(
+            snapshot.count, (snapshot.epoch, snapshot.ops_applied, "epoch")
+        )
+
     # ------------------------------------------------------------------
     def _scan(self, cause: tuple[int, int, str]) -> None:
+        self._evaluate(self._counter.count, cause)
+
+    def _evaluate(
+        self,
+        count_of: Callable[[int], CycleCount],
+        cause: tuple[int, int, str],
+    ) -> list[Alert]:
+        # Phase 1: refresh the armed-state of EVERY watched vertex before
+        # any user code runs.  (A raising on_alert callback used to abort
+        # the scan mid-iteration, leaving later vertices' drop-below
+        # unrecorded — their next re-crossing was then swallowed forever.)
+        crossed: list[tuple[int, CycleCount]] = []
         for v in self._watch:
-            result = self._counter.count(v)
+            result = count_of(v)
             if result.count >= self._threshold:
                 if v not in self._above:
                     self._above.add(v)
-                    alert = Alert(v, result, cause)
-                    self._alerts.append(alert)
-                    if self._on_alert is not None:
-                        self._on_alert(alert)
+                    crossed.append((v, result))
             else:
                 self._above.discard(v)
+        # Phase 2: record all alerts, then fire callbacks.  A raising
+        # callback propagates, but every alert of this scan is already in
+        # the log and the armed-state is fully consistent.
+        fresh = [Alert(v, result, cause) for v, result in crossed]
+        self._alerts.extend(fresh)
+        if self._on_alert is not None:
+            for alert in fresh:
+                self._on_alert(alert)
+        return fresh

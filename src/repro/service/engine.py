@@ -1,0 +1,331 @@
+"""Single-writer / multi-reader serving engine with epoch publication.
+
+One writer thread owns the :class:`ShortestCycleCounter`: it drains the
+update queue in batches through the batched maintenance engine
+(BATCH-INCCNT/DECCNT), then publishes an immutable :class:`Snapshot` of
+the repaired labels.  Reader threads never touch the live index — they
+grab the latest published snapshot (one atomic attribute read) and
+answer ``sccnt`` / ``spcnt`` / ``top_suspicious`` against it, so a long
+deletion repair pass no longer blocks queries; readers just keep serving
+the previous epoch until the next one lands.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass
+from typing import Callable, Iterable, Union
+
+from repro.core.batch import DEFAULT_REBUILD_THRESHOLD
+from repro.core.counter import ShortestCycleCounter
+from repro.errors import SelfLoopError, ServiceStoppedError, VertexError
+from repro.graph.digraph import DiGraph
+from repro.service.snapshot import Snapshot
+
+__all__ = ["ServeEngine", "ServeStats"]
+
+Op = tuple[str, int, int]
+
+#: Queue sentinel that tells the writer to exit after the ops before it.
+_STOP = object()
+
+
+@dataclass(frozen=True)
+class ServeStats:
+    """A point-in-time view of the engine's counters."""
+
+    #: ops accepted by :meth:`ServeEngine.submit` so far
+    ops_submitted: int = 0
+    #: ops consumed from the queue (applied or skipped as infeasible)
+    ops_consumed: int = 0
+    #: net edge mutations the batches applied to the graph
+    edges_applied: int = 0
+    #: infeasible ops dropped by ``on_invalid="skip"``
+    ops_skipped: int = 0
+    #: update batches processed (== epochs published after start)
+    batches: int = 0
+    #: batches that took the full-rebuild fallback
+    rebuilds: int = 0
+    #: latest published epoch (0 = the initial snapshot)
+    epoch: int = 0
+    #: ops submitted but not yet consumed
+    queue_depth: int = 0
+    #: whether the writer thread is alive
+    running: bool = False
+
+
+class ServeEngine:
+    """Snapshot-isolated concurrent serving of a dynamic cycle counter.
+
+    Parameters
+    ----------
+    source:
+        A :class:`DiGraph` (an index is built over a copy) or an already
+        built :class:`ShortestCycleCounter` (adopted — after
+        :meth:`start`, mutate it only through this engine).
+    batch_size:
+        Maximum ops drained into one maintenance batch.  The writer
+        never waits to fill a batch: it takes whatever is queued (up to
+        this cap) and publishes, so a lone op still lands in one batch.
+    on_invalid:
+        Passed to :meth:`ShortestCycleCounter.apply_batch`.  Defaults to
+        ``"skip"``: with asynchronous application, a client cannot know
+        the graph state its op will meet, so infeasible ops are dropped
+        and counted in :attr:`ServeStats.ops_skipped` rather than
+        poisoning the batch.
+    monitor:
+        Optional :class:`repro.monitor.CycleMonitor` evaluated on every
+        published epoch (writer thread; see
+        :meth:`CycleMonitor.observe_snapshot`).
+    on_publish:
+        Optional callback invoked with each new :class:`Snapshot`
+        *before* it becomes visible to :meth:`snapshot` (writer thread).
+
+    A callback or batch failure is recorded (see :attr:`failure`) and
+    re-raised by :meth:`flush` / :meth:`stop`; the engine keeps serving
+    the last good epoch meanwhile — ``apply_batch`` is atomic-on-raise,
+    so the live index stays consistent.
+    """
+
+    def __init__(
+        self,
+        source: Union[DiGraph, ShortestCycleCounter],
+        *,
+        strategy: str = "redundancy",
+        batch_size: int = 64,
+        rebuild_threshold: float = DEFAULT_REBUILD_THRESHOLD,
+        on_invalid: str = "skip",
+        monitor=None,
+        on_publish: Callable[[Snapshot], None] | None = None,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        if isinstance(source, ShortestCycleCounter):
+            self._counter = source
+        else:
+            self._counter = ShortestCycleCounter.build(
+                source, strategy=strategy
+            )
+        self._batch_size = batch_size
+        self._rebuild_threshold = rebuild_threshold
+        self._on_invalid = on_invalid
+        self._monitor = monitor
+        self._on_publish = on_publish
+
+        self._queue: "queue.SimpleQueue[object]" = queue.SimpleQueue()
+        self._lock = threading.Lock()
+        self._progress = threading.Condition(self._lock)
+        self._submitted = 0
+        self._consumed = 0
+        self._edges_applied = 0
+        self._skipped = 0
+        self._batches = 0
+        self._rebuilds = 0
+        self._failure: BaseException | None = None
+        self._writer: threading.Thread | None = None
+        self._stopping = False
+        self._published: Snapshot | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ServeEngine":
+        """Publish epoch 0 and launch the writer thread."""
+        if self._writer is not None:
+            raise ServiceStoppedError("engine already started")
+        snap = Snapshot.capture(self._counter, epoch=0, ops_applied=0)
+        if self._on_publish is not None:
+            self._on_publish(snap)
+        if self._monitor is not None:
+            self._monitor.observe_snapshot(snap)
+        self._published = snap
+        self._writer = threading.Thread(
+            target=self._run, name="repro-serve-writer", daemon=True
+        )
+        self._writer.start()
+        return self
+
+    def stop(self, timeout: float | None = None) -> None:
+        """Drain everything already submitted, stop the writer, and
+        re-raise any recorded failure.  Idempotent."""
+        with self._lock:
+            if self._stopping:
+                writer = self._writer
+            else:
+                self._stopping = True
+                writer = self._writer
+                if writer is not None:
+                    self._queue.put(_STOP)
+        if writer is not None:
+            writer.join(timeout)
+        failure = self._failure
+        if failure is not None:
+            self._failure = None
+            raise failure
+
+    def __enter__(self) -> "ServeEngine":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Client API
+    # ------------------------------------------------------------------
+    def submit(self, op: str, tail: int, head: int) -> None:
+        """Queue one ``insert``/``delete`` op for the writer.
+
+        Malformed ops (unknown name, out-of-range vertex, self loop) are
+        rejected here, synchronously; *presence* conflicts are resolved
+        by the writer under the engine's ``on_invalid`` policy, because
+        only the application order decides them.
+        """
+        if op not in ("insert", "delete"):
+            raise ValueError(f"unknown serve op {op!r}")
+        n = self._counter.graph.n
+        if not 0 <= tail < n:
+            raise VertexError(tail, n)
+        if not 0 <= head < n:
+            raise VertexError(head, n)
+        if tail == head:
+            raise SelfLoopError(tail)
+        with self._lock:
+            if self._stopping or self._writer is None:
+                raise ServiceStoppedError(
+                    "serving engine is not accepting updates"
+                )
+            self._submitted += 1
+            # Enqueue under the same lock as the _stopping check (put
+            # never blocks on a SimpleQueue): otherwise an accepted op
+            # could land *behind* stop()'s _STOP sentinel and be
+            # silently dropped, wedging flush() forever.
+            self._queue.put((op, tail, head))
+
+    def submit_many(self, ops: Iterable[Op]) -> int:
+        """Queue a sequence of ops; returns how many were accepted."""
+        count = 0
+        for op, tail, head in ops:
+            self.submit(op, tail, head)
+            count += 1
+        return count
+
+    def snapshot(self) -> Snapshot:
+        """The latest published snapshot (an atomic attribute read —
+        safe from any thread, never blocks on the writer)."""
+        snap = self._published
+        if snap is None:
+            raise ServiceStoppedError("engine not started")
+        return snap
+
+    def flush(self, timeout: float | None = None) -> Snapshot:
+        """Block until every op submitted so far has been consumed and
+        its epoch published; returns the then-current snapshot.
+
+        Raises the writer's recorded failure, if any, and
+        ``TimeoutError`` if the queue does not drain in ``timeout``
+        seconds.
+        """
+        with self._progress:
+            target = self._submitted
+            drained = self._progress.wait_for(
+                lambda: self._consumed >= target or self._failure is not None,
+                timeout,
+            )
+            failure = self._failure
+            if failure is not None:
+                self._failure = None
+                raise failure
+            if not drained:
+                raise TimeoutError(
+                    f"serve queue did not drain within {timeout}s"
+                )
+        return self.snapshot()
+
+    @property
+    def counter(self) -> ShortestCycleCounter:
+        """The live counter (writer-owned once the engine is running —
+        do not mutate it from other threads)."""
+        return self._counter
+
+    @property
+    def failure(self) -> BaseException | None:
+        """The first unreported batch/callback failure, if any."""
+        return self._failure
+
+    def stats(self) -> ServeStats:
+        """Current counters (consistent under the engine lock)."""
+        with self._lock:
+            snap = self._published
+            return ServeStats(
+                ops_submitted=self._submitted,
+                ops_consumed=self._consumed,
+                edges_applied=self._edges_applied,
+                ops_skipped=self._skipped,
+                batches=self._batches,
+                rebuilds=self._rebuilds,
+                epoch=snap.epoch if snap is not None else 0,
+                queue_depth=self._submitted - self._consumed,
+                running=(
+                    self._writer is not None and self._writer.is_alive()
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    # Writer thread
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                break
+            ops = [item]
+            stop_after = False
+            while len(ops) < self._batch_size:
+                try:
+                    nxt = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if nxt is _STOP:
+                    stop_after = True
+                    break
+                ops.append(nxt)
+            self._apply_and_publish(ops)
+            if stop_after:
+                break
+
+    def _apply_and_publish(self, ops: list[Op]) -> None:
+        try:
+            stats = self._counter.apply_batch(
+                ops,
+                rebuild_threshold=self._rebuild_threshold,
+                on_invalid=self._on_invalid,
+            )
+            prev = self._published
+            snap = Snapshot.capture(
+                self._counter,
+                epoch=(prev.epoch if prev is not None else 0) + 1,
+                ops_applied=self._consumed + len(ops),
+            )
+            # Publication order: observers first, so any state they
+            # derive (alert bookkeeping, recorded ground truth) exists
+            # before a reader can see the epoch.
+            if self._on_publish is not None:
+                self._on_publish(snap)
+            if self._monitor is not None:
+                self._monitor.observe_snapshot(snap)
+        except BaseException as exc:  # noqa: BLE001 - reported via flush()
+            with self._progress:
+                if self._failure is None:
+                    self._failure = exc
+                self._consumed += len(ops)
+                self._progress.notify_all()
+            return
+        self._published = snap
+        with self._progress:
+            self._consumed += len(ops)
+            self._edges_applied += stats.applied
+            self._skipped += len(stats.skipped)
+            self._batches += 1
+            self._rebuilds += int(stats.rebuilt)
+            self._progress.notify_all()

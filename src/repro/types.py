@@ -25,3 +25,24 @@ class CycleCount(NamedTuple):
 
 #: The "no cycle through this vertex" result.
 NO_CYCLE = CycleCount(0, float("inf"))
+
+
+class PathCount(NamedTuple):
+    """Result of an ``SPCnt`` pair query (:meth:`CSCIndex.spcnt`).
+
+    ``count`` is the number of shortest ``x -> y`` paths in the original
+    graph and ``dist`` their common length in original-graph hops; an
+    unreachable target reports ``count == 0`` and ``dist == inf``.
+    """
+
+    count: int
+    dist: float
+
+    @property
+    def reachable(self) -> bool:
+        """Whether any ``x -> y`` path exists."""
+        return self.count > 0
+
+
+#: The "target unreachable" result.
+NO_PATH = PathCount(0, float("inf"))

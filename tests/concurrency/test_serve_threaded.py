@@ -1,0 +1,176 @@
+"""Threaded stress tests for the snapshot-isolated serving engine.
+
+Marked ``concurrency``: every test runs under a tiny
+``sys.setswitchinterval`` so the interpreter forces thread switches
+mid-bytecode-sequence, which is what would expose torn reads if readers
+ever shared mutable state with the writer.  The workload is the
+Figure-10 benchmark graph under a mixed update stream; the writer
+records per-epoch ground truth at publication time, so any reader
+observing a value that disagrees with its snapshot's epoch vector has
+seen a torn state.
+"""
+
+import sys
+import threading
+
+import pytest
+
+from repro.core.counter import ShortestCycleCounter
+from repro.graph.datasets import DATASETS
+from repro.monitor import CycleMonitor
+from repro.service import ServeEngine, serial_replay
+from repro.workloads.updates import mixed_update_stream
+
+pytestmark = pytest.mark.concurrency
+
+SEED = 7
+
+
+@pytest.fixture(autouse=True)
+def aggressive_thread_switching():
+    """Force frequent preemption so interleaving bugs actually surface."""
+    old = sys.getswitchinterval()
+    sys.setswitchinterval(1e-5)
+    yield
+    sys.setswitchinterval(old)
+
+
+def fig10_graph():
+    """The Figure-10 query-benchmark graph at the tiny profile."""
+    return DATASETS["G04"].build("tiny", SEED)
+
+
+def test_readers_see_only_published_epochs_under_update_stream():
+    graph = fig10_graph()
+    counter = ShortestCycleCounter.build(graph)
+    base = counter.graph.copy()
+    ops = mixed_update_stream(counter.graph, 80, SEED, insert_fraction=0.3)
+
+    truth: dict[int, list] = {}
+
+    def on_publish(snap):
+        # Writer-thread ground truth, recorded before the epoch becomes
+        # visible to readers.
+        truth[snap.epoch] = [snap.count(v) for v in range(snap.n)]
+
+    engine = ServeEngine(counter, batch_size=8, on_publish=on_publish)
+    errors: list[str] = []
+    stop = threading.Event()
+    readers = 4
+
+    def reader(slot: int) -> None:
+        last_epoch = -1
+        j = slot * 101
+        try:
+            while not stop.is_set():
+                snap = engine.snapshot()
+                assert snap.epoch >= last_epoch, "epoch went backwards"
+                last_epoch = snap.epoch
+                expected = truth[snap.epoch]
+                for _ in range(32):
+                    v = j % snap.n
+                    j += 13
+                    got = snap.count(v)
+                    assert got == expected[v], (
+                        f"torn read: epoch {snap.epoch} vertex {v}: "
+                        f"{got} != {expected[v]}"
+                    )
+                # Re-reading must be stable on an immutable snapshot.
+                v = j % snap.n
+                assert snap.count(v) == snap.count(v)
+        except BaseException as exc:  # noqa: BLE001 - reported below
+            errors.append(f"reader {slot}: {exc!r}")
+
+    threads = [
+        threading.Thread(target=reader, args=(i,), daemon=True)
+        for i in range(readers)
+    ]
+    with engine:
+        for t in threads:
+            t.start()
+        # Feed the stream in dribbles so batches of many sizes occur
+        # while readers are mid-flight.
+        for i in range(0, len(ops), 5):
+            engine.submit_many(ops[i : i + 5])
+        final = engine.flush(timeout=120)
+        stop.set()
+        for t in threads:
+            t.join(timeout=60)
+
+    assert errors == []
+    assert final.ops_applied == len(ops)
+
+    # Final-state equality with strictly serial application.
+    replay = serial_replay(base, ops)
+    assert replay.graph == counter.graph
+    for v in range(final.n):
+        assert final.count(v) == replay.count(v)
+    assert final.top_suspicious(10) == replay.top_suspicious(10)
+
+
+def test_monitor_epoch_alerts_under_concurrent_readers():
+    """Alerts are evaluated once per published epoch, on the writer
+    thread, while readers hammer the same snapshots."""
+    graph = fig10_graph()
+    counter = ShortestCycleCounter.build(graph)
+    watch = list(range(0, graph.n, 7))
+    monitor = CycleMonitor(counter, watch=watch, threshold=1)
+    ops = mixed_update_stream(counter.graph, 40, SEED + 1,
+                              insert_fraction=0.5)
+
+    engine = ServeEngine(counter, batch_size=8, monitor=monitor)
+    errors: list[str] = []
+    stop = threading.Event()
+
+    def reader() -> None:
+        try:
+            while not stop.is_set():
+                snap = engine.snapshot()
+                snap.top_suspicious(5)
+                for v in watch:
+                    snap.count(v)
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(repr(exc))
+
+    threads = [
+        threading.Thread(target=reader, daemon=True) for _ in range(2)
+    ]
+    with engine:
+        for t in threads:
+            t.start()
+        engine.submit_many(ops)
+        final = engine.flush(timeout=120)
+        stop.set()
+        for t in threads:
+            t.join(timeout=60)
+
+    assert errors == []
+    # Every alert names a published epoch and a vertex that was at/above
+    # threshold at that epoch's snapshot.
+    for alert in monitor.alerts:
+        epoch, _ops_applied, kind = alert.cause
+        assert kind == "epoch"
+        assert 0 <= epoch <= final.epoch
+        assert alert.count.count >= 1
+    # The armed set matches the final state (re-crossing stays possible).
+    above = {v for v in watch if final.count(v).count >= 1}
+    assert above == monitor._above
+
+
+def test_snapshot_pinned_while_writer_rebuilds():
+    """A reader-held snapshot survives even the batch engine's full
+    rebuild fallback (which swaps both label stores wholesale)."""
+    graph = fig10_graph()
+    counter = ShortestCycleCounter.build(graph)
+    engine = ServeEngine(counter, batch_size=64)
+    with engine:
+        pinned = engine.snapshot()
+        before = [pinned.count(v) for v in range(pinned.n)]
+        # Deleting a big slice of edges drives the affected-hub fraction
+        # over the rebuild threshold, so the fallback actually runs.
+        doomed = list(counter.graph.edges())[:: 3]
+        engine.submit_many(("delete", a, b) for a, b in doomed)
+        engine.flush(timeout=120)
+        assert engine.stats().rebuilds >= 1
+        after = [pinned.count(v) for v in range(pinned.n)]
+        assert before == after

@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.errors import PackingOverflowError, SerializationError
+from repro.errors import (
+    FrozenSnapshotError,
+    PackingOverflowError,
+    SerializationError,
+)
 from repro.labeling.labelstore import (
     COUNT_SATURATED,
     HUB_SHIFT,
@@ -180,6 +184,212 @@ class TestJoinKernels:
         mb = {0: (2, 5, True), 1: (2, 4, True), 2: (0, 1000, True)}
         d, c = join_bydist_min_count(items, mb)
         assert (d, c) == (3, 2 * 5 + 3 * 4)
+
+
+def overflow_store():
+    """A store exercising the exact-count overflow tables: several
+    saturated entries spread over multiple vertices."""
+    big1 = COUNT_SATURATED + 5
+    big2 = 1 << 40
+    big3 = (1 << 63) + 123
+    return LabelStore.from_lists([
+        [(0, 1, big1, True), (3, 2, 7, False), (9, 4, big2, True)],
+        [],
+        [(2, 3, big3, False)],
+        [(1, 1, 1, True)],
+    ])
+
+
+class TestSerializationRobustness:
+    """RPLS container hardening: every malformed byte stream must raise
+    SerializationError — never parse silently, never leak another
+    exception type."""
+
+    def test_every_truncation_rejected(self):
+        blob = overflow_store().to_bytes()
+        for cut in range(len(blob)):
+            with pytest.raises(SerializationError):
+                LabelStore.from_bytes(blob[:cut])
+
+    def test_corrupted_magic_rejected_at_every_byte(self):
+        blob = bytearray(make_store().to_bytes())
+        for i in range(4):
+            bad = bytearray(blob)
+            bad[i] ^= 0xFF
+            with pytest.raises(SerializationError):
+                LabelStore.from_bytes(bytes(bad))
+
+    def test_corrupted_version_rejected(self):
+        blob = bytearray(make_store().to_bytes())
+        blob[4] = 0xFE
+        with pytest.raises(SerializationError):
+            LabelStore.from_bytes(bytes(blob))
+
+    def test_overflow_table_round_trip(self):
+        store = overflow_store()
+        again = LabelStore.from_bytes(store.to_bytes())
+        assert store.eq_entries(again)
+        assert again.to_lists() == store.to_lists()
+        # the saturated words stay clamped, the decoded counts exact
+        assert again.packed[0][0] & ((1 << COUNT_BITS) - 1) == COUNT_SATURATED
+        assert again.big[0] == store.big[0]
+        assert again.big[2] == store.big[2]
+        assert again.big[1] is None or again.big[1] == {}
+
+    def test_prefix_decode_reports_consumed_bytes(self):
+        blob = overflow_store().to_bytes()
+        trailer = b"TRAILING-DATA"
+        store, consumed = LabelStore.from_bytes_prefix(blob + trailer)
+        assert consumed == len(blob)
+        assert store.eq_entries(overflow_store())
+
+
+class TestIndexSerializationRobustness:
+    """Same hardening for the RPCI container (CSCIndex.to_bytes)."""
+
+    @staticmethod
+    def index_and_graph():
+        from repro.core.csc import CSCIndex
+        from repro.graph.digraph import DiGraph
+
+        g = DiGraph.from_edges(5, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4),
+                                   (4, 2)])
+        return CSCIndex.build(g), g
+
+    def test_round_trip(self):
+        from repro.core.csc import CSCIndex
+
+        index, g = self.index_and_graph()
+        again = CSCIndex.from_bytes(index.to_bytes(), g)
+        assert again.order == index.order
+        assert again.store_in.eq_entries(index.store_in)
+        assert again.store_out.eq_entries(index.store_out)
+
+    def test_every_truncation_rejected(self):
+        from repro.core.csc import CSCIndex
+
+        index, g = self.index_and_graph()
+        blob = index.to_bytes()
+        for cut in range(len(blob)):
+            with pytest.raises(SerializationError):
+                CSCIndex.from_bytes(blob[:cut], g)
+
+    def test_corrupted_magic_and_version_rejected(self):
+        from repro.core.csc import CSCIndex
+
+        index, g = self.index_and_graph()
+        blob = bytearray(index.to_bytes())
+        for i in range(4):
+            bad = bytearray(blob)
+            bad[i] ^= 0xFF
+            with pytest.raises(SerializationError):
+                CSCIndex.from_bytes(bytes(bad), g)
+        bad = bytearray(blob)
+        bad[4] = 0x7F
+        with pytest.raises(SerializationError):
+            CSCIndex.from_bytes(bytes(bad), g)
+
+    def test_graph_size_mismatch_rejected(self):
+        from repro.core.csc import CSCIndex
+        from repro.graph.digraph import DiGraph
+
+        index, _g = self.index_and_graph()
+        with pytest.raises(SerializationError):
+            CSCIndex.from_bytes(index.to_bytes(), DiGraph(3))
+
+
+class TestSnapshotCOW:
+    """Copy-on-write snapshots: frozen reads, per-vertex isolation."""
+
+    def test_snapshot_reflects_capture_time_state(self):
+        store = make_store()
+        snap = store.snapshot()
+        assert snap.frozen and not store.frozen
+        assert snap.to_lists() == SAMPLE
+
+    def test_every_mutation_isolated_from_snapshot(self):
+        mutations = [
+            lambda s: s.set_at(0, 1, 2, 9, 9, True),
+            lambda s: s.insert_sorted(0, 3, 1, 1, True),
+            lambda s: s.delete_at(0, 0),
+            lambda s: s.replace_vertex(0, [(7, 7, 7, False)]),
+            lambda s: s.append_raw(0, (9, 1, 1, False)),
+            lambda s: s.insert_raw(0, 0, (9, 1, 1, False)),
+            lambda s: s.reverse(0),
+            lambda s: s.add_vertex([(0, 1, 1, True)]),
+        ]
+        for mutate in mutations:
+            store = make_store()
+            store.ensure_maps()
+            store.ensure_dists()
+            store.ensure_bydist()
+            snap = store.snapshot()
+            mutate(store)
+            assert snap.to_lists() == SAMPLE, mutate
+            # shared accelerators must not have drifted either
+            assert snap.ensure_maps()[0] == {
+                h: (d, c, f) for h, d, c, f in SAMPLE[0]
+            }
+
+    def test_overflow_table_copy_on_write(self):
+        big = COUNT_SATURATED + 9
+        store = LabelStore.from_lists([[(0, 1, big, True)]])
+        snap = store.snapshot()
+        store.set_at(0, 0, 0, 1, big + 1, True)
+        assert snap.entries(0) == [(0, 1, big, True)]
+        assert store.entries(0) == [(0, 1, big + 1, True)]
+
+    def test_frozen_snapshot_rejects_all_mutation(self):
+        snap = make_store().snapshot()
+        with pytest.raises(FrozenSnapshotError):
+            snap.set_at(0, 0, 0, 1, 1, True)
+        with pytest.raises(FrozenSnapshotError):
+            snap.insert_sorted(0, 3, 1, 1, True)
+        with pytest.raises(FrozenSnapshotError):
+            snap.delete_at(0, 0)
+        with pytest.raises(FrozenSnapshotError):
+            snap.replace_vertex(0, [])
+        with pytest.raises(FrozenSnapshotError):
+            snap.add_vertex()
+        with pytest.raises(FrozenSnapshotError):
+            snap.append_raw(0, (9, 1, 1, False))
+        with pytest.raises(FrozenSnapshotError):
+            snap.reverse(0)
+
+    def test_two_epochs_diverge_independently(self):
+        store = make_store()
+        snap1 = store.snapshot()
+        store.set_at(0, 0, 0, 5, 5, False)
+        snap2 = store.snapshot()
+        store.delete_at(0, 0)
+        assert snap1.entries(0)[0] == (0, 0, 1, True)
+        assert snap2.entries(0)[0] == (0, 5, 5, False)
+        assert store.entries(0)[0] == (2, 3, 2, False)
+
+    def test_snapshot_of_snapshot_is_free_and_frozen(self):
+        snap = make_store().snapshot()
+        again = snap.snapshot()
+        assert again.frozen
+        assert again.to_lists() == SAMPLE
+
+    def test_snapshot_serializes_and_copies(self):
+        store = make_store()
+        snap = store.snapshot()
+        store.replace_vertex(0, [])
+        again = LabelStore.from_bytes(snap.to_bytes())
+        assert again.to_lists() == SAMPLE
+        clone = snap.copy()
+        assert not clone.frozen
+        clone.delete_at(0, 0)  # the copy of a snapshot is mutable
+        assert snap.to_lists() == SAMPLE
+
+    def test_untouched_vertices_stay_shared(self):
+        store = make_store()
+        snap = store.snapshot()
+        store.set_at(0, 0, 0, 5, 5, False)
+        # vertex 0 was copied; vertex 2 still shares its array object
+        assert store.packed[0] is not snap.packed[0]
+        assert store.packed[2] is snap.packed[2]
 
 
 class TestViews:

@@ -1,0 +1,156 @@
+"""Stateful property test for snapshot isolation.
+
+A :class:`ShortestCycleCounter` lives through an arbitrary interleaving
+of single-edge updates, mixed batches, and ``snapshot()`` calls.  Every
+held snapshot must keep answering **bit-identically to a serial
+per-edge replay of exactly the update prefix it was taken at**, no
+matter how far the live counter advances past it — that is the
+correctness contract the serving engine's readers rely on.  Snapshots
+are additionally re-validated against the full label-invariant helpers
+(rebound to the graph state they captured).
+"""
+
+import random
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.baselines.naive import naive_cycle_count
+from repro.core.counter import ShortestCycleCounter
+from repro.core.csc import CSCIndex
+from repro.graph.digraph import DiGraph
+from repro.service import serial_replay
+
+from tests.properties.invariants import assert_label_invariants
+
+N = 6  # naive enumeration is exponential; keep the state space tiny
+MAX_HELD = 3  # snapshots alive at once (old ones are re-checked, then dropped)
+
+
+class SnapshotIsolationMachine(RuleBasedStateMachine):
+    @initialize(seed=st.integers(0, 2**20))
+    def setup(self, seed):
+        rng = random.Random(seed)
+        g = DiGraph(N)
+        for _ in range(rng.randrange(0, 2 * N)):
+            a, b = rng.randrange(N), rng.randrange(N)
+            if a != b and not g.has_edge(a, b):
+                g.add_edge(a, b)
+        self.initial = g.copy()
+        self.counter = ShortestCycleCounter.build(g)
+        self.ops_log: list[tuple[str, int, int]] = []
+        # held snapshots: (snapshot, ops-prefix length, graph at capture)
+        self.held: list[tuple[object, int, DiGraph]] = []
+
+    # -- updates through every maintenance path -------------------------
+    @rule(a=st.integers(0, N - 1), b=st.integers(0, N - 1))
+    def insert_one(self, a, b):
+        if a == b or self.counter.graph.has_edge(a, b):
+            return
+        self.counter.insert_edge(a, b)
+        self.ops_log.append(("insert", a, b))
+
+    @precondition(lambda self: self.counter.graph.m > 0)
+    @rule(pick=st.integers(0, 10_000))
+    def delete_one(self, pick):
+        edges = list(self.counter.graph.edges())
+        a, b = edges[pick % len(edges)]
+        self.counter.delete_edge(a, b)
+        self.ops_log.append(("delete", a, b))
+
+    @rule(
+        seed=st.integers(0, 2**20),
+        size=st.integers(1, 6),
+        threshold=st.sampled_from([-1.0, 0.3, 1.0]),
+    )
+    def apply_mixed_batch(self, seed, size, threshold):
+        rng = random.Random(seed)
+        sim = self.counter.graph.copy()
+        ops = []
+        for _ in range(size):
+            present = list(sim.edges())
+            absent = [
+                (a, b)
+                for a in range(N)
+                for b in range(N)
+                if a != b and not sim.has_edge(a, b)
+            ]
+            if present and (not absent or rng.random() < 0.5):
+                e = rng.choice(present)
+                sim.remove_edge(*e)
+                ops.append(("delete", *e))
+            elif absent:
+                e = rng.choice(absent)
+                sim.add_edge(*e)
+                ops.append(("insert", *e))
+        self.counter.apply_batch(ops, rebuild_threshold=threshold)
+        self.ops_log.extend(ops)
+
+    # -- snapshots -------------------------------------------------------
+    @rule()
+    def take_snapshot(self):
+        snap = self.counter.snapshot(
+            epoch=len(self.held), ops_applied=len(self.ops_log)
+        )
+        self.held.append(
+            (snap, len(self.ops_log), self.counter.graph.copy())
+        )
+        if len(self.held) > MAX_HELD:
+            self._check_snapshot(*self.held.pop(0))
+
+    def _replay(self, prefix_len: int) -> ShortestCycleCounter:
+        return serial_replay(self.initial.copy(), self.ops_log[:prefix_len])
+
+    def _check_snapshot(self, snap, prefix_len, graph_at_capture) -> None:
+        assert snap.n == graph_at_capture.n
+        assert snap.m == graph_at_capture.m
+        replay = self._replay(prefix_len)
+        assert replay.graph == graph_at_capture
+        # Bit-identical answers to the serial replay of the prefix.
+        for v in range(snap.n):
+            assert snap.count(v) == replay.count(v)
+        assert snap.top_suspicious(N) == replay.top_suspicious(N)
+        for x in range(snap.n):
+            for y in range(snap.n):
+                assert snap.spcnt(x, y) == replay.spcnt(x, y)
+        # The frozen stores still satisfy every label invariant relative
+        # to the graph they captured (invariants.py helpers need the
+        # capture-time graph; the snapshot index shares the live one).
+        rebound = CSCIndex(
+            graph_at_capture,
+            list(snap.index.order),
+            list(snap.index.pos),
+            snap.index.store_in,
+            snap.index.store_out,
+        )
+        assert_label_invariants(rebound)
+
+    @invariant()
+    def snapshots_stay_pinned(self):
+        if not hasattr(self, "held"):
+            return  # before initialize
+        # Even as the live counter advances, every held snapshot keeps
+        # answering from its captured state (spot check: all vertices).
+        for snap, prefix_len, graph_at_capture in self.held:
+            for v in range(snap.n):
+                assert snap.count(v) == naive_cycle_count(
+                    graph_at_capture, v
+                )
+
+    def teardown(self):
+        if hasattr(self, "held"):
+            for entry in self.held:
+                self._check_snapshot(*entry)
+
+
+TestSnapshotIsolationMachine = SnapshotIsolationMachine.TestCase
+TestSnapshotIsolationMachine.settings = settings(
+    max_examples=20, stateful_step_count=10, deadline=None
+)

@@ -1,0 +1,214 @@
+"""Unit tests for the serving engine, snapshots, and the mixed driver
+(single-threaded behavior; the threaded stress lives in
+``tests/concurrency/``)."""
+
+import pytest
+
+from repro.core.counter import ShortestCycleCounter
+from repro.errors import (
+    SelfLoopError,
+    ServiceStoppedError,
+    VertexError,
+)
+from repro.graph.digraph import DiGraph
+from repro.graph.traversal import INF, count_shortest_paths
+from repro.monitor import CycleMonitor
+from repro.service import ServeEngine, Snapshot, drive_mixed
+from repro.types import NO_PATH, PathCount
+from tests.conftest import random_digraph
+
+
+@pytest.fixture
+def chain():
+    """0 -> 1 -> 2 -> 3, one edge short of a 4-cycle."""
+    return DiGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+
+
+class TestSnapshot:
+    def test_capture_matches_live_counter(self, chain):
+        counter = ShortestCycleCounter.build(chain)
+        snap = counter.snapshot()
+        assert (snap.n, snap.m) == (4, 3)
+        assert snap.count_many(range(4)) == counter.count_many(range(4))
+        assert snap.top_suspicious(4) == counter.top_suspicious(4)
+
+    def test_snapshot_is_pinned_across_updates(self, chain):
+        counter = ShortestCycleCounter.build(chain)
+        snap = counter.snapshot()
+        counter.insert_edge(3, 0)
+        assert snap.count(0).count == 0
+        assert counter.count(0).count == 1
+        fresh = counter.snapshot()
+        assert fresh.count(0) == counter.count(0)
+
+    def test_bounds_checked(self, chain):
+        snap = ShortestCycleCounter.build(chain).snapshot()
+        with pytest.raises(VertexError):
+            snap.count(4)
+        with pytest.raises(VertexError):
+            snap.spcnt(0, -1)
+
+    def test_repr_names_epoch(self, chain):
+        snap = ShortestCycleCounter.build(chain).snapshot(
+            epoch=3, ops_applied=17
+        )
+        assert "epoch=3" in repr(snap) and "ops_applied=17" in repr(snap)
+
+
+class TestSpcnt:
+    def test_matches_bfs_oracle_on_random_graphs(self):
+        for seed in range(8):
+            g = random_digraph(8, 18, seed)
+            counter = ShortestCycleCounter.build(g)
+            for x in range(g.n):
+                for y in range(g.n):
+                    d, c = count_shortest_paths(g, x, y)
+                    got = counter.spcnt(x, y)
+                    if c == 0:
+                        assert got == NO_PATH
+                    else:
+                        assert got == PathCount(c, d)
+
+    def test_matches_oracle_after_maintenance(self):
+        g = random_digraph(7, 14, 3)
+        counter = ShortestCycleCounter.build(g)
+        counter.delete_edges(list(g.edges())[:4])
+        counter.insert_edges([(0, 6), (6, 1)], on_invalid="skip")
+        live = counter.graph
+        for x in range(live.n):
+            for y in range(live.n):
+                d, c = count_shortest_paths(live, x, y)
+                got = counter.spcnt(x, y)
+                assert (got.count, got.dist) == ((c, d) if c else (0, INF))
+
+    def test_self_pair_is_empty_path(self, chain):
+        assert ShortestCycleCounter.build(chain).spcnt(2, 2) == PathCount(1, 0)
+
+
+class TestServeEngine:
+    def test_initial_epoch_zero_published_on_start(self, chain):
+        with ServeEngine(chain) as engine:
+            snap = engine.snapshot()
+            assert snap.epoch == 0
+            assert snap.ops_applied == 0
+
+    def test_drain_matches_serial_replay(self):
+        g = random_digraph(20, 50, 11)
+        ops = (
+            [("delete", a, b) for a, b in list(g.edges())[:6]]
+            + [("insert", 0, 19), ("insert", 19, 1)]
+        )
+        with ServeEngine(g, batch_size=3) as engine:
+            engine.submit_many(ops)
+            final = engine.flush(timeout=60)
+            stats = engine.stats()
+        assert stats.ops_consumed == len(ops)
+        assert stats.epoch == final.epoch >= 1
+        replay = ShortestCycleCounter.build(g)
+        for op, a, b in ops:
+            (replay.insert_edge if op == "insert" else replay.delete_edge)(
+                a, b
+            )
+        assert [final.count(v) for v in range(final.n)] == [
+            replay.count(v) for v in range(final.n)
+        ]
+
+    def test_single_op_lands_in_one_batch(self, chain):
+        with ServeEngine(chain) as engine:
+            engine.submit("insert", 3, 0)
+            final = engine.flush(timeout=60)
+            assert final.count(0).count == 1
+            assert engine.stats().batches == 1
+
+    def test_infeasible_ops_skipped_and_counted(self, chain):
+        with ServeEngine(chain) as engine:
+            engine.submit("delete", 3, 0)  # absent: skipped, not fatal
+            engine.submit("insert", 0, 1)  # present: skipped
+            engine.submit("insert", 3, 0)  # fine
+            engine.flush(timeout=60)
+            stats = engine.stats()
+        assert stats.ops_skipped == 2
+        assert stats.edges_applied == 1
+
+    def test_malformed_ops_rejected_at_submit(self, chain):
+        with ServeEngine(chain) as engine:
+            with pytest.raises(ValueError):
+                engine.submit("upsert", 0, 1)
+            with pytest.raises(VertexError):
+                engine.submit("insert", 0, 99)
+            with pytest.raises(SelfLoopError):
+                engine.submit("insert", 2, 2)
+            assert engine.stats().ops_submitted == 0
+
+    def test_raise_policy_failure_surfaces_at_flush(self, chain):
+        engine = ServeEngine(chain, on_invalid="raise").start()
+        engine.submit("delete", 3, 0)  # infeasible -> batch raises
+        with pytest.raises(Exception):
+            engine.flush(timeout=60)
+        # the engine keeps serving the last good epoch
+        assert engine.snapshot().epoch == 0
+        engine.submit("insert", 3, 0)
+        final = engine.flush(timeout=60)
+        assert final.count(0).count == 1
+        engine.stop()
+
+    def test_submit_after_stop_rejected(self, chain):
+        engine = ServeEngine(chain).start()
+        engine.stop()
+        with pytest.raises(ServiceStoppedError):
+            engine.submit("insert", 3, 0)
+        engine.stop()  # idempotent
+
+    def test_snapshot_before_start_rejected(self, chain):
+        with pytest.raises(ServiceStoppedError):
+            ServeEngine(chain).snapshot()
+
+    def test_adopts_existing_counter(self, chain):
+        counter = ShortestCycleCounter.build(chain)
+        with ServeEngine(counter) as engine:
+            assert engine.counter is counter
+            engine.submit("insert", 3, 0)
+            engine.flush(timeout=60)
+        assert counter.count(0).count == 1
+
+    def test_monitor_alerts_on_published_epochs(self, chain):
+        counter = ShortestCycleCounter.build(chain)
+        monitor = CycleMonitor(counter, watch=[0], threshold=1)
+        with ServeEngine(counter, monitor=monitor, batch_size=2) as engine:
+            engine.submit("insert", 3, 0)
+            engine.flush(timeout=60)
+            engine.submit("delete", 3, 0)  # drop below: re-arms
+            engine.flush(timeout=60)
+            engine.submit("insert", 3, 0)  # re-cross: alerts again
+            engine.flush(timeout=60)
+        assert [a.vertex for a in monitor.alerts] == [0, 0]
+        for alert in monitor.alerts:
+            assert alert.cause[2] == "epoch"
+
+    def test_on_publish_sees_epoch_before_readers(self, chain):
+        seen = []
+        with ServeEngine(
+            chain, on_publish=lambda s: seen.append(s.epoch)
+        ) as engine:
+            engine.submit("insert", 3, 0)
+            final = engine.flush(timeout=60)
+        assert seen == list(range(final.epoch + 1))
+
+
+class TestDriver:
+    def test_drive_mixed_reports_consistent_run(self):
+        g = random_digraph(16, 40, 5)
+        ops = [("delete", a, b) for a, b in list(g.edges())[:5]]
+        result = drive_mixed(g, ops, readers=2, batch_size=2)
+        assert result.errors == []
+        assert result.ops == 5
+        assert result.stats.ops_consumed == 5
+        assert len(result.reader_queries) == 2
+        assert result.epochs_seen >= 1
+        assert isinstance(result.final, Snapshot)
+
+    def test_rejects_bad_arguments(self, chain):
+        with pytest.raises(ValueError):
+            drive_mixed(chain, [], readers=0)
+        with pytest.raises(ValueError):
+            drive_mixed(chain, [], query_vertices=[])

@@ -27,6 +27,7 @@ class TestParser:
             ["query", "i.bin", "3"],
             ["profile", "g.txt"],
             ["batch-update", "g.txt"],
+            ["serve", "g.txt"],
             ["datasets"],
             ["experiments", "table2"],
         ):
@@ -112,3 +113,24 @@ class TestBatchUpdate:
             ["batch-update", fig2_file, "--ops", "4", "--batch-size", "2",
              "--strategy", "minimality", "--no-cluster"]
         ) == 0
+
+
+class TestServe:
+    def test_serve_runs_and_verifies(self, fig2_file, capsys):
+        assert main(
+            ["serve", fig2_file, "--readers", "2", "--ops", "8",
+             "--batch-size", "4", "--seed", "3", "--verify"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2 readers vs 1 writer" in out
+        assert "published" in out and "epochs" in out
+        assert "bit-identical to serial replay" in out
+
+    def test_serve_reports_read_throughput_ratio(self, fig2_file, capsys):
+        assert main(
+            ["serve", fig2_file, "--readers", "1", "--ops", "4",
+             "--batch-size", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "% of the idle single-thread rate" in out
+        assert "queries/s aggregate" in out

@@ -172,6 +172,128 @@ class TestStream:
         assert monitor.alerts == []
 
 
+class TestRecrossing:
+    """Re-crossing semantics: dropping below the threshold must re-arm a
+    vertex's alert no matter what happens to *other* vertices in the
+    same scan."""
+
+    @staticmethod
+    def crossing_graph():
+        """Deleting (1, 0) makes vertex 0 cross UP (its 2-cycle dies,
+        exposing two 3-cycles) while vertex 2 drops BELOW (one of its
+        two 3-cycles used that edge) — both transitions in one scan."""
+        return DiGraph.from_edges(9, [
+            (0, 1), (1, 0),             # 0's 2-cycle, count 1
+            (0, 3), (3, 4), (4, 0),     # 0's 3-cycles (count 2 once the
+            (0, 5), (5, 6), (6, 0),     # 2-cycle is gone)
+            (2, 1), (0, 2),             # 2's 3-cycle via (1, 0)
+            (2, 7), (7, 8), (8, 2),     # 2's other 3-cycle
+        ])
+
+    def test_raising_callback_does_not_swallow_later_recrossing(self):
+        """Regression: a raising on_alert used to abort the scan before
+        later watched vertices' drop-below was recorded, so their next
+        re-crossing never alerted."""
+        def explode(alert):
+            raise RuntimeError(f"sink failed for {alert.vertex}")
+
+        monitor = CycleMonitor(
+            self.crossing_graph(), watch=[0, 2], threshold=2,
+            on_alert=explode,
+        )
+        assert {a.vertex for a in monitor.alerts} == set()
+        with pytest.raises(RuntimeError):
+            monitor.delete(1, 0)  # 0 crosses up (callback raises),
+            #                       2 drops below in the same scan
+        # the alert that fired is still recorded despite the raise
+        assert [a.vertex for a in monitor.alerts] == [0]
+        monitor._on_alert = None
+        monitor.insert(1, 0)  # restores 2's second 3-cycle: re-crossing
+        assert [a.vertex for a in monitor.alerts] == [0, 2]
+
+    def test_all_crossings_recorded_before_any_callback(self):
+        """Bookkeeping is two-phase: even when the first callback raises,
+        every alert of the scan is already in the log."""
+        calls = []
+
+        def explode(alert):
+            calls.append(alert.vertex)
+            raise RuntimeError("boom")
+
+        g = DiGraph.from_edges(6, [(0, 1), (1, 2), (2, 0),
+                                   (3, 4), (4, 5), (5, 3)])
+        g.remove_edge(2, 0)
+        g.remove_edge(5, 3)
+        monitor = CycleMonitor(g, watch=[0, 3], threshold=1,
+                               on_alert=explode)
+        with pytest.raises(RuntimeError):
+            monitor.process([("insert", 2, 0), ("insert", 5, 3)],
+                            batch_size=2)
+        # both crossings logged although only the first callback ran
+        assert [a.vertex for a in monitor.alerts] == [0, 3]
+        assert calls == [0]
+
+    def test_rearm_via_deletion_only_stream(self):
+        """A deletion can also cross a vertex UP (killing the shorter
+        cycle exposes more longer ones) — re-crossing works there too."""
+        monitor = CycleMonitor(self.crossing_graph(), watch=[2],
+                               threshold=2)
+        monitor.delete(1, 0)   # 2 drops below (silently re-arms)
+        monitor.insert(1, 0)   # 2 re-crosses
+        assert [a.vertex for a in monitor.alerts] == [2]
+        monitor.delete(1, 0)   # below again
+        monitor.insert(1, 0)   # and again
+        assert [a.vertex for a in monitor.alerts] == [2, 2]
+
+
+class TestServingMode:
+    """Epoch-based evaluation against published snapshots."""
+
+    def test_adopted_counter_is_not_copied(self, chain):
+        from repro.core.counter import ShortestCycleCounter
+
+        counter = ShortestCycleCounter.build(chain)
+        monitor = CycleMonitor(counter, watch=[0])
+        assert monitor.counter is counter
+
+    def test_observe_snapshot_coalesces_per_epoch(self, chain):
+        from repro.core.counter import ShortestCycleCounter
+
+        counter = ShortestCycleCounter.build(chain)
+        monitor = CycleMonitor(counter, watch=[0], threshold=1)
+        counter.insert_edge(3, 0)
+        alerts = monitor.observe_snapshot(counter.snapshot(epoch=1,
+                                                           ops_applied=1))
+        assert [a.vertex for a in alerts] == [0]
+        assert alerts[0].cause == (1, 1, "epoch")
+        # same state, next epoch: no repeat alert
+        assert monitor.observe_snapshot(
+            counter.snapshot(epoch=2, ops_applied=1)
+        ) == []
+        # drop below in epoch 3, re-cross in epoch 4 -> alerts again
+        counter.delete_edge(3, 0)
+        assert monitor.observe_snapshot(
+            counter.snapshot(epoch=3, ops_applied=2)
+        ) == []
+        counter.insert_edge(3, 0)
+        again = monitor.observe_snapshot(
+            counter.snapshot(epoch=4, ops_applied=3)
+        )
+        assert [a.vertex for a in again] == [0]
+        assert len(monitor.alerts) == 2
+
+    def test_within_epoch_flicker_coalesced(self, chain):
+        from repro.core.counter import ShortestCycleCounter
+
+        counter = ShortestCycleCounter.build(chain)
+        monitor = CycleMonitor(counter, watch=[0], threshold=1)
+        counter.insert_edge(3, 0)
+        counter.delete_edge(3, 0)  # up and back down between epochs
+        assert monitor.observe_snapshot(
+            counter.snapshot(epoch=1, ops_applied=2)
+        ) == []
+
+
 class TestTopK:
     def test_top_ranking(self):
         g = DiGraph.from_edges(
