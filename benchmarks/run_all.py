@@ -1,10 +1,11 @@
 """Benchmark-trajectory harness: one command, machine-readable results.
 
-Runs the query, update, and serving benchmarks on pinned seeds and
-writes ``BENCH_query.json`` / ``BENCH_updates.json`` /
-``BENCH_serve.json`` (op/sec, p50/p99 latency, index bytes, read-ratio
-under writes) so every PR's performance claims are measured against the
-committed trajectory point of the previous one, not asserted.
+Runs the query, update, serving, and construction benchmarks on pinned
+seeds and writes ``BENCH_query.json`` / ``BENCH_updates.json`` /
+``BENCH_serve.json`` / ``BENCH_build.json`` (op/sec, p50/p99 latency,
+index bytes, read-ratio under writes, build speedups) so every PR's
+performance claims are measured against the committed trajectory point
+of the previous one, not asserted.
 
 * **Query benchmark** — the Figure-10 workload (degree-cluster-sampled
   ``SCCnt`` queries) on each benchmark graph, timed per query for both
@@ -18,6 +19,9 @@ committed trajectory point of the previous one, not asserted.
 * **Serving benchmark** (:mod:`bench_serve`) — aggregate reader
   throughput against published snapshots while the single writer drains
   a deletion-heavy stream, as a fraction of the idle read rate.
+* **Construction benchmark** (:mod:`bench_build`) — serial vs
+  multi-worker index builds (entries/sec, wave conflicts, peak RSS),
+  each parallel build asserted bit-identical to the serial one.
 
 Usage::
 
@@ -53,7 +57,9 @@ from repro.workloads.updates import (  # noqa: E402
     random_edge_batch,
 )
 
+from bench_build import bench_build  # noqa: E402
 from bench_serve import bench_serve  # noqa: E402
+from repro.build import shutdown_pool  # noqa: E402
 
 SCHEMA_VERSION = 1
 #: Figure-10 benchmark graphs: one per dataset family tier.
@@ -309,6 +315,32 @@ def main(argv=None) -> int:
         print(f"  {name}: {row['serving_qps_aggregate']:.0f} q/s under "
               f"writes vs {row['idle_qps_single_thread']:.0f} q/s idle "
               f"({100 * row['read_ratio_vs_idle']:.0f}%)")
+
+    try:
+        build = {
+            **meta,
+            **bench_build(
+                profile,
+                datasets,
+                worker_counts=(2, 4),
+                repeat=1 if args.smoke else 2,
+            ),
+        }
+    finally:
+        shutdown_pool()
+    (out_dir / "BENCH_build.json").write_text(
+        json.dumps(build, indent=2, sort_keys=True) + "\n"
+    )
+    agg_build = build["aggregate"]
+    print(f"BENCH_build.json: mean build speedup "
+          f"{agg_build['mean_speedup_2_workers']:.2f}x@2w / "
+          f"{agg_build['mean_speedup_4_workers']:.2f}x@4w "
+          f"on {build['cpu_count']} cpu(s)")
+    for name, row in build["datasets"].items():
+        print(f"  {name}: serial {row['serial']['entries_per_sec']:.0f} "
+              f"entries/s; 2w "
+              f"{row['workers']['2']['speedup_vs_serial']:.2f}x "
+              f"(conflicts {row['workers']['2']['conflict_fraction']:.0%})")
     print(f"total bench time {time.perf_counter() - t0:.1f}s")
     return 0
 

@@ -1,0 +1,37 @@
+"""Parallel (multi-process) hub-labeling index construction.
+
+Public surface:
+
+* :func:`build_label_tables` — wave-sharded construction of one index's
+  label tables, bit-identical to the serial builder for any worker
+  count (the tentpole; see :mod:`repro.build.parallel`).
+* :func:`resolve_workers` / :data:`ENV_WORKERS` — worker-count policy
+  (explicit argument, else ``$REPRO_BUILD_WORKERS``, else serial).
+* :func:`plan_waves` — the rank-wave schedule.
+* :func:`shutdown_pool` — tear down the shared worker pool.
+
+``CSCIndex.build(..., workers=N)`` and ``HPSPCIndex.build(...,
+workers=N)`` are the intended entry points; this package is the
+machinery behind them.
+"""
+
+from repro.build.parallel import (
+    ENV_WORKERS,
+    BuildPool,
+    BuildStats,
+    build_label_tables,
+    resolve_workers,
+    shutdown_pool,
+)
+from repro.build.waves import WavePlan, plan_waves
+
+__all__ = [
+    "ENV_WORKERS",
+    "BuildPool",
+    "BuildStats",
+    "WavePlan",
+    "build_label_tables",
+    "plan_waves",
+    "resolve_workers",
+    "shutdown_pool",
+]

@@ -195,6 +195,7 @@ def apply_batch(
     strategy: str = "redundancy",
     rebuild_threshold: float = DEFAULT_REBUILD_THRESHOLD,
     on_invalid: str = "raise",
+    workers: int | None = None,
 ) -> BatchStats:
     """Apply a mixed batch of ``("insert"|"delete", tail, head)`` ops and
     repair the index with one fingerprint pass per distinct
@@ -205,6 +206,10 @@ def apply_batch(
     :func:`~repro.core.maintenance.delete_edge` (see the module docstring
     for the argument and ``tests/properties/test_batch_differential.py``
     for the machine-checked version).
+
+    ``workers`` is handed to :meth:`CSCIndex.build` when the cost model
+    takes the rebuild fallback — the one phase of a batch that
+    parallelizes (``None`` consults ``$REPRO_BUILD_WORKERS``).
     """
     _check_strategy(strategy)
     graph = index.graph
@@ -253,7 +258,7 @@ def apply_batch(
     if stats.affected_hub_fraction > rebuild_threshold:
         for a, b in inserts:
             graph.add_edge(a, b)
-        fresh = CSCIndex.build(graph, order)
+        fresh = CSCIndex.build(graph, order, workers=workers)
         index.adopt_labels(fresh)
         stats.rebuilt = True
         return stats

@@ -72,16 +72,19 @@ class ShortestCycleCounter:
         order: Sequence[int] | None = None,
         strategy: str = "redundancy",
         copy_graph: bool = True,
+        workers: int | None = None,
     ) -> "ShortestCycleCounter":
         """Build a counter over ``graph``.
 
         ``strategy`` selects the maintenance mode for subsequent insertions
         (``"redundancy"``, the paper's recommendation, or ``"minimality"``).
         The graph is copied by default so outside mutation cannot
-        desynchronize the index.
+        desynchronize the index.  ``workers`` selects multi-process index
+        construction (``None`` consults ``$REPRO_BUILD_WORKERS``); the
+        result is bit-identical to a serial build.
         """
         g = graph.copy() if copy_graph else graph
-        return cls(CSCIndex.build(g, order), strategy)
+        return cls(CSCIndex.build(g, order, workers=workers), strategy)
 
     # ------------------------------------------------------------------
     # Queries
@@ -142,6 +145,7 @@ class ShortestCycleCounter:
         ops: Iterable[tuple[str, int, int]],
         rebuild_threshold: float = DEFAULT_REBUILD_THRESHOLD,
         on_invalid: str = "raise",
+        workers: int | None = None,
     ) -> BatchStats:
         """Apply a mixed batch of ``("insert"|"delete", tail, head)`` ops
         with one repair pass per distinct affected hub (BATCH-INCCNT/
@@ -160,6 +164,7 @@ class ShortestCycleCounter:
             self._strategy,
             rebuild_threshold=rebuild_threshold,
             on_invalid=on_invalid,
+            workers=workers,
         )
         self._updates.append(stats)
         return stats

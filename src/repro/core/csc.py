@@ -153,13 +153,21 @@ class CSCIndex:
     # ------------------------------------------------------------------
     @classmethod
     def build(
-        cls, graph: DiGraph, order: Sequence[int] | None = None
+        cls,
+        graph: DiGraph,
+        order: Sequence[int] | None = None,
+        workers: int | None = None,
     ) -> "CSCIndex":
         """Build the CSC index (Algorithm 3 with couple-vertex skipping).
 
         ``order`` is an original-graph vertex permutation (highest rank
         first); it defaults to the paper's degree-descending order and is
         lifted to ``Gb`` with couples kept consecutive.
+
+        ``workers`` selects multi-process construction
+        (:mod:`repro.build`): ``None`` consults ``$REPRO_BUILD_WORKERS``
+        and defaults to 1 (serial).  The parallel result is bit-identical
+        (``to_bytes()``) to the serial build for any worker count.
         """
         if order is None:
             order_list = degree_order(graph)
@@ -167,6 +175,14 @@ class CSCIndex:
             order_list = list(order)
             validate_order(order_list, graph.n)
         pos = positions(order_list)
+        from repro.build.parallel import build_label_tables, resolve_workers
+
+        n_workers = resolve_workers(workers)
+        if n_workers > 1:
+            label_in, label_out, _ = build_label_tables(
+                graph, order_list, pos, "csc", n_workers
+            )
+            return cls(graph, order_list, pos, label_in, label_out)
         n = graph.n
         label_in: list[list[Entry]] = [[] for _ in range(n)]
         label_out: list[list[Entry]] = [[] for _ in range(n)]

@@ -86,3 +86,26 @@ class FrozenSnapshotError(IndexingError):
 
 class ServiceStoppedError(ReproError):
     """An operation was submitted to a serving engine that is not running."""
+
+
+class ServiceFailedError(ServiceStoppedError):
+    """The serving engine's writer thread failed or died.
+
+    Raised by :meth:`repro.service.ServeEngine.flush` /
+    :meth:`~repro.service.ServeEngine.stop` when the writer is dead with
+    submitted ops unconsumed, or when a failure that was already
+    reported once is observed again (the sticky record).  The first
+    recorded failure, if any, is chained as ``__cause__``.
+    """
+
+
+class BuildError(ReproError):
+    """Parallel index construction failed (see also the subclasses)."""
+
+
+class WorkerCrashError(BuildError):
+    """A build worker process died without reporting a result.
+
+    Carries the worker's exit code when the process is gone, or the
+    formatted traceback it managed to ship before exiting.
+    """

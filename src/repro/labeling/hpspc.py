@@ -94,12 +94,18 @@ class HPSPCIndex:
     # ------------------------------------------------------------------
     @classmethod
     def build(
-        cls, graph: DiGraph, order: Sequence[int] | None = None
+        cls,
+        graph: DiGraph,
+        order: Sequence[int] | None = None,
+        workers: int | None = None,
     ) -> "HPSPCIndex":
         """Build the index with pruned counting BFS per hub.
 
         ``order`` defaults to the paper's degree-descending order; pass an
         explicit permutation (highest rank first) to pin tie-breaks.
+        ``workers`` selects multi-process construction
+        (:mod:`repro.build`; ``None`` consults ``$REPRO_BUILD_WORKERS``),
+        bit-identical to the serial build for any worker count.
         """
         if order is None:
             order_list = degree_order(graph)
@@ -107,6 +113,14 @@ class HPSPCIndex:
             order_list = list(order)
             validate_order(order_list, graph.n)
         pos = positions(order_list)
+        from repro.build.parallel import build_label_tables, resolve_workers
+
+        n_workers = resolve_workers(workers)
+        if n_workers > 1:
+            label_in, label_out, _ = build_label_tables(
+                graph, order_list, pos, "hpspc", n_workers
+            )
+            return cls(graph, order_list, pos, label_in, label_out)
         n = graph.n
         label_in: list[list[Entry]] = [[] for _ in range(n)]
         label_out: list[list[Entry]] = [[] for _ in range(n)]

@@ -19,7 +19,12 @@ from typing import Callable, Iterable, Union
 
 from repro.core.batch import DEFAULT_REBUILD_THRESHOLD
 from repro.core.counter import ShortestCycleCounter
-from repro.errors import SelfLoopError, ServiceStoppedError, VertexError
+from repro.errors import (
+    SelfLoopError,
+    ServiceFailedError,
+    ServiceStoppedError,
+    VertexError,
+)
 from repro.graph.digraph import DiGraph
 from repro.service.snapshot import Snapshot
 
@@ -85,7 +90,11 @@ class ServeEngine:
     A callback or batch failure is recorded (see :attr:`failure`) and
     re-raised by :meth:`flush` / :meth:`stop`; the engine keeps serving
     the last good epoch meanwhile — ``apply_batch`` is atomic-on-raise,
-    so the live index stays consistent.
+    so the live index stays consistent.  The record is sticky: after the
+    first raise it is kept (not cleared), and any later observation of
+    an unhealthy engine — a dead writer, an undrained queue — raises a
+    :class:`~repro.errors.ServiceFailedError` chaining it instead of
+    waiting forever.
     """
 
     def __init__(
@@ -122,7 +131,13 @@ class ServeEngine:
         self._skipped = 0
         self._batches = 0
         self._rebuilds = 0
+        # The failure record is *sticky*: it is never cleared, only
+        # marked reported, so a caller arriving after the first raise
+        # still sees what went wrong instead of waiting on a queue that
+        # nothing will ever drain.
         self._failure: BaseException | None = None
+        self._failure_reported = False
+        self._writer_exited = False
         self._writer: threading.Thread | None = None
         self._stopping = False
         self._published: Snapshot | None = None
@@ -148,7 +163,13 @@ class ServeEngine:
 
     def stop(self, timeout: float | None = None) -> None:
         """Drain everything already submitted, stop the writer, and
-        re-raise any recorded failure.  Idempotent."""
+        re-raise any unreported failure.  Idempotent.
+
+        Raises :class:`TimeoutError` when the writer does not finish
+        draining within ``timeout`` seconds; the engine stays stoppable
+        — the stop request remains queued and a later ``stop()`` joins
+        the writer again.
+        """
         with self._lock:
             if self._stopping:
                 writer = self._writer
@@ -159,10 +180,47 @@ class ServeEngine:
                     self._queue.put(_STOP)
         if writer is not None:
             writer.join(timeout)
+            if writer.is_alive():
+                raise TimeoutError(
+                    f"serve writer did not stop within {timeout}s "
+                    f"({self._submitted - self._consumed} ops still "
+                    "queued); the engine remains stoppable — call "
+                    "stop() again"
+                )
+        with self._progress:
+            # A clean stop consumes everything accepted before the stop
+            # request; a shortfall here means the writer died and the
+            # remaining ops were lost — never report that as a clean
+            # shutdown, even once the underlying failure was reported.
+            undrained = self._consumed < self._submitted
+            self._raise_failure_locked(wrap_reported=undrained)
+            if undrained:
+                raise ServiceFailedError(
+                    "serve writer thread died with "
+                    f"{self._submitted - self._consumed} submitted ops "
+                    "unconsumed"
+                ) from self._failure
+
+    def _raise_failure_locked(self, wrap_reported: bool = False) -> None:
+        """Raise the recorded failure (``_progress`` held).
+
+        The record is sticky — never cleared.  An unreported failure is
+        raised as the original exception and marked reported; an
+        already-reported one is re-raised only when ``wrap_reported`` is
+        set (the unhealthy paths: a dead writer, an undrained queue), as
+        a :class:`ServiceFailedError` chaining the original, so healthy
+        later flushes/stops are not poisoned by old news.
+        """
         failure = self._failure
-        if failure is not None:
-            self._failure = None
+        if failure is None:
+            return
+        if not self._failure_reported:
+            self._failure_reported = True
             raise failure
+        if wrap_reported:
+            raise ServiceFailedError(
+                f"serve writer failed earlier: {failure!r}"
+            ) from failure
 
     def __enter__(self) -> "ServeEngine":
         return self.start()
@@ -222,21 +280,33 @@ class ServeEngine:
         """Block until every op submitted so far has been consumed and
         its epoch published; returns the then-current snapshot.
 
-        Raises the writer's recorded failure, if any, and
-        ``TimeoutError`` if the queue does not drain in ``timeout``
-        seconds.
+        Raises the writer's recorded failure, if any; a
+        :class:`ServiceFailedError` when the writer thread is dead with
+        submitted ops unconsumed (fail fast — nothing will ever drain
+        them); and ``TimeoutError`` if a live writer does not drain the
+        queue in ``timeout`` seconds.
         """
         with self._progress:
             target = self._submitted
-            drained = self._progress.wait_for(
-                lambda: self._consumed >= target or self._failure is not None,
+            writer = self._writer
+            self._progress.wait_for(
+                lambda: (
+                    self._consumed >= target
+                    or (self._failure is not None
+                        and not self._failure_reported)
+                    or writer is None
+                    or self._writer_exited
+                ),
                 timeout,
             )
-            failure = self._failure
-            if failure is not None:
-                self._failure = None
-                raise failure
-            if not drained:
+            self._raise_failure_locked()
+            if self._consumed < target:
+                if writer is None or self._writer_exited:
+                    raise ServiceFailedError(
+                        "serve writer thread is dead with "
+                        f"{target - self._consumed} submitted ops "
+                        "unconsumed"
+                    ) from self._failure
                 raise TimeoutError(
                     f"serve queue did not drain within {timeout}s"
                 )
@@ -250,7 +320,8 @@ class ServeEngine:
 
     @property
     def failure(self) -> BaseException | None:
-        """The first unreported batch/callback failure, if any."""
+        """The recorded batch/callback failure, if any (sticky — stays
+        set after being raised by :meth:`flush` / :meth:`stop`)."""
         return self._failure
 
     def stats(self) -> ServeStats:
@@ -275,24 +346,32 @@ class ServeEngine:
     # Writer thread
     # ------------------------------------------------------------------
     def _run(self) -> None:
-        while True:
-            item = self._queue.get()
-            if item is _STOP:
-                break
-            ops = [item]
-            stop_after = False
-            while len(ops) < self._batch_size:
-                try:
-                    nxt = self._queue.get_nowait()
-                except queue.Empty:
+        try:
+            while True:
+                item = self._queue.get()
+                if item is _STOP:
                     break
-                if nxt is _STOP:
-                    stop_after = True
+                ops = [item]
+                stop_after = False
+                while len(ops) < self._batch_size:
+                    try:
+                        nxt = self._queue.get_nowait()
+                    except queue.Empty:
+                        break
+                    if nxt is _STOP:
+                        stop_after = True
+                        break
+                    ops.append(nxt)
+                self._apply_and_publish(ops)
+                if stop_after:
                     break
-                ops.append(nxt)
-            self._apply_and_publish(ops)
-            if stop_after:
-                break
+        finally:
+            # Wake any flush() waiting on consumption: once this thread
+            # exits (cleanly or not), nothing else will ever notify, and
+            # flush must get the chance to fail fast instead of hanging.
+            with self._progress:
+                self._writer_exited = True
+                self._progress.notify_all()
 
     def _apply_and_publish(self, ops: list[Op]) -> None:
         try:
@@ -316,8 +395,12 @@ class ServeEngine:
                 self._monitor.observe_snapshot(snap)
         except BaseException as exc:  # noqa: BLE001 - reported via flush()
             with self._progress:
-                if self._failure is None:
+                # Keep the first *unreported* failure; once that one has
+                # been raised to a caller, a newer failure replaces it so
+                # the next flush surfaces fresh trouble too.
+                if self._failure is None or self._failure_reported:
                     self._failure = exc
+                    self._failure_reported = False
                 self._consumed += len(ops)
                 self._progress.notify_all()
             return

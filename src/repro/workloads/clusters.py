@@ -38,18 +38,29 @@ class ClusterWorkload:
 
     def sample(self, per_cluster: int, seed: int = 0) -> "ClusterWorkload":
         """Deterministically subsample each cluster to at most
-        ``per_cluster`` vertices (for query benchmarks)."""
+        ``per_cluster`` vertices (for query benchmarks).
+
+        Total over all inputs: a request beyond a cluster's population
+        keeps the whole cluster, and a non-positive request empties it —
+        ``random.sample`` is never handed a size it would reject.
+        """
         import random
 
         rng = random.Random(seed)
         sampled: dict[str, list[int]] = {}
         for name in CLUSTER_NAMES:
             vertices = self.clusters[name]
-            if len(vertices) <= per_cluster:
+            want = _clamp(per_cluster, len(vertices))
+            if want == len(vertices):
                 sampled[name] = list(vertices)
             else:
-                sampled[name] = sorted(rng.sample(vertices, per_cluster))
+                sampled[name] = sorted(rng.sample(vertices, want))
         return ClusterWorkload(sampled, self.degree_key)
+
+
+def _clamp(requested: int, population: int) -> int:
+    """Clamp a sample-size request into ``[0, population]``."""
+    return max(0, min(requested, population))
 
 
 def cluster_vertices(
@@ -64,10 +75,15 @@ def cluster_vertices(
     all of them (the paper uses all vertices or at least 50,000).
     """
     vertices = list(graph.vertices())
-    if limit is not None and len(vertices) > limit:
-        import random
+    if limit is not None:
+        # Clamp into [0, n]: a limit at or beyond the population keeps
+        # every vertex (no sampling), and a negative one clears the
+        # workload instead of leaking random.sample's ValueError.
+        want = _clamp(limit, len(vertices))
+        if want < len(vertices):
+            import random
 
-        vertices = sorted(random.Random(seed).sample(vertices, limit))
+            vertices = sorted(random.Random(seed).sample(vertices, want))
     degree_key = {v: graph.min_in_out_degree(v) for v in vertices}
     if not vertices:
         return ClusterWorkload({name: [] for name in CLUSTER_NAMES}, {})

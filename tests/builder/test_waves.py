@@ -1,0 +1,55 @@
+"""Unit tests for the rank-wave build schedule."""
+
+import pytest
+
+from repro.build.waves import plan_waves
+
+
+class TestPlanWaves:
+    def test_covers_all_ranks_contiguously(self):
+        plan = plan_waves(1000, workers=4)
+        covered = list(range(plan.serial_prefix))
+        for start, end in plan.waves:
+            assert start == len(covered)
+            assert end > start
+            covered.extend(range(start, end))
+        assert covered == list(range(1000))
+
+    def test_serial_prefix_scales_with_workers(self):
+        assert plan_waves(1000, workers=1).serial_prefix == 8
+        assert plan_waves(1000, workers=8).serial_prefix == 16
+
+    def test_prefix_clamped_to_n(self):
+        plan = plan_waves(5, workers=4)
+        assert plan.serial_prefix == 5
+        assert plan.waves == []
+        assert plan.parallel_hubs() == 0
+
+    def test_waves_grow_geometrically_up_to_cap(self):
+        plan = plan_waves(100_000, workers=2, serial_prefix=0,
+                          wave_base=16, wave_max=128)
+        sizes = [end - start for start, end in plan.waves]
+        assert sizes[:4] == [16, 32, 64, 128]
+        assert max(sizes) <= 128
+
+    def test_empty_and_zero(self):
+        plan = plan_waves(0, workers=2)
+        assert plan.serial_prefix == 0 and plan.waves == []
+
+    def test_explicit_overrides(self):
+        plan = plan_waves(20, workers=2, serial_prefix=1, wave_base=3,
+                          wave_max=3)
+        assert plan.serial_prefix == 1
+        assert all(end - start <= 3 for start, end in plan.waves)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            plan_waves(-1, workers=2)
+        with pytest.raises(ValueError):
+            plan_waves(10, workers=0)
+        with pytest.raises(ValueError):
+            plan_waves(10, workers=2, serial_prefix=-1)
+        with pytest.raises(ValueError):
+            plan_waves(10, workers=2, wave_base=0)
+        with pytest.raises(ValueError):
+            plan_waves(10, workers=2, wave_base=8, wave_max=4)

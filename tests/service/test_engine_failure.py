@@ -1,0 +1,160 @@
+"""Regression tests for ServeEngine failure handling.
+
+Two serving-engine bugs, each reproduced here before being fixed:
+
+* ``flush()``/``stop()`` used to *clear* ``self._failure`` on first
+  raise.  After a writer death that left ops unconsumed, a second
+  ``flush(timeout=None)`` then waited on ``_consumed >= target``
+  forever — nothing was left to consume and no failure was left to wake
+  it.  The failure is now sticky: later observers get a
+  :class:`ServiceFailedError` wrapping the original, and ``flush``
+  fails fast when the writer thread is dead instead of waiting.
+* ``stop(timeout=...)`` used to return silently when
+  ``writer.join(timeout)`` timed out with the queue undrained — the
+  caller had no way to tell a clean shutdown from an abandoned one.  It
+  now raises :class:`TimeoutError` and leaves the engine stoppable.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import EdgeNotFoundError, ServiceFailedError
+from repro.graph.digraph import DiGraph
+from repro.service import ServeEngine
+
+
+@pytest.fixture
+def chain():
+    """0 -> 1 -> 2 -> 3, one edge short of a 4-cycle."""
+    return DiGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+
+
+def _kill_writer(engine, ops_lost: int) -> None:
+    """Make the writer thread die abruptly with ``ops_lost`` submitted
+    ops never consumed (simulates a catastrophic writer bug — normal
+    batch failures are caught inside ``_apply_and_publish`` and do not
+    kill the thread)."""
+    died = threading.Event()
+
+    def _explode(ops):
+        died.set()
+        raise SystemExit("injected writer death")
+
+    engine._apply_and_publish = _explode
+    for _ in range(ops_lost):
+        engine.submit("insert", 3, 0)
+    assert died.wait(timeout=30)
+    engine._writer.join(timeout=30)
+    assert not engine._writer.is_alive()
+
+
+# The injected SystemExit escapes the writer thread on purpose; pytest's
+# threadexc hook reports it as a warning.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::pytest.PytestUnhandledThreadExceptionWarning"
+)
+
+
+class TestStickyFailure:
+    def test_second_flush_after_failure_raises_wrapped_not_silent(
+        self, chain
+    ):
+        """A reported failure must stay observable: with the queue fully
+        consumed, a second flush over the same window must not pretend
+        the earlier batch succeeded when the writer has since died."""
+        engine = ServeEngine(chain, on_invalid="raise").start()
+        engine.submit("delete", 3, 0)  # infeasible -> batch raises
+        with pytest.raises(EdgeNotFoundError):
+            engine.flush(timeout=60)
+        # Now the writer dies with an op stranded in the queue.
+        _kill_writer(engine, ops_lost=1)
+        t0 = time.monotonic()
+        with pytest.raises(ServiceFailedError) as excinfo:
+            engine.flush(timeout=60)
+        assert time.monotonic() - t0 < 30  # fail fast, no 60s wait
+        # The original failure is still attached, not erased.
+        assert isinstance(excinfo.value.__cause__, EdgeNotFoundError)
+        assert engine.failure is not None
+
+    def test_stop_reports_lost_ops_after_writer_death(self, chain):
+        """stop() must never report a clean shutdown when the writer
+        died with submitted ops unconsumed — those updates were lost."""
+        engine = ServeEngine(chain).start()
+        _kill_writer(engine, ops_lost=2)
+        with pytest.raises(ServiceFailedError, match="unconsumed"):
+            engine.stop(timeout=30)
+        # Sticky on repeat observation, too.
+        with pytest.raises(ServiceFailedError):
+            engine.stop(timeout=30)
+
+    def test_flush_fails_fast_when_writer_dead(self, chain):
+        """flush(timeout=None) after writer death must raise instead of
+        waiting on ``_consumed >= target`` forever."""
+        engine = ServeEngine(chain).start()
+        _kill_writer(engine, ops_lost=2)
+        t0 = time.monotonic()
+        with pytest.raises(ServiceFailedError, match="unconsumed"):
+            engine.flush(timeout=None)
+        assert time.monotonic() - t0 < 30
+
+    def test_recovery_after_reported_failure_still_works(self, chain):
+        """The fix must not break the recovery contract: once a failure
+        has been reported, a healthy writer keeps serving and later
+        flushes of clean batches succeed."""
+        engine = ServeEngine(chain, on_invalid="raise").start()
+        engine.submit("delete", 3, 0)
+        with pytest.raises(EdgeNotFoundError):
+            engine.flush(timeout=60)
+        engine.submit("insert", 3, 0)
+        final = engine.flush(timeout=60)
+        assert final.count(0).count == 1
+        engine.stop()
+
+    def test_new_failure_after_report_surfaces_again(self, chain):
+        """A second, distinct batch failure after the first was reported
+        must surface on the next flush (not be swallowed by the sticky
+        record of the already-reported one)."""
+        engine = ServeEngine(chain, on_invalid="raise").start()
+        engine.submit("delete", 3, 0)
+        with pytest.raises(EdgeNotFoundError):
+            engine.flush(timeout=60)
+        engine.submit("delete", 3, 0)
+        with pytest.raises(EdgeNotFoundError):
+            engine.flush(timeout=60)
+        engine.stop()
+
+
+class TestStopTimeout:
+    def test_stop_timeout_raises_and_engine_stays_stoppable(self, chain):
+        """stop(timeout) must raise TimeoutError when the writer is
+        still draining, and a later stop() must still complete."""
+        release = threading.Event()
+        entered = threading.Event()
+        engine = ServeEngine(chain)
+        real_apply = engine._apply_and_publish
+
+        def _slow_apply(ops):
+            entered.set()
+            assert release.wait(timeout=60)
+            real_apply(ops)
+
+        engine._apply_and_publish = _slow_apply
+        engine.start()
+        engine.submit("insert", 3, 0)
+        assert entered.wait(timeout=30)
+        with pytest.raises(TimeoutError):
+            engine.stop(timeout=0.05)
+        # The writer is still alive and the engine still stoppable.
+        assert engine.stats().running
+        release.set()
+        engine.stop(timeout=60)
+        assert not engine.stats().running
+        assert engine.counter.count(0).count == 1
+
+    def test_clean_stop_still_raises_no_timeout(self, chain):
+        engine = ServeEngine(chain).start()
+        engine.submit("insert", 3, 0)
+        engine.stop(timeout=60)
+        assert engine.counter.count(0).count == 1

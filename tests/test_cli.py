@@ -54,6 +54,21 @@ class TestCommands:
             if line.strip() and line.split()[0] == "6"
         )
 
+    def test_build_workers_flag_bit_identical(
+        self, fig2_file, tmp_path, capsys
+    ):
+        serial_path = str(tmp_path / "serial.idx")
+        parallel_path = str(tmp_path / "parallel.idx")
+        assert main(["build", fig2_file, serial_path]) == 0
+        assert main(
+            ["build", fig2_file, parallel_path, "--workers", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2 workers" in out
+        with open(serial_path, "rb") as f_serial, \
+                open(parallel_path, "rb") as f_parallel:
+            assert f_serial.read() == f_parallel.read()
+
     def test_query_out_of_range(self, fig2_file, tmp_path, capsys):
         index_path = str(tmp_path / "fig2.idx")
         main(["build", fig2_file, index_path])

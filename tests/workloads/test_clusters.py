@@ -61,6 +61,27 @@ class TestClustering:
         names = [name for name, _ in cluster_vertices(g).non_empty()]
         assert names == [n for n in CLUSTER_NAMES if n in names]
 
+    def test_limit_at_population_boundary_keeps_everything(self):
+        g = random_digraph(20, 60, seed=10)
+        workload = cluster_vertices(g, limit=20)
+        assigned = [v for n in CLUSTER_NAMES for v in workload.clusters[n]]
+        assert sorted(assigned) == list(g.vertices())
+
+    def test_limit_beyond_population_clamps_instead_of_raising(self):
+        g = random_digraph(20, 60, seed=11)
+        workload = cluster_vertices(g, limit=10_000)
+        assigned = [v for n in CLUSTER_NAMES for v in workload.clusters[n]]
+        assert sorted(assigned) == list(g.vertices())
+
+    def test_limit_zero_and_negative_clamp_to_empty(self):
+        g = random_digraph(12, 30, seed=12)
+        for limit in (0, -1, -50):
+            workload = cluster_vertices(g, limit=limit)
+            assert all(
+                not workload.clusters[name] for name in CLUSTER_NAMES
+            )
+            assert workload.degree_key == {}
+
 
 class TestSampling:
     def test_sample_caps_cluster_size(self):
@@ -82,3 +103,28 @@ class TestSampling:
         sampled = full.sample(4, seed=4)
         for name in CLUSTER_NAMES:
             assert set(sampled.clusters[name]) <= set(full.clusters[name])
+
+    def test_sample_at_cluster_population_keeps_cluster_intact(self):
+        g = random_digraph(30, 120, seed=13)
+        full = cluster_vertices(g)
+        biggest = max(
+            len(full.clusters[name]) for name in CLUSTER_NAMES
+        )
+        sampled = full.sample(biggest, seed=5)
+        for name in CLUSTER_NAMES:
+            assert sampled.clusters[name] == full.clusters[name]
+
+    def test_sample_beyond_population_clamps_instead_of_raising(self):
+        g = random_digraph(30, 120, seed=14)
+        full = cluster_vertices(g)
+        sampled = full.sample(10_000, seed=6)
+        assert sampled.clusters == full.clusters
+
+    def test_sample_zero_and_negative_clamp_to_empty(self):
+        g = random_digraph(30, 120, seed=15)
+        full = cluster_vertices(g)
+        for per_cluster in (0, -3):
+            sampled = full.sample(per_cluster, seed=7)
+            assert all(
+                sampled.clusters[name] == [] for name in CLUSTER_NAMES
+            )
