@@ -1,0 +1,252 @@
+"""Benchmark-regression gate: fresh BENCH_*.json vs committed baselines.
+
+Walks every ``BENCH_*.json`` present in both directories, pairs numeric
+leaves by their JSON path, classifies each metric by key name, and fails
+(exit 1) when any metric is worse than its tolerance allows:
+
+* **ratio metrics** (``*speedup*``, ``*ratio*``) are scale-free — they
+  compare like-for-like costs on the same machine inside one run — so
+  they get the tight ``--tolerance`` (default 0.35: fail when more than
+  35% worse than the baseline).  Ratios that mix *disk-bound* and
+  *CPU-bound* sides (``*overhead*`` = fsync'd vs plain drain,
+  ``*speedup_vs_rebuild*`` = disk-heavy recovery vs CPU-heavy rebuild)
+  are **not** machine-invariant — a runner with a faster CPU but the
+  same fsync latency shifts them with no code change — so they are
+  classed absolute instead.
+* **absolute metrics** (``*ops_per_sec*``, ``*qps*``, ``p50_us`` /
+  ``p99_us`` / ``*_ms`` latencies) vary with the machine the baseline
+  was recorded on, so they get the loose ``--abs-tolerance`` (default
+  0.65: fail when more than 65% worse — still a hard stop for
+  catastrophic slowdowns like an accidentally quadratic kernel, while
+  tolerating runner-to-runner variance).
+
+Direction comes from the name too: throughputs/speedups/ratios must not
+*drop*, latencies/overheads must not *rise*.  Bookkeeping leaves
+(``n``, ``m``, byte sizes, counts) are not judged.
+
+Latency metrics additionally carry a **noise floor** (``--floor-us`` /
+``--floor-ms``): a smoke-profile p99 is the max of a few dozen
+microsecond-scale samples, where one scheduler blip is a 5x outlier, so
+a latency only fails when it is worse by more than the tolerance *and*
+by more than the floor in absolute terms.  A genuine algorithmic
+regression clears both bars comfortably.
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        --baseline-dir benchmarks/baselines --fresh-dir bench-artifacts
+
+Exit codes: 0 all metrics within tolerance; 1 regression; 2 no
+comparable files/metrics (misconfiguration should not pass silently).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["MetricDiff", "classify", "compare_trees", "main"]
+
+#: (substring, direction, klass) — first match wins.  Direction is the
+#: good direction: +1 higher-is-better, -1 lower-is-better.
+_RULES = (
+    # Disk/CPU-mixed ratios first: machine-dependent, loose tolerance.
+    ("speedup_vs_rebuild", +1, "absolute"),
+    ("overhead", -1, "absolute"),
+    ("speedup", +1, "ratio"),
+    ("ratio", +1, "ratio"),
+    ("ops_per_sec", +1, "absolute"),
+    ("entries_per_sec", +1, "absolute"),
+    ("per_sec", +1, "absolute"),
+    ("qps", +1, "absolute"),
+    ("p50_us", -1, "absolute"),
+    ("p99_us", -1, "absolute"),
+    ("mean_us", -1, "absolute"),
+    ("mean_ms", -1, "absolute"),
+    ("_ms", -1, "absolute"),
+)
+
+
+@dataclass(frozen=True)
+class MetricDiff:
+    """One compared metric and its verdict."""
+
+    path: str
+    baseline: float
+    fresh: float
+    direction: int
+    klass: str
+    #: fractional worsening (positive = worse), e.g. 0.25 = 25% worse
+    worse_by: float
+    tolerance: float
+    #: absolute worsening a latency must also exceed (0 = no floor)
+    floor: float = 0.0
+
+    @property
+    def regressed(self) -> bool:
+        if self.worse_by <= self.tolerance:
+            return False
+        if self.floor and self.direction < 0:
+            return (self.fresh - self.baseline) > self.floor
+        return True
+
+
+def classify(key: str):
+    """The (direction, klass) for a metric key, or ``None`` when the
+    key is bookkeeping rather than a performance metric."""
+    for needle, direction, klass in _RULES:
+        if needle in key:
+            return direction, klass
+    return None
+
+
+def _walk(tree, prefix=""):
+    if isinstance(tree, dict):
+        for key, value in tree.items():
+            yield from _walk(value, f"{prefix}.{key}" if prefix else key)
+    elif isinstance(tree, (int, float)) and not isinstance(tree, bool):
+        yield prefix, float(tree)
+
+
+def _floor_for(key: str, floor_us: float, floor_ms: float) -> float:
+    if key.endswith("_us"):
+        return floor_us
+    if key.endswith("_ms") or "_ms_" in key:
+        return floor_ms
+    return 0.0
+
+
+def compare_trees(
+    baseline: dict,
+    fresh: dict,
+    ratio_tolerance: float,
+    abs_tolerance: float,
+    prefix: str = "",
+    floor_us: float = 100.0,
+    floor_ms: float = 25.0,
+) -> list[MetricDiff]:
+    """All judged metrics present in both trees, worst first."""
+    fresh_leaves = dict(_walk(fresh))
+    diffs: list[MetricDiff] = []
+    for path, base_value in _walk(baseline):
+        key = path.rsplit(".", 1)[-1]
+        spec = classify(key)
+        if spec is None or path not in fresh_leaves:
+            continue
+        direction, klass = spec
+        fresh_value = fresh_leaves[path]
+        if base_value <= 0:
+            continue  # degenerate baseline; nothing to normalize by
+        if direction > 0:
+            worse_by = (base_value - fresh_value) / base_value
+        else:
+            worse_by = (fresh_value - base_value) / base_value
+        tolerance = (
+            ratio_tolerance if klass == "ratio" else abs_tolerance
+        )
+        diffs.append(
+            MetricDiff(
+                path=f"{prefix}{path}",
+                baseline=base_value,
+                fresh=fresh_value,
+                direction=direction,
+                klass=klass,
+                worse_by=worse_by,
+                tolerance=tolerance,
+                floor=_floor_for(key, floor_us, floor_ms),
+            )
+        )
+    diffs.sort(key=lambda d: d.worse_by, reverse=True)
+    return diffs
+
+
+def _format_row(diff: MetricDiff) -> str:
+    arrow = "↑" if diff.direction > 0 else "↓"
+    status = "FAIL" if diff.regressed else (
+        "warn" if diff.worse_by > diff.tolerance / 2 else "ok"
+    )
+    return (
+        f"  [{status:>4}] {diff.path}  {arrow}  "
+        f"baseline {diff.baseline:.4g} -> fresh {diff.fresh:.4g}  "
+        f"({'+' if diff.worse_by <= 0 else '-'}"
+        f"{abs(diff.worse_by):.0%} {'better' if diff.worse_by <= 0 else 'worse'}, "
+        f"limit {diff.tolerance:.0%})"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline-dir", required=True,
+                        help="directory holding the committed baselines")
+    parser.add_argument("--fresh-dir", required=True,
+                        help="directory holding this run's BENCH_*.json")
+    parser.add_argument("--tolerance", type=float, default=0.35,
+                        help="allowed worsening for scale-free ratio "
+                        "metrics (default 0.35)")
+    parser.add_argument("--abs-tolerance", type=float, default=0.65,
+                        help="allowed worsening for machine-dependent "
+                        "absolute metrics (default 0.65)")
+    parser.add_argument("--floor-us", type=float, default=100.0,
+                        help="noise floor for *_us latency metrics: "
+                        "also require this much absolute worsening "
+                        "(default 100us)")
+    parser.add_argument("--floor-ms", type=float, default=25.0,
+                        help="noise floor for *_ms latency metrics "
+                        "(default 25ms)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="print regressions only")
+    args = parser.parse_args(argv)
+
+    baseline_dir = Path(args.baseline_dir)
+    fresh_dir = Path(args.fresh_dir)
+    pairs = []
+    for baseline_file in sorted(baseline_dir.glob("BENCH_*.json")):
+        fresh_file = fresh_dir / baseline_file.name
+        if fresh_file.is_file():
+            pairs.append((baseline_file, fresh_file))
+    if not pairs:
+        print(
+            f"error: no BENCH_*.json present in both {baseline_dir} "
+            f"and {fresh_dir}",
+            file=sys.stderr,
+        )
+        return 2
+
+    total = regressions = 0
+    for baseline_file, fresh_file in pairs:
+        baseline = json.loads(baseline_file.read_text())
+        fresh = json.loads(fresh_file.read_text())
+        diffs = compare_trees(
+            baseline, fresh, args.tolerance, args.abs_tolerance,
+            prefix=f"{baseline_file.name}:",
+            floor_us=args.floor_us, floor_ms=args.floor_ms,
+        )
+        total += len(diffs)
+        failed = [d for d in diffs if d.regressed]
+        regressions += len(failed)
+        shown = failed if args.quiet else diffs
+        if shown or not args.quiet:
+            print(f"{baseline_file.name}: {len(diffs)} metrics compared, "
+                  f"{len(failed)} regressed")
+        for diff in shown:
+            print(_format_row(diff))
+    if total == 0:
+        print("error: files matched but no comparable metrics found",
+              file=sys.stderr)
+        return 2
+    if regressions:
+        print(
+            f"\nREGRESSION: {regressions}/{total} metrics worse than "
+            "tolerance (see rows marked FAIL)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nall {total} metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,11 +1,14 @@
 """Benchmark-trajectory harness: one command, machine-readable results.
 
-Runs the query, update, serving, and construction benchmarks on pinned
-seeds and writes ``BENCH_query.json`` / ``BENCH_updates.json`` /
-``BENCH_serve.json`` / ``BENCH_build.json`` (op/sec, p50/p99 latency,
-index bytes, read-ratio under writes, build speedups) so every PR's
-performance claims are measured against the committed trajectory point
-of the previous one, not asserted.
+Runs the query, update, serving, construction, and durability
+benchmarks on pinned seeds and writes ``BENCH_query.json`` /
+``BENCH_updates.json`` / ``BENCH_serve.json`` / ``BENCH_build.json`` /
+``BENCH_recovery.json`` (op/sec, p50/p99 latency, index bytes,
+read-ratio under writes, build speedups, WAL overhead and
+recovery-vs-rebuild) so every PR's performance claims are measured
+against the committed trajectory point of the previous one, not
+asserted.  ``benchmarks/check_regression.py`` turns the smoke variants
+of these numbers into a CI gate.
 
 * **Query benchmark** — the Figure-10 workload (degree-cluster-sampled
   ``SCCnt`` queries) on each benchmark graph, timed per query for both
@@ -22,6 +25,10 @@ of the previous one, not asserted.
 * **Construction benchmark** (:mod:`bench_build`) — serial vs
   multi-worker index builds (entries/sec, wave conflicts, peak RSS),
   each parallel build asserted bit-identical to the serial one.
+* **Durability benchmark** (:mod:`bench_recovery`) — WAL overhead on
+  the serve drain (plain vs fsync'd) and restart cost (warm checkpoint
+  load / crash replay) vs a from-scratch rebuild, recovery asserted
+  bit-identical to the live engine state.
 
 Usage::
 
@@ -58,6 +65,7 @@ from repro.workloads.updates import (  # noqa: E402
 )
 
 from bench_build import bench_build  # noqa: E402
+from bench_recovery import bench_recovery  # noqa: E402
 from bench_serve import bench_serve  # noqa: E402
 from repro.build import shutdown_pool  # noqa: E402
 
@@ -341,6 +349,31 @@ def main(argv=None) -> int:
               f"entries/s; 2w "
               f"{row['workers']['2']['speedup_vs_serial']:.2f}x "
               f"(conflicts {row['workers']['2']['conflict_fraction']:.0%})")
+
+    recovery = {
+        **meta,
+        **bench_recovery(
+            profile,
+            datasets,
+            total_ops=12 if args.smoke else 48,
+            batch_size=4 if args.smoke else 8,
+            checkpoint_wal_bytes=128 if args.smoke else 300,
+        ),
+    }
+    (out_dir / "BENCH_recovery.json").write_text(
+        json.dumps(recovery, indent=2, sort_keys=True) + "\n"
+    )
+    agg_rec = recovery["aggregate"]
+    print(f"BENCH_recovery.json: fsync WAL overhead "
+          f"{agg_rec['mean_wal_overhead_fsync']:.2f}x drain; warm "
+          f"recovery "
+          f"{agg_rec['mean_warm_recovery_speedup_vs_rebuild']:.1f}x vs "
+          "rebuild")
+    for name, row in recovery["datasets"].items():
+        print(f"  {name}: rebuild {row['rebuild_ms']:.0f}ms vs warm "
+              f"{row['recovery_warm_ms']:.0f}ms / crash "
+              f"{row['recovery_crash_ms']:.0f}ms "
+              f"({row['crash_records_replayed']} records replayed)")
     print(f"total bench time {time.perf_counter() - t0:.1f}s")
     return 0
 

@@ -15,7 +15,9 @@ Commands
 * ``serve <edgelist>`` — snapshot-isolated concurrent serving: N reader
   threads answer queries against published snapshots while the single
   writer drains an update stream (optionally verifying the final epoch
-  against a serial replay);
+  against a serial replay; ``--data-dir`` makes the run durable);
+* ``recover <data_dir>`` — reconstruct a counter from a durability
+  directory (latest checkpoint chain + WAL replay) and report how;
 * ``datasets`` — list the built-in dataset stand-ins;
 * ``experiments [ids ...]`` — regenerate paper tables/figures.
 """
@@ -32,6 +34,7 @@ from repro.bench.tables import format_table
 from repro.core.batch import DEFAULT_REBUILD_THRESHOLD
 from repro.core.counter import ShortestCycleCounter
 from repro.core.maintenance import STRATEGIES
+from repro.persist.manager import DEFAULT_CHECKPOINT_WAL_BYTES
 from repro.graph.datasets import DATASET_ORDER, DATASETS, PAPER_SIZES
 from repro.graph.io import read_edge_list
 
@@ -107,11 +110,39 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fraction of ops that are insertions (default "
                    "0.25: deletion-heavy, the expensive side)")
     p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--strategy", choices=list(STRATEGIES),
-                   default="redundancy")
+    p.add_argument("--strategy", choices=list(STRATEGIES), default=None,
+                   help="insertion-maintenance strategy (default "
+                   "redundancy; when resuming a --data-dir, the "
+                   "recorded strategy is used and an explicit "
+                   "conflicting choice is an error)")
     p.add_argument("--verify", action="store_true",
                    help="replay the stream serially and check the final "
                    "epoch is bit-identical")
+    p.add_argument("--data-dir", default=None,
+                   help="durability directory: WAL every batch before "
+                   "publishing and cut incremental checkpoints, so the "
+                   "run is crash-recoverable (see `repro recover`)")
+    p.add_argument("--wal-fsync", choices=["always", "off"],
+                   default="always",
+                   help="WAL flush policy (default always: each batch "
+                   "record is fsynced before its epoch publishes)")
+    p.add_argument("--checkpoint-bytes", type=int,
+                   default=DEFAULT_CHECKPOINT_WAL_BYTES,
+                   help="checkpoint once the WAL grows past this many "
+                   f"bytes (default {DEFAULT_CHECKPOINT_WAL_BYTES})")
+
+    p = sub.add_parser(
+        "recover",
+        help="recover a counter from a durability directory",
+    )
+    p.add_argument("data_dir",
+                   help="directory written by `repro serve --data-dir`")
+    p.add_argument("--out", default=None,
+                   help="save the recovered graph+index to this file "
+                   "(readable by `repro query`)")
+    p.add_argument("--verify", action="store_true",
+                   help="rebuild the index from the recovered graph and "
+                   "check every vertex count matches")
 
     sub.add_parser("datasets", help="list built-in dataset stand-ins")
 
@@ -261,28 +292,62 @@ def _cmd_batch_update(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    from repro.service import drive_mixed, idle_read_throughput, serial_replay
+    from repro.service import (
+        ServeEngine,
+        drive_mixed,
+        idle_read_throughput,
+        serial_replay,
+    )
     from repro.workloads.updates import mixed_update_stream
 
     graph = read_edge_list(args.edgelist)
-    counter = ShortestCycleCounter.build(
-        graph, strategy=args.strategy, copy_graph=False
-    )
+    engine_kwargs = {}
+    if args.data_dir is not None:
+        engine_kwargs = {
+            "data_dir": args.data_dir,
+            "wal_fsync": args.wal_fsync,
+            "checkpoint_wal_bytes": args.checkpoint_bytes,
+        }
+    # Build the engine first: with --data-dir pointing at existing
+    # state the engine *resumes* that state (the edge list is only the
+    # bootstrap source), and the op stream, idle baseline, and --verify
+    # oracle below must all be generated against the engine's actual
+    # graph, not the file's.
+    try:
+        engine = ServeEngine(
+            ShortestCycleCounter.build(
+                graph, strategy=args.strategy or "redundancy",
+                copy_graph=False,
+            ) if args.data_dir is None else graph,
+            strategy=args.strategy,
+            batch_size=args.batch_size,
+            **engine_kwargs,
+        )
+    except ValueError as exc:
+        # e.g. --strategy conflicting with the data dir's recorded one
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    counter = engine.counter
+    if engine.recovery is not None:
+        rec = engine.recovery
+        print(
+            f"resumed {args.data_dir}: epoch {rec.epoch} "
+            f"(ops_applied={rec.ops_applied}, "
+            f"{rec.records_replayed} WAL records replayed); "
+            "the edge list was ignored"
+        )
     base = counter.graph.copy() if args.verify else None
     ops = mixed_update_stream(
         counter.graph, args.ops, args.seed,
         insert_fraction=args.insert_fraction,
     )
     if not ops:
+        engine.stop()  # release durability file handles, if any
         print("no feasible update ops on this graph")
         return 0
     idle = idle_read_throughput(counter, range(counter.graph.n))
-    result = drive_mixed(
-        counter, ops,
-        readers=args.readers,
-        batch_size=args.batch_size,
-        strategy=args.strategy,
-    )
+    # batch_size/strategy were configured on the engine above.
+    result = drive_mixed(engine, ops, readers=args.readers)
     if result.errors:
         for line in result.errors:
             print(line, file=sys.stderr)
@@ -310,8 +375,17 @@ def _cmd_serve(args) -> int:
         f"while draining — {100 * ratio:.0f}% of the idle single-thread "
         f"rate ({idle:.0f} q/s); {result.epochs_seen} epochs observed"
     )
+    if result.durability is not None:
+        dur = result.durability
+        print(
+            f"durability: {dur.wal_records} WAL records "
+            f"({dur.wal_bytes} bytes, {dur.wal_segments} segments), "
+            f"{dur.checkpoints_written} checkpoints "
+            f"({dur.checkpoint_bytes} bytes) -> {args.data_dir}"
+        )
     if args.verify:
-        replay = serial_replay(base, ops, strategy=args.strategy)
+        # The engine's actual strategy (recorded one when resuming).
+        replay = serial_replay(base, ops, strategy=counter.strategy)
         final = result.final
         mismatches = sum(
             1 for v in range(final.n) if final.count(v) != replay.count(v)
@@ -322,6 +396,46 @@ def _cmd_serve(args) -> int:
             return 1
         print(f"verify: final epoch bit-identical to serial replay of "
               f"{len(ops)} ops over {final.n} vertices")
+    return 0
+
+
+def _cmd_recover(args) -> int:
+    from repro.core.csc import CSCIndex
+    from repro.persist import recover
+
+    start = time.perf_counter()
+    result = recover(args.data_dir)
+    elapsed = time.perf_counter() - start
+    counter = result.counter
+    print(
+        f"recovered n={counter.graph.n} m={counter.graph.m} at epoch "
+        f"{result.epoch} (ops_applied={result.ops_applied}) in "
+        f"{elapsed * 1e3:.1f} ms: checkpoint seq {result.checkpoint_seq} "
+        f"(chain of {result.checkpoint_chain_length}) + "
+        f"{result.records_replayed} WAL records replayed "
+        f"({result.ops_replayed} ops, {result.records_skipped} skipped, "
+        f"{result.torn_bytes_dropped} torn bytes dropped)"
+    )
+    if args.verify:
+        fresh = CSCIndex.build(counter.graph, counter.index.order)
+        mismatches = sum(
+            1 for v in range(counter.graph.n)
+            if counter.index.sccnt(v) != fresh.sccnt(v)
+        )
+        if mismatches:
+            print(
+                f"VERIFY FAILED: {mismatches}/{counter.graph.n} vertex "
+                "counts diverge from a from-scratch rebuild",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"verify: all {counter.graph.n} vertex counts match a "
+            "from-scratch rebuild"
+        )
+    if args.out:
+        counter.save(args.out)
+        print(f"saved recovered index -> {args.out}")
     return 0
 
 
@@ -374,15 +488,32 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "batch-update": _cmd_batch_update,
     "serve": _cmd_serve,
+    "recover": _cmd_recover,
     "datasets": _cmd_datasets,
     "experiments": _cmd_experiments,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Operational failures — a crashed build worker, a failed serving
+    engine, an unrecoverable data dir — exit with status 1 and a
+    one-line message instead of a raw traceback; genuine bugs still
+    surface as tracebacks.
+    """
+    from repro.errors import (
+        BuildError,
+        PersistenceError,
+        ServiceFailedError,
+    )
+
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except (BuildError, PersistenceError, ServiceFailedError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

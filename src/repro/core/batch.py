@@ -62,7 +62,6 @@ from typing import Iterable, Sequence
 
 from repro.core.csc import CSCIndex
 from repro.core.maintenance import (
-    STRATEGIES,
     _check_strategy,
     _repair_hub,
     deletion_affected_hubs,

@@ -282,20 +282,33 @@ class ShortestCycleCounter:
             batch_rebuilds=batch_rebuilds,
         )
 
-    def save(self, path: Union[str, Path]) -> None:
-        """Persist graph + index to one file."""
+    def to_bytes(self) -> bytes:
+        """Graph + index as one self-contained blob (an 8-byte graph
+        length, the graph blob, then the RPCI index blob).  This is the
+        payload format of full checkpoints in :mod:`repro.persist` and
+        of :meth:`save` files."""
         graph_blob = graph_to_bytes(self.graph)
         index_blob = self._index.to_bytes()
         header = len(graph_blob).to_bytes(8, "little")
-        Path(path).write_bytes(header + graph_blob + index_blob)
+        return header + graph_blob + index_blob
+
+    @classmethod
+    def from_bytes(
+        cls, blob: bytes, strategy: str = "redundancy"
+    ) -> "ShortestCycleCounter":
+        """Inverse of :meth:`to_bytes`."""
+        graph_len = int.from_bytes(blob[:8], "little")
+        graph = graph_from_bytes(blob[8 : 8 + graph_len])
+        index = CSCIndex.from_bytes(blob[8 + graph_len :], graph)
+        return cls(index, strategy)
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Persist graph + index to one file."""
+        Path(path).write_bytes(self.to_bytes())
 
     @classmethod
     def load(
         cls, path: Union[str, Path], strategy: str = "redundancy"
     ) -> "ShortestCycleCounter":
         """Inverse of :meth:`save`."""
-        blob = Path(path).read_bytes()
-        graph_len = int.from_bytes(blob[:8], "little")
-        graph = graph_from_bytes(blob[8 : 8 + graph_len])
-        index = CSCIndex.from_bytes(blob[8 + graph_len :], graph)
-        return cls(index, strategy)
+        return cls.from_bytes(Path(path).read_bytes(), strategy)

@@ -99,6 +99,22 @@ class ServiceFailedError(ServiceStoppedError):
     """
 
 
+class PersistenceError(ReproError):
+    """A durability file (WAL segment, checkpoint) is structurally
+    invalid — bad magic/version, impossible framing, CRC mismatch.
+
+    Torn tails are *not* errors: the WAL scanner and checkpoint chain
+    resolver degrade to the last valid record/chain silently.  This is
+    raised only where degradation is impossible, e.g. a segment whose
+    header itself is unreadable.
+    """
+
+
+class RecoveryError(PersistenceError):
+    """A durability directory holds no recoverable state (no valid
+    checkpoint chain, or WAL segments with no checkpoint under them)."""
+
+
 class BuildError(ReproError):
     """Parallel index construction failed (see also the subclasses)."""
 

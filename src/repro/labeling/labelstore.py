@@ -590,28 +590,40 @@ class LabelStore:
     # ------------------------------------------------------------------
     # Persistence — one memcpy per vertex instead of per-entry structs
     # ------------------------------------------------------------------
+    def _append_vertex_bytes(self, v: int, chunks: list[bytes]) -> None:
+        """Append vertex ``v``'s wire segment (one memcpy of the packed
+        words plus flag/overflow trailers) to ``chunks``."""
+        arr = self.packed[v]
+        if sys.byteorder != "little":  # pragma: no cover
+            arr = array("Q", arr)
+            arr.byteswap()
+        k = len(arr)
+        chunks.append(k.to_bytes(4, "little"))
+        chunks.append(arr.tobytes())
+        chunks.append(self.canon[v].to_bytes((k + 7) // 8 or 1, "little"))
+        b = self.big[v] or {}
+        chunks.append(len(b).to_bytes(4, "little"))
+        for hub, count in sorted(b.items()):
+            if count >= (1 << 64):
+                raise SerializationError(
+                    f"count {count} exceeds 64-bit storage"
+                )
+            chunks.append(hub.to_bytes(4, "little"))
+            chunks.append(count.to_bytes(8, "little"))
+
+    def vertex_to_bytes(self, v: int) -> bytes:
+        """One vertex's labels in the :meth:`to_bytes` wire layout — the
+        unit of the incremental checkpoints in :mod:`repro.persist`."""
+        chunks: list[bytes] = []
+        self._append_vertex_bytes(v, chunks)
+        return b"".join(chunks)
+
     def to_bytes(self) -> bytes:
         """Serialize the table; packed words are dumped verbatim."""
         n = len(self.packed)
         chunks = [_MAGIC, bytes([_VERSION]), n.to_bytes(4, "little")]
         for v in range(n):
-            arr = self.packed[v]
-            if sys.byteorder != "little":  # pragma: no cover
-                arr = array("Q", arr)
-                arr.byteswap()
-            k = len(arr)
-            chunks.append(k.to_bytes(4, "little"))
-            chunks.append(arr.tobytes())
-            chunks.append(self.canon[v].to_bytes((k + 7) // 8 or 1, "little"))
-            b = self.big[v] or {}
-            chunks.append(len(b).to_bytes(4, "little"))
-            for hub, count in sorted(b.items()):
-                if count >= (1 << 64):
-                    raise SerializationError(
-                        f"count {count} exceeds 64-bit storage"
-                    )
-                chunks.append(hub.to_bytes(4, "little"))
-                chunks.append(count.to_bytes(8, "little"))
+            self._append_vertex_bytes(v, chunks)
         return b"".join(chunks)
 
     @classmethod
@@ -638,37 +650,7 @@ class LabelStore:
         off = 9
         try:
             for v in range(n):
-                k = int.from_bytes(view[off:off + 4], "little")
-                off += 4
-                nbytes = k * ENTRY_BYTES
-                if off + nbytes > len(blob):
-                    raise SerializationError("truncated label store blob")
-                arr = array("Q")
-                arr.frombytes(view[off:off + nbytes])
-                if sys.byteorder != "little":  # pragma: no cover
-                    arr.byteswap()
-                store.packed[v] = arr
-                off += nbytes
-                cbytes = (k + 7) // 8 or 1
-                store.canon[v] = int.from_bytes(
-                    view[off:off + cbytes], "little"
-                )
-                off += cbytes
-                nbig = int.from_bytes(view[off:off + 4], "little")
-                off += 4
-                if nbig:
-                    if off + 12 * nbig > len(blob):
-                        raise SerializationError(
-                            "truncated label store blob"
-                        )
-                    big: dict[int, int] = {}
-                    for _ in range(nbig):
-                        hub = int.from_bytes(view[off:off + 4], "little")
-                        big[hub] = int.from_bytes(
-                            view[off + 4:off + 12], "little"
-                        )
-                        off += 12
-                    store.big[v] = big
+                off = store.set_vertex_from_bytes(v, view, off)
             if off > len(blob):
                 raise SerializationError("truncated label store blob")
         except ValueError as exc:  # pragma: no cover - defensive
@@ -676,6 +658,55 @@ class LabelStore:
                 f"truncated label store blob: {exc}"
             ) from exc
         return store, off
+
+    def set_vertex_from_bytes(self, v: int, view, off: int = 0) -> int:
+        """Replace vertex ``v``'s labels from a :meth:`vertex_to_bytes`
+        wire segment at ``view[off:]``; returns the offset just past it.
+
+        Takes wholesale ownership of ``v`` (copy-on-write aware), so a
+        snapshot taken before the patch keeps its captured labels.  Any
+        resident query accelerators for ``v`` are dropped rather than
+        patched — they rebuild lazily.
+        """
+        self._claim(v)
+        k = int.from_bytes(view[off:off + 4], "little")
+        off += 4
+        nbytes = k * ENTRY_BYTES
+        if off + nbytes > len(view):
+            raise SerializationError("truncated label store blob")
+        arr = array("Q")
+        arr.frombytes(view[off:off + nbytes])
+        if sys.byteorder != "little":  # pragma: no cover
+            arr.byteswap()
+        self.packed[v] = arr
+        off += nbytes
+        cbytes = (k + 7) // 8 or 1
+        self.canon[v] = int.from_bytes(view[off:off + cbytes], "little")
+        off += cbytes
+        nbig = int.from_bytes(view[off:off + 4], "little")
+        off += 4
+        big: dict[int, int] | None = None
+        if nbig:
+            if off + 12 * nbig > len(view):
+                raise SerializationError("truncated label store blob")
+            big = {}
+            for _ in range(nbig):
+                hub = int.from_bytes(view[off:off + 4], "little")
+                big[hub] = int.from_bytes(
+                    view[off + 4:off + 12], "little"
+                )
+                off += 12
+        self.big[v] = big
+        if self._maps is not None:
+            self._maps[v] = {
+                hub: (dist, count, flag)
+                for hub, dist, count, flag in self.entries(v)
+            }
+        if self._dists is not None:
+            self._dists = None
+        if self._bydist is not None:
+            self._bydist = None
+        return off
 
     # ------------------------------------------------------------------
     def eq_entries(self, other: "LabelStore") -> bool:

@@ -1,0 +1,381 @@
+"""Incremental checkpoints of a counter's graph + label state.
+
+A checkpoint bounds how much WAL a restart must replay.  Checkpoints are
+written by the serving engine's writer thread *from a published frozen
+snapshot* between batches — the zero-copy RPLS serialization reads the
+snapshot's shared packed arrays directly, readers keep answering from
+published epochs throughout, and the writer is the only party that
+blocks on the disk.
+
+Two kinds of checkpoint file live in ``<data_dir>/checkpoints/``::
+
+    ckpt-<seq:016x>.full    # graph blob + whole index (RPCI/RPLS)
+    ckpt-<seq:016x>.delta   # graph blob + only the dirty vertices'
+                            # label segments, patched onto the parent
+
+``seq`` is the last WAL record folded into the checkpoint.  A delta's
+dirty set comes for free from the copy-on-write snapshot machinery: a
+vertex's label structures are shared *by identity* between consecutive
+snapshots unless the writer mutated them in between, so diffing two
+snapshots is an O(n) pointer comparison and the delta payload is one
+``vertex_to_bytes`` memcpy per actually-changed vertex.  Recovery
+resolves the newest checkpoint whose parent chain (delta → … → full) is
+fully intact and CRC-clean, falling back to older checkpoints when a
+file is torn or missing.
+
+Every file is self-describing (header carries kind, seq, epoch,
+ops_applied, strategy, parent seq, payload CRC) and is written
+atomically: payload to a temp file, ``fsync``, ``os.replace`` into the
+final name, ``fsync`` of the directory.  A crash mid-write leaves only
+an ignorable temp file, never a half-valid checkpoint.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence, Union
+
+from repro.errors import PersistenceError
+from repro.graph.digraph import DiGraph
+from repro.graph.io import graph_from_bytes, graph_to_bytes
+from repro.labeling.labelstore import LabelStore
+from repro.persist.faults import io_event
+from repro.persist.wal import write_all
+
+__all__ = [
+    "FULL",
+    "DELTA",
+    "CheckpointMeta",
+    "CheckpointState",
+    "CheckpointStore",
+]
+
+_MAGIC = b"RPCK"
+_VERSION = 1
+#: magic, version, kind, strategy, pad, seq, epoch, ops_applied,
+#: parent_seq, payload length, crc32(payload)
+_HEADER = struct.Struct("<4sBBBx QQQQ QI")
+
+FULL = 1
+DELTA = 2
+
+_STRATEGY_CODES = {"redundancy": 0, "minimality": 1}
+_STRATEGY_NAMES = {code: name for name, code in _STRATEGY_CODES.items()}
+
+
+@dataclass(frozen=True)
+class CheckpointMeta:
+    """Decoded header of one checkpoint file."""
+
+    path: Path
+    kind: int
+    seq: int
+    epoch: int
+    ops_applied: int
+    parent_seq: int
+    strategy: str
+
+
+@dataclass
+class CheckpointState:
+    """A fully materialized checkpoint chain."""
+
+    seq: int
+    epoch: int
+    ops_applied: int
+    strategy: str
+    graph: DiGraph
+    order: list[int]
+    store_in: LabelStore
+    store_out: LabelStore
+    #: number of files in the resolved chain (1 = a full checkpoint)
+    chain_length: int = 1
+
+
+def _encode_delta_payload(
+    graph: DiGraph,
+    store_in: LabelStore,
+    store_out: LabelStore,
+    dirty_in: Sequence[int],
+    dirty_out: Sequence[int],
+) -> bytes:
+    graph_blob = graph_to_bytes(graph)
+    chunks = [len(graph_blob).to_bytes(8, "little"), graph_blob]
+    for store, dirty in ((store_in, dirty_in), (store_out, dirty_out)):
+        chunks.append(len(dirty).to_bytes(4, "little"))
+        for v in dirty:
+            chunks.append(v.to_bytes(4, "little"))
+            chunks.append(store.vertex_to_bytes(v))
+    return b"".join(chunks)
+
+
+def _apply_delta_payload(
+    payload: bytes, state: CheckpointState
+) -> None:
+    view = memoryview(payload)
+    graph_len = int.from_bytes(view[:8], "little")
+    state.graph = graph_from_bytes(bytes(view[8:8 + graph_len]))
+    off = 8 + graph_len
+    for store in (state.store_in, state.store_out):
+        count = int.from_bytes(view[off:off + 4], "little")
+        off += 4
+        for _ in range(count):
+            v = int.from_bytes(view[off:off + 4], "little")
+            off += 4
+            if not 0 <= v < len(store):
+                raise PersistenceError(
+                    f"delta checkpoint patches vertex {v} outside the "
+                    f"parent's {len(store)} vertices"
+                )
+            off = store.set_vertex_from_bytes(v, view, off)
+    if off != len(payload):
+        raise PersistenceError("trailing bytes in delta checkpoint")
+
+
+class CheckpointStore:
+    """Reader/writer over one ``checkpoints/`` directory."""
+
+    def __init__(self, ckpt_dir: Union[str, Path]) -> None:
+        self._dir = Path(ckpt_dir)
+        self._dir.mkdir(parents=True, exist_ok=True)
+        self.checkpoints_written = 0
+        self.bytes_written = 0
+
+    @property
+    def directory(self) -> Path:
+        return self._dir
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def _write_file(self, name: str, blob: bytes) -> Path:
+        final = self._dir / name
+        tmp = self._dir / f".tmp-{name}"
+        io_event("ckpt.write")
+        fd = os.open(tmp, os.O_CREAT | os.O_WRONLY | os.O_TRUNC, 0o644)
+        try:
+            write_all(fd, blob)
+            io_event("ckpt.fsync")
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        io_event("ckpt.rename")
+        os.replace(tmp, final)
+        dir_fd = os.open(self._dir, os.O_RDONLY)
+        try:
+            io_event("ckpt.dirsync")
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+        self.checkpoints_written += 1
+        self.bytes_written += len(blob)
+        return final
+
+    def _frame(
+        self,
+        kind: int,
+        seq: int,
+        epoch: int,
+        ops_applied: int,
+        parent_seq: int,
+        strategy: str,
+        payload: bytes,
+    ) -> bytes:
+        header = _HEADER.pack(
+            _MAGIC,
+            _VERSION,
+            kind,
+            _STRATEGY_CODES[strategy],
+            seq,
+            epoch,
+            ops_applied,
+            parent_seq,
+            len(payload),
+            zlib.crc32(payload),
+        )
+        return header + payload
+
+    def write_full(
+        self,
+        seq: int,
+        epoch: int,
+        ops_applied: int,
+        strategy: str,
+        counter_blob: bytes,
+    ) -> Path:
+        """Write a full checkpoint (payload =
+        :meth:`ShortestCycleCounter.to_bytes`)."""
+        blob = self._frame(
+            FULL, seq, epoch, ops_applied, 0, strategy, counter_blob
+        )
+        return self._write_file(f"ckpt-{seq:016x}.full", blob)
+
+    def write_delta(
+        self,
+        seq: int,
+        epoch: int,
+        ops_applied: int,
+        strategy: str,
+        parent_seq: int,
+        graph: DiGraph,
+        store_in: LabelStore,
+        store_out: LabelStore,
+        dirty_in: Sequence[int],
+        dirty_out: Sequence[int],
+    ) -> Path:
+        """Write an incremental checkpoint on top of ``parent_seq``."""
+        payload = _encode_delta_payload(
+            graph, store_in, store_out, dirty_in, dirty_out
+        )
+        blob = self._frame(
+            DELTA, seq, epoch, ops_applied, parent_seq, strategy, payload
+        )
+        return self._write_file(f"ckpt-{seq:016x}.delta", blob)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def _load(self, path: Path) -> tuple[CheckpointMeta, bytes]:
+        blob = path.read_bytes()
+        if len(blob) < _HEADER.size:
+            raise PersistenceError(f"{path.name}: truncated header")
+        (magic, version, kind, strategy_code, seq, epoch, ops_applied,
+         parent_seq, payload_len, crc) = _HEADER.unpack_from(blob)
+        if magic != _MAGIC:
+            raise PersistenceError(f"{path.name}: bad checkpoint magic")
+        if version != _VERSION:
+            raise PersistenceError(
+                f"{path.name}: unsupported checkpoint version {version}"
+            )
+        if kind not in (FULL, DELTA):
+            raise PersistenceError(f"{path.name}: unknown kind {kind}")
+        if strategy_code not in _STRATEGY_NAMES:
+            raise PersistenceError(
+                f"{path.name}: unknown strategy code {strategy_code}"
+            )
+        payload = blob[_HEADER.size:]
+        if len(payload) != payload_len:
+            raise PersistenceError(
+                f"{path.name}: payload length mismatch "
+                f"({len(payload)} != {payload_len})"
+            )
+        if zlib.crc32(payload) != crc:
+            raise PersistenceError(f"{path.name}: payload CRC mismatch")
+        meta = CheckpointMeta(
+            path=path,
+            kind=kind,
+            seq=seq,
+            epoch=epoch,
+            ops_applied=ops_applied,
+            parent_seq=parent_seq,
+            strategy=_STRATEGY_NAMES[strategy_code],
+        )
+        return meta, payload
+
+    def files(self) -> list[Path]:
+        """Checkpoint files, oldest seq first (temp files excluded)."""
+        return sorted(
+            p for p in self._dir.iterdir()
+            if p.name.startswith("ckpt-") and not p.name.startswith(".")
+        )
+
+    def _resolve_chain(
+        self, tip: Path
+    ) -> list[tuple[CheckpointMeta, bytes]]:
+        """The tip's chain as ``[(meta, payload), ...]``, full first."""
+        chain: list[tuple[CheckpointMeta, bytes]] = []
+        meta, payload = self._load(tip)
+        chain.append((meta, payload))
+        seen = {meta.seq}
+        while meta.kind == DELTA:
+            parent = self._dir / f"ckpt-{meta.parent_seq:016x}"
+            candidates = [
+                p for p in (
+                    parent.with_suffix(".full"), parent.with_suffix(".delta")
+                ) if p.exists()
+            ]
+            if not candidates:
+                raise PersistenceError(
+                    f"{meta.path.name}: parent checkpoint "
+                    f"seq={meta.parent_seq} is missing"
+                )
+            meta, payload = self._load(candidates[0])
+            if meta.seq in seen:  # pragma: no cover - defensive
+                raise PersistenceError("checkpoint parent cycle")
+            seen.add(meta.seq)
+            chain.append((meta, payload))
+        chain.reverse()
+        return chain
+
+    def _materialize_chain(
+        self, chain: list[tuple[CheckpointMeta, bytes]]
+    ) -> CheckpointState:
+        # Imported here: core must not depend back on persist at
+        # import time.  The counter's to_bytes/from_bytes pair is the
+        # canonical codec for full-checkpoint payloads.
+        from repro.core.counter import ShortestCycleCounter
+
+        root_payload = chain[0][1]
+        root = ShortestCycleCounter.from_bytes(root_payload)
+        graph, index = root.graph, root.index
+        tip_meta = chain[-1][0]
+        state = CheckpointState(
+            seq=tip_meta.seq,
+            epoch=tip_meta.epoch,
+            ops_applied=tip_meta.ops_applied,
+            strategy=tip_meta.strategy,
+            graph=graph,
+            order=list(index.order),
+            store_in=index.store_in,
+            store_out=index.store_out,
+            chain_length=len(chain),
+        )
+        for meta, payload in chain[1:]:
+            _apply_delta_payload(payload, state)
+        return state
+
+    def materialize(self) -> CheckpointState | None:
+        """Load the newest checkpoint whose whole chain is valid.
+
+        Corrupt, torn, or orphaned checkpoints are skipped (newest
+        first) rather than raised — recovery degrades to the last good
+        chain.  Returns ``None`` when no valid chain exists.
+        """
+        for tip in reversed(self.files()):
+            try:
+                return self._materialize_chain(self._resolve_chain(tip))
+            except PersistenceError:
+                continue
+        return None
+
+    # ------------------------------------------------------------------
+    def prune(self, tip_seq: int) -> list[Path]:
+        """Delete checkpoints older than ``tip_seq``'s chain root.
+
+        Keeps every file the newest chain still needs (the root full
+        checkpoint and all deltas after it) and drops the rest.
+        """
+        tip = None
+        for path in self.files():
+            meta_seq = int(path.stem.split("-")[1], 16)
+            if meta_seq == tip_seq:
+                tip = path
+        if tip is None:
+            return []
+        try:
+            chain = self._resolve_chain(tip)
+        except PersistenceError:
+            return []
+        needed = {meta.path for meta, _ in chain}
+        removed = []
+        for path in self.files():
+            seq = int(path.stem.split("-")[1], 16)
+            if path not in needed and seq < tip_seq:
+                io_event("ckpt.unlink")
+                path.unlink()
+                removed.append(path)
+        return removed

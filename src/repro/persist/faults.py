@@ -1,0 +1,46 @@
+"""Fault-injection seam for the durability subsystem.
+
+Every durable side effect in :mod:`repro.persist` — each ``os.write``,
+``os.fsync``, and ``os.replace`` that the WAL and checkpoint writers
+issue — announces itself through :func:`io_event` *before* executing.
+The crash-recovery property suite installs a hook that raises
+:class:`SimulatedCrash` at the N-th event and then abandons the session,
+so the on-disk state is exactly the prefix of syscalls a real process
+death at that instant would have left behind (all persist file I/O is
+unbuffered, so a Python-level write *is* an OS-level write).
+
+The hook is process-global and not thread-safe by design: tests drive
+the durability manager single-threaded (the same call sequence the
+serving engine's writer thread makes) so the event order is
+deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+__all__ = ["SimulatedCrash", "io_event", "set_fault_hook"]
+
+
+class SimulatedCrash(BaseException):
+    """Raised by test hooks to model process death at an I/O boundary.
+
+    Derives from :class:`BaseException` so production code that guards
+    durable operations with ``except Exception`` cannot accidentally
+    swallow a simulated crash and keep running.
+    """
+
+
+_hook: Optional[Callable[[str], None]] = None
+
+
+def set_fault_hook(hook: Optional[Callable[[str], None]]) -> None:
+    """Install (or clear, with ``None``) the global I/O event hook."""
+    global _hook
+    _hook = hook
+
+
+def io_event(tag: str) -> None:
+    """Announce one imminent durable side effect (e.g. ``"wal.write"``)."""
+    if _hook is not None:
+        _hook(tag)

@@ -52,6 +52,8 @@ class DriveResult:
     final: Snapshot | None = None
     #: exceptions raised inside reader threads (must be empty)
     errors: list[str] = field(default_factory=list)
+    #: WAL/checkpoint counters for durable runs (``data_dir`` given)
+    durability: object | None = None
 
 
 def idle_read_throughput(
@@ -96,13 +98,14 @@ def serial_replay(
 
 
 def drive_mixed(
-    source: Union[DiGraph, ShortestCycleCounter],
+    source: Union[DiGraph, ShortestCycleCounter, ServeEngine],
     ops: Sequence[Op],
     *,
     readers: int = 2,
     batch_size: int = 16,
     query_vertices: Sequence[int] | None = None,
-    strategy: str = "redundancy",
+    strategy: str | None = None,
+    **engine_kwargs,
 ) -> DriveResult:
     """Run ``ops`` through a serving engine while ``readers`` threads
     query published snapshots; returns throughput and consistency data.
@@ -110,11 +113,28 @@ def drive_mixed(
     Reader threads pin a snapshot, answer a burst of ``sccnt`` queries
     against it, and re-fetch — observing that epochs never go backwards.
     Only queries answered before the writer finishes draining count
-    toward the reported throughput.
+    toward the reported throughput.  ``source`` may be a *not-yet-
+    started* :class:`ServeEngine` (so callers can open a durable engine
+    first and generate ``ops`` against its possibly-recovered graph);
+    extra keyword arguments pass through when the engine is built here.
     """
     if readers < 1:
         raise ValueError("readers must be at least 1")
-    engine = ServeEngine(source, strategy=strategy, batch_size=batch_size)
+    if isinstance(source, ServeEngine):
+        if engine_kwargs:
+            raise ValueError(
+                "engine kwargs "
+                f"{sorted(engine_kwargs)} cannot be applied to an "
+                "already-constructed ServeEngine source; configure the "
+                "engine directly (strategy/batch_size are likewise "
+                "taken from the engine)"
+            )
+        engine = source
+    else:
+        engine = ServeEngine(
+            source, strategy=strategy, batch_size=batch_size,
+            **engine_kwargs,
+        )
     counter = engine.counter
     if query_vertices is None:
         n = counter.graph.n
@@ -182,4 +202,5 @@ def drive_mixed(
     result.epochs_seen = len(epochs)
     result.stats = engine.stats()
     result.final = final
+    result.durability = engine.durability_stats()
     return result

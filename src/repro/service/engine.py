@@ -26,6 +26,11 @@ from repro.errors import (
     VertexError,
 )
 from repro.graph.digraph import DiGraph
+from repro.persist.manager import (
+    DEFAULT_CHECKPOINT_WAL_BYTES,
+    DEFAULT_FULL_CHECKPOINT_EVERY,
+    DurabilityManager,
+)
 from repro.service.snapshot import Snapshot
 
 __all__ = ["ServeEngine", "ServeStats"]
@@ -86,6 +91,22 @@ class ServeEngine:
     on_publish:
         Optional callback invoked with each new :class:`Snapshot`
         *before* it becomes visible to :meth:`snapshot` (writer thread).
+    data_dir:
+        Optional durability directory (see :mod:`repro.persist`).  When
+        it holds recoverable state the engine *recovers* — ``source``
+        is ignored, the counter resumes at the recovered epoch, and
+        :attr:`recovery` reports how it got there; when fresh, the
+        engine bootstraps it with an initial full checkpoint of
+        ``source``.  From then on every batch is durably logged before
+        its epoch is published (log-before-publish), and checkpoints
+        are cut whenever the WAL outgrows ``checkpoint_wal_bytes``.
+    wal_fsync:
+        ``"always"`` (default; each batch record is flushed before its
+        epoch publishes) or ``"off"`` (no flushing: survives process
+        death, not power loss).
+    checkpoint_on_stop:
+        Write a final checkpoint on a clean :meth:`stop` so the next
+        open skips WAL replay (default ``True``).
 
     A callback or batch failure is recorded (see :attr:`failure`) and
     re-raised by :meth:`flush` / :meth:`stop`; the engine keeps serving
@@ -99,23 +120,75 @@ class ServeEngine:
 
     def __init__(
         self,
-        source: Union[DiGraph, ShortestCycleCounter],
+        source: Union[DiGraph, ShortestCycleCounter, None] = None,
         *,
-        strategy: str = "redundancy",
+        strategy: str | None = None,
         batch_size: int = 64,
         rebuild_threshold: float = DEFAULT_REBUILD_THRESHOLD,
         on_invalid: str = "skip",
         monitor=None,
         on_publish: Callable[[Snapshot], None] | None = None,
+        data_dir: str | None = None,
+        wal_fsync: str = "always",
+        checkpoint_wal_bytes: int = DEFAULT_CHECKPOINT_WAL_BYTES,
+        full_checkpoint_every: int = DEFAULT_FULL_CHECKPOINT_EVERY,
+        checkpoint_on_stop: bool = True,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be at least 1")
-        if isinstance(source, ShortestCycleCounter):
-            self._counter = source
-        else:
-            self._counter = ShortestCycleCounter.build(
-                source, strategy=strategy
+        self._durability: DurabilityManager | None = None
+        self._recovery = None
+        self._base_epoch = 0
+        self._base_ops = 0
+        self._checkpoint_on_stop = checkpoint_on_stop
+        self._final_durability_stats = None
+        if data_dir is not None:
+            manager, recovered = DurabilityManager.open(
+                data_dir,
+                fsync=wal_fsync,
+                checkpoint_wal_bytes=checkpoint_wal_bytes,
+                full_checkpoint_every=full_checkpoint_every,
             )
+            self._durability = manager
+            self._recovery = recovered
+            if recovered is not None:
+                # The directory's state wins over `source`: the engine
+                # resumes exactly where the last process stopped —
+                # including the maintenance strategy the data was
+                # written under (an explicit conflicting request is an
+                # error, never silently dropped: replay fidelity pins
+                # the strategy to the recorded one).
+                if (
+                    strategy is not None
+                    and strategy != recovered.counter.strategy
+                ):
+                    raise ValueError(
+                        f"data_dir {data_dir!r} was written with "
+                        f"strategy {recovered.counter.strategy!r}; "
+                        f"cannot resume it as {strategy!r}"
+                    )
+                self._counter = recovered.counter
+                self._base_epoch = recovered.epoch
+                self._base_ops = recovered.ops_applied
+            elif source is None:
+                raise ValueError(
+                    f"data_dir {data_dir!r} holds no recoverable state "
+                    "and no source graph/counter was given"
+                )
+        if self._recovery is None:
+            if isinstance(source, ShortestCycleCounter):
+                self._counter = source
+            elif isinstance(source, DiGraph):
+                self._counter = ShortestCycleCounter.build(
+                    source, strategy=strategy or "redundancy"
+                )
+            else:
+                raise ValueError(
+                    "source must be a DiGraph or ShortestCycleCounter "
+                    "(or data_dir must hold recoverable state)"
+                )
+            if self._durability is not None:
+                self._durability.bootstrap(self._counter)
         self._batch_size = batch_size
         self._rebuild_threshold = rebuild_threshold
         self._on_invalid = on_invalid
@@ -146,10 +219,16 @@ class ServeEngine:
     # Lifecycle
     # ------------------------------------------------------------------
     def start(self) -> "ServeEngine":
-        """Publish epoch 0 and launch the writer thread."""
+        """Publish the base epoch (0, or the recovered epoch when the
+        engine was opened on an existing data dir) and launch the
+        writer thread."""
         if self._writer is not None:
             raise ServiceStoppedError("engine already started")
-        snap = Snapshot.capture(self._counter, epoch=0, ops_applied=0)
+        snap = Snapshot.capture(
+            self._counter,
+            epoch=self._base_epoch,
+            ops_applied=self._base_ops,
+        )
         if self._on_publish is not None:
             self._on_publish(snap)
         if self._monitor is not None:
@@ -187,6 +266,7 @@ class ServeEngine:
                     "queued); the engine remains stoppable — call "
                     "stop() again"
                 )
+        self._shutdown_durability()
         with self._progress:
             # A clean stop consumes everything accepted before the stop
             # request; a shortfall here means the writer died and the
@@ -200,6 +280,30 @@ class ServeEngine:
                     f"{self._submitted - self._consumed} submitted ops "
                     "unconsumed"
                 ) from self._failure
+
+    def _shutdown_durability(self) -> None:
+        """Flush the WAL and (optionally) write a final checkpoint so a
+        restart skips replay; idempotent, writer already joined."""
+        dur = self._durability
+        if dur is None:
+            return
+        try:
+            if (
+                self._checkpoint_on_stop
+                and self._failure is None
+                and self._published is not None
+            ):
+                dur.maybe_final_checkpoint(self._published)
+            dur.sync()
+        except BaseException as exc:  # noqa: BLE001 - surfaced via stop()
+            self._record_failure(exc)
+        finally:
+            try:
+                self._final_durability_stats = dur.stats()
+            except OSError:  # pragma: no cover - vanished data dir
+                pass
+            dur.close()
+            self._durability = None
 
     def _raise_failure_locked(self, wrap_reported: bool = False) -> None:
         """Raise the recorded failure (``_progress`` held).
@@ -324,6 +428,19 @@ class ServeEngine:
         set after being raised by :meth:`flush` / :meth:`stop`)."""
         return self._failure
 
+    @property
+    def recovery(self):
+        """The :class:`~repro.persist.RecoveryResult` this engine was
+        opened from, or ``None`` (fresh directory / no ``data_dir``)."""
+        return self._recovery
+
+    def durability_stats(self):
+        """WAL/checkpoint counters, or ``None`` without a ``data_dir``
+        (after :meth:`stop`, the final pre-close stats)."""
+        if self._durability is not None:
+            return self._durability.stats()
+        return self._final_durability_stats
+
     def stats(self) -> ServeStats:
         """Current counters (consistent under the engine lock)."""
         with self._lock:
@@ -373,18 +490,64 @@ class ServeEngine:
                 self._writer_exited = True
                 self._progress.notify_all()
 
+    def _record_failure(
+        self, exc: BaseException, ops: list[Op] | None = None
+    ) -> None:
+        """Record ``exc`` in the sticky failure slot; with ``ops``,
+        also count that batch as consumed (it will never apply)."""
+        with self._progress:
+            # Keep the first *unreported* failure; once that one has
+            # been raised to a caller, a newer failure replaces it so
+            # the next flush surfaces fresh trouble too.
+            if self._failure is None or self._failure_reported:
+                self._failure = exc
+                self._failure_reported = False
+            if ops is not None:
+                self._consumed += len(ops)
+            self._progress.notify_all()
+
     def _apply_and_publish(self, ops: list[Op]) -> None:
+        dur = self._durability
+        seq = None
+        if dur is not None:
+            # Log-before-publish: the batch's ops and exact apply_batch
+            # framing hit the disk (and, under fsync="always", the
+            # platter) before the index is touched, so every epoch a
+            # reader can ever observe is reconstructible from the data
+            # dir.  A failed append means no durability for this batch
+            # — it is dropped, not applied, and the failure surfaces
+            # through the sticky record.
+            try:
+                seq = dur.log_batch(
+                    ops, self._on_invalid, self._rebuild_threshold
+                )
+            except BaseException as exc:  # noqa: BLE001 - via flush()
+                self._record_failure(exc, ops)
+                return
         try:
             stats = self._counter.apply_batch(
                 ops,
                 rebuild_threshold=self._rebuild_threshold,
                 on_invalid=self._on_invalid,
             )
+        except BaseException as exc:  # noqa: BLE001 - reported via flush()
+            if dur is not None:
+                # apply_batch is atomic-on-raise, so the live state
+                # excludes this batch; mark the logged record aborted so
+                # recovery skips it too.  (Losing the marker is safe:
+                # the same deterministic exception fires on replay.)
+                try:
+                    dur.log_abort(seq)
+                except BaseException:  # noqa: BLE001 - crash-equivalent
+                    pass
+            self._record_failure(exc, ops)
+            return
+        try:
             prev = self._published
             snap = Snapshot.capture(
                 self._counter,
                 epoch=(prev.epoch if prev is not None else 0) + 1,
-                ops_applied=self._consumed + len(ops),
+                ops_applied=self._base_ops + self._consumed + len(ops),
             )
             # Publication order: observers first, so any state they
             # derive (alert bookkeeping, recorded ground truth) exists
@@ -394,15 +557,9 @@ class ServeEngine:
             if self._monitor is not None:
                 self._monitor.observe_snapshot(snap)
         except BaseException as exc:  # noqa: BLE001 - reported via flush()
-            with self._progress:
-                # Keep the first *unreported* failure; once that one has
-                # been raised to a caller, a newer failure replaces it so
-                # the next flush surfaces fresh trouble too.
-                if self._failure is None or self._failure_reported:
-                    self._failure = exc
-                    self._failure_reported = False
-                self._consumed += len(ops)
-                self._progress.notify_all()
+            # The batch IS applied (and logged); only publication
+            # failed.  No abort record — recovery must replay it.
+            self._record_failure(exc, ops)
             return
         self._published = snap
         with self._progress:
@@ -412,3 +569,11 @@ class ServeEngine:
             self._batches += 1
             self._rebuilds += int(stats.rebuilt)
             self._progress.notify_all()
+        if dur is not None:
+            # Checkpoint *after* publication, from the published frozen
+            # snapshot, between batches — the only window in which the
+            # live graph still equals the snapshot's capture state.
+            try:
+                dur.note_applied(seq, snap)
+            except BaseException as exc:  # noqa: BLE001 - via flush()
+                self._record_failure(exc)

@@ -1,7 +1,6 @@
 """Tests for BFS primitives and the shortest-path-counting oracle."""
 
 import networkx as nx
-import pytest
 from hypothesis import given, settings
 
 from repro.graph.digraph import DiGraph

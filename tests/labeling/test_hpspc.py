@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from repro.graph.digraph import DiGraph
 from repro.graph.traversal import INF, count_shortest_paths
 from repro.labeling.hpspc import HPSPCIndex, UNREACHED, merge_labels
-from repro.labeling.ordering import positions
 from tests.conftest import digraphs, random_digraph
 
 

@@ -1,0 +1,223 @@
+"""Checkpoint store: full/delta chains, corruption fallback, pruning."""
+
+import random
+
+import pytest
+
+from repro.core.counter import ShortestCycleCounter
+from repro.graph.digraph import DiGraph
+from repro.persist.checkpoint import DELTA, FULL, CheckpointStore
+from repro.persist.manager import _dirty_vertices
+
+pytestmark = pytest.mark.persist
+
+
+def build_counter(seed=0, n=10, m=24):
+    rng = random.Random(seed)
+    g = DiGraph(n)
+    while g.m < m:
+        a, b = rng.randrange(n), rng.randrange(n)
+        if a != b and not g.has_edge(a, b):
+            g.add_edge(a, b)
+    return ShortestCycleCounter.build(g)
+
+
+def write_base(store, counter, seq=0, epoch=0, ops=0):
+    return store.write_full(
+        seq=seq, epoch=epoch, ops_applied=ops,
+        strategy=counter.strategy, counter_blob=counter.to_bytes(),
+    )
+
+
+class TestFullCheckpoint:
+    def test_roundtrip(self, tmp_path):
+        counter = build_counter()
+        store = CheckpointStore(tmp_path)
+        write_base(store, counter, seq=5, epoch=3, ops=17)
+        state = store.materialize()
+        assert state is not None
+        assert (state.seq, state.epoch, state.ops_applied) == (5, 3, 17)
+        assert state.strategy == "redundancy"
+        assert state.chain_length == 1
+        assert state.graph == counter.graph
+        assert state.order == counter.index.order
+        assert state.store_in.eq_entries(counter.index.store_in)
+        assert state.store_out.eq_entries(counter.index.store_out)
+
+    def test_empty_store_materializes_none(self, tmp_path):
+        assert CheckpointStore(tmp_path).materialize() is None
+
+    def test_newest_wins(self, tmp_path):
+        old = build_counter(seed=1)
+        new = build_counter(seed=2)
+        store = CheckpointStore(tmp_path)
+        write_base(store, old, seq=1)
+        write_base(store, new, seq=2)
+        assert store.materialize().graph == new.graph
+
+
+class TestDeltaCheckpoint:
+    def _snapshot_pair(self, counter, ops):
+        before = counter.snapshot()
+        # rebuild_threshold=1.0: force incremental repair — a rebuild
+        # fallback swaps in whole fresh stores and (correctly) marks
+        # every vertex dirty, which is not the path under test here.
+        counter.apply_batch(ops, on_invalid="skip", rebuild_threshold=1.0)
+        after = counter.snapshot()
+        return before, after
+
+    def test_delta_patches_only_dirty_vertices(self, tmp_path):
+        # Big sparse graph: one deletion repairs a localized label
+        # neighborhood, so the delta stays far smaller than a full dump.
+        counter = build_counter(seed=3, n=120, m=200)
+        store = CheckpointStore(tmp_path)
+        write_base(store, counter)
+        edge = next(iter(counter.graph.edges()))
+        before, after = self._snapshot_pair(
+            counter, [("delete", *edge)]
+        )
+        dirty_in = _dirty_vertices(
+            before.index.store_in, after.index.store_in
+        )
+        dirty_out = _dirty_vertices(
+            before.index.store_out, after.index.store_out
+        )
+        store.write_delta(
+            seq=1, epoch=1, ops_applied=1, strategy="redundancy",
+            parent_seq=0, graph=counter.graph,
+            store_in=after.index.store_in,
+            store_out=after.index.store_out,
+            dirty_in=dirty_in, dirty_out=dirty_out,
+        )
+        state = store.materialize()
+        assert state.chain_length == 2
+        assert state.graph == counter.graph
+        assert state.store_in.eq_entries(counter.index.store_in)
+        assert state.store_out.eq_entries(counter.index.store_out)
+        # The delta file is smaller than a full one would be (it only
+        # carries the dirty vertices).
+        delta_file = next(tmp_path.glob("ckpt-*.delta"))
+        full_file = next(tmp_path.glob("ckpt-*.full"))
+        assert delta_file.stat().st_size < full_file.stat().st_size
+
+    def test_chain_of_deltas(self, tmp_path):
+        counter = build_counter(seed=4)
+        store = CheckpointStore(tmp_path)
+        write_base(store, counter)
+        prev_snap = counter.snapshot()
+        rng = random.Random(9)
+        for seq in range(1, 4):
+            edges = list(counter.graph.edges())
+            edge = edges[rng.randrange(len(edges))]
+            counter.apply_batch(
+                [("delete", *edge)], on_invalid="skip",
+                rebuild_threshold=1.0,
+            )
+            snap = counter.snapshot()
+            store.write_delta(
+                seq=seq, epoch=seq, ops_applied=seq,
+                strategy="redundancy", parent_seq=seq - 1,
+                graph=counter.graph,
+                store_in=snap.index.store_in,
+                store_out=snap.index.store_out,
+                dirty_in=_dirty_vertices(
+                    prev_snap.index.store_in, snap.index.store_in
+                ),
+                dirty_out=_dirty_vertices(
+                    prev_snap.index.store_out, snap.index.store_out
+                ),
+            )
+            prev_snap = snap
+        state = store.materialize()
+        assert state.chain_length == 4
+        assert state.seq == 3
+        assert state.graph == counter.graph
+        assert state.store_in.eq_entries(counter.index.store_in)
+        assert state.store_out.eq_entries(counter.index.store_out)
+
+
+class TestDegradation:
+    def _store_with_two(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        old = build_counter(seed=5)
+        new = build_counter(seed=6)
+        write_base(store, old, seq=1)
+        write_base(store, new, seq=2)
+        return store, old, new
+
+    def test_corrupt_tip_falls_back_to_older(self, tmp_path):
+        store, old, new = self._store_with_two(tmp_path)
+        tip = store.files()[-1]
+        blob = bytearray(tip.read_bytes())
+        blob[-1] ^= 0xFF  # payload corruption -> CRC mismatch
+        tip.write_bytes(bytes(blob))
+        assert store.materialize().graph == old.graph
+
+    def test_truncated_tip_falls_back_to_older(self, tmp_path):
+        store, old, new = self._store_with_two(tmp_path)
+        tip = store.files()[-1]
+        blob = tip.read_bytes()
+        tip.write_bytes(blob[: len(blob) // 2])
+        assert store.materialize().graph == old.graph
+
+    def test_missing_delta_parent_falls_back(self, tmp_path):
+        counter = build_counter(seed=7)
+        store = CheckpointStore(tmp_path)
+        write_base(store, counter, seq=0)
+        snap = counter.snapshot()
+        store.write_delta(
+            seq=2, epoch=1, ops_applied=1, strategy="redundancy",
+            parent_seq=1,  # parent never written
+            graph=counter.graph,
+            store_in=snap.index.store_in,
+            store_out=snap.index.store_out,
+            dirty_in=[], dirty_out=[],
+        )
+        state = store.materialize()
+        assert state.seq == 0 and state.chain_length == 1
+
+    def test_temp_files_ignored(self, tmp_path):
+        store, old, new = self._store_with_two(tmp_path)
+        (tmp_path / ".tmp-ckpt-junk").write_bytes(b"partial write")
+        assert store.materialize().graph == new.graph
+
+    def test_all_corrupt_materializes_none(self, tmp_path):
+        store, _, _ = self._store_with_two(tmp_path)
+        for path in store.files():
+            path.write_bytes(b"garbage")
+        assert store.materialize() is None
+
+
+class TestPrune:
+    def test_prune_keeps_live_chain(self, tmp_path):
+        counter = build_counter(seed=8)
+        store = CheckpointStore(tmp_path)
+        write_base(store, counter, seq=0)
+        write_base(store, counter, seq=1)
+        snap = counter.snapshot()
+        store.write_delta(
+            seq=2, epoch=2, ops_applied=2, strategy="redundancy",
+            parent_seq=1, graph=counter.graph,
+            store_in=snap.index.store_in,
+            store_out=snap.index.store_out,
+            dirty_in=[], dirty_out=[],
+        )
+        removed = store.prune(2)
+        assert [p.name for p in removed] == ["ckpt-0000000000000000.full"]
+        state = store.materialize()
+        assert state.seq == 2 and state.chain_length == 2
+
+    def test_kinds_recorded(self, tmp_path):
+        counter = build_counter(seed=8)
+        store = CheckpointStore(tmp_path)
+        write_base(store, counter, seq=0)
+        snap = counter.snapshot()
+        store.write_delta(
+            seq=1, epoch=1, ops_applied=1, strategy="redundancy",
+            parent_seq=0, graph=counter.graph,
+            store_in=snap.index.store_in,
+            store_out=snap.index.store_out,
+            dirty_in=[], dirty_out=[],
+        )
+        metas = [store._load(p)[0] for p in store.files()]
+        assert [m.kind for m in metas] == [FULL, DELTA]

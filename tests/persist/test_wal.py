@@ -1,0 +1,293 @@
+"""WAL codec and torn-tail robustness.
+
+Mirrors the PR 3 RPLS truncation suite at the log layer: every byte
+prefix of a segment, and every single-byte corruption, must degrade to
+the longest valid record prefix — never an exception, never a wrong or
+partial record.
+"""
+
+import os
+
+import pytest
+
+from repro.errors import PersistenceError
+from repro.persist.wal import (
+    ABORT,
+    BATCH,
+    WriteAheadLog,
+    read_wal,
+    scan_segment,
+)
+
+pytestmark = pytest.mark.persist
+
+OPS_A = (("insert", 1, 2), ("delete", 3, 4))
+OPS_B = (("delete", 0, 5),)
+OPS_C = (("insert", 7, 8), ("insert", 8, 9), ("delete", 9, 7))
+
+
+def write_sample(tmp_path, fsync="always"):
+    wal = WriteAheadLog(tmp_path / "wal", fsync=fsync)
+    wal.append_batch(1, OPS_A, on_invalid="skip", rebuild_threshold=0.25)
+    wal.append_batch(2, OPS_B, on_invalid="raise", rebuild_threshold=-1.0)
+    wal.append_abort(2)
+    wal.append_batch(3, OPS_C, on_invalid="skip", rebuild_threshold=1.0)
+    wal.close()
+    return tmp_path / "wal"
+
+
+class TestRoundtrip:
+    def test_records_roundtrip(self, tmp_path):
+        wal_dir = write_sample(tmp_path)
+        scan = read_wal(wal_dir)
+        assert [r.seq for r in scan.records] == [1, 2, 2, 3]
+        assert [r.kind for r in scan.records] == [BATCH, BATCH, ABORT, BATCH]
+        assert scan.records[0].ops == OPS_A
+        assert scan.records[0].on_invalid == "skip"
+        assert scan.records[0].rebuild_threshold == 0.25
+        assert scan.records[1].on_invalid == "raise"
+        assert scan.records[1].rebuild_threshold == -1.0
+        assert scan.records[3].ops == OPS_C
+        assert scan.torn_bytes == 0
+        assert scan.aborted == {2}
+
+    def test_batches_excludes_aborted(self, tmp_path):
+        scan = read_wal(write_sample(tmp_path))
+        assert [r.seq for r in scan.batches()] == [1, 3]
+
+    def test_after_seq_filters(self, tmp_path):
+        scan = read_wal(write_sample(tmp_path), after_seq=2)
+        assert [r.seq for r in scan.records] == [3]
+
+    def test_empty_directory(self, tmp_path):
+        scan = read_wal(tmp_path / "missing")
+        assert scan.records == [] and scan.torn_bytes == 0
+
+    def test_append_reopens_existing_segment(self, tmp_path):
+        wal_dir = write_sample(tmp_path)
+        wal = WriteAheadLog(wal_dir)
+        wal.append_batch(4, OPS_B)
+        wal.close()
+        scan = read_wal(wal_dir)
+        assert [r.seq for r in scan.records] == [1, 2, 2, 3, 4]
+
+    def test_rotate_starts_new_segment_and_prunes(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.append_batch(1, OPS_A)
+        wal.rotate()
+        wal.append_batch(2, OPS_B)
+        assert len(wal.segments()) == 2
+        # Records <= 1 are checkpointed; the old segment is removable.
+        removed = wal.prune_segments_through(1)
+        assert len(removed) == 1
+        scan = read_wal(tmp_path / "wal", after_seq=1)
+        assert [r.seq for r in scan.records] == [2]
+        wal.close()
+
+    def test_unknown_fsync_policy_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            WriteAheadLog(tmp_path / "wal", fsync="sometimes")
+
+    def test_bad_magic_raises(self, tmp_path):
+        path = tmp_path / "wal-0000000000000001.log"
+        path.write_bytes(b"NOPE" + bytes(12))
+        with pytest.raises(PersistenceError):
+            scan_segment(path)
+
+    def test_bad_version_raises(self, tmp_path):
+        wal_dir = write_sample(tmp_path)
+        seg = sorted(wal_dir.glob("wal-*.log"))[0]
+        blob = bytearray(seg.read_bytes())
+        blob[4] = 99
+        seg.write_bytes(bytes(blob))
+        with pytest.raises(PersistenceError):
+            scan_segment(seg)
+
+
+class TestTornTail:
+    def test_every_truncation_degrades_to_valid_prefix(self, tmp_path):
+        wal_dir = write_sample(tmp_path)
+        seg = sorted(wal_dir.glob("wal-*.log"))[0]
+        blob = seg.read_bytes()
+        full_records, full_valid, _ = scan_segment(seg)
+        assert full_valid == len(blob)
+        # Record frame boundaries, for checking prefix lengths.
+        boundaries = [16]  # header size
+        offset = 16
+        for record in full_records:
+            length = int.from_bytes(
+                blob[offset:offset + 4], "little"
+            )
+            offset += 8 + length
+            boundaries.append(offset)
+        target = tmp_path / "t.log"
+        for cut in range(16, len(blob) + 1):
+            target.write_bytes(blob[:cut])
+            records, valid, total = scan_segment(target)
+            # Longest prefix of records whose frames fit entirely.
+            expect = sum(1 for b in boundaries[1:] if b <= cut)
+            assert len(records) == expect, f"cut at {cut}"
+            assert records == full_records[:expect]
+            assert valid == boundaries[expect]
+            assert total == cut
+
+    def test_truncated_header_is_an_error(self, tmp_path):
+        wal_dir = write_sample(tmp_path)
+        seg = sorted(wal_dir.glob("wal-*.log"))[0]
+        blob = seg.read_bytes()
+        target = tmp_path / "t.log"
+        for cut in range(0, 16):
+            target.write_bytes(blob[:cut])
+            with pytest.raises(PersistenceError):
+                scan_segment(target)
+
+    def test_every_single_byte_corruption_never_yields_wrong_ops(
+        self, tmp_path
+    ):
+        wal_dir = write_sample(tmp_path)
+        seg = sorted(wal_dir.glob("wal-*.log"))[0]
+        blob = bytearray(seg.read_bytes())
+        full_records, _, _ = scan_segment(seg)
+        target = tmp_path / "t.log"
+        for i in range(16, len(blob)):
+            corrupted = bytearray(blob)
+            corrupted[i] ^= 0xFF
+            target.write_bytes(bytes(corrupted))
+            records, _, _ = scan_segment(target)
+            # Whatever survives must be an exact prefix of the original
+            # records — corruption may shorten the log, never alter it.
+            assert records == full_records[:len(records)]
+            assert len(records) < len(full_records)
+
+    def test_reopen_truncates_torn_tail(self, tmp_path):
+        wal_dir = write_sample(tmp_path)
+        seg = sorted(wal_dir.glob("wal-*.log"))[0]
+        blob = seg.read_bytes()
+        seg.write_bytes(blob[:-3])  # tear the last record
+        wal = WriteAheadLog(wal_dir)
+        # Recovery would resume numbering after the surviving prefix
+        # (seq 2), so the torn record's number is reissued.
+        wal.append_batch(3, OPS_B)
+        wal.close()
+        scan = read_wal(wal_dir)
+        # Record 3's torn frame was truncated away; the reissued record
+        # follows cleanly on a valid boundary.
+        assert [r.seq for r in scan.records] == [1, 2, 2, 3]
+        assert scan.records[-1].ops == OPS_B
+        assert scan.torn_bytes == 0
+
+    def test_sequence_gap_stops_the_scan(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.append_batch(1, OPS_A)
+        wal.rotate()
+        # Simulate a lost middle segment: jump straight to seq 3.
+        wal.append_batch(3, OPS_B)
+        wal.close()
+        scan = read_wal(tmp_path / "wal")
+        assert [r.seq for r in scan.records] == [1]
+
+    def test_fsync_off_still_writes_records(self, tmp_path):
+        wal_dir = write_sample(tmp_path, fsync="off")
+        scan = read_wal(wal_dir)
+        assert [r.seq for r in scan.records] == [1, 2, 2, 3]
+
+
+class TestSizeAccounting:
+    def test_size_bytes_matches_disk(self, tmp_path):
+        wal_dir = write_sample(tmp_path)
+        wal = WriteAheadLog(wal_dir)
+        assert wal.size_bytes() == sum(
+            p.stat().st_size for p in wal_dir.glob("wal-*.log")
+        )
+        wal.close()
+
+    def test_unbuffered_append_is_immediately_visible(self, tmp_path):
+        # Process-crash durability: a returned append is on the file
+        # even with fsync off and without close().
+        wal = WriteAheadLog(tmp_path / "wal", fsync="off")
+        wal.append_batch(1, OPS_A)
+        scan = read_wal(tmp_path / "wal")
+        assert [r.seq for r in scan.records] == [1]
+        wal.close()
+
+    def test_os_level_write_not_python_buffering(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal", fsync="off")
+        wal.append_batch(1, OPS_A)
+        seg = wal.current_segment
+        # Another fd sees the bytes: nothing sits in a Python buffer.
+        fd = os.open(seg, os.O_RDONLY)
+        try:
+            assert len(os.read(fd, 1 << 16)) == seg.stat().st_size
+        finally:
+            os.close(fd)
+        wal.close()
+
+
+class TestFailedAppendRollback:
+    def test_failed_write_rolls_back_to_valid_boundary(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.append_batch(1, OPS_A)
+        real_write = os.write
+        calls = {"n": 0}
+
+        def flaky_write(fd, data):
+            calls["n"] += 1
+            # Partial write then failure, mid-frame.
+            real_write(fd, data[: len(data) // 2])
+            raise OSError("disk full")
+
+        os.write, saved = flaky_write, os.write
+        try:
+            with pytest.raises(OSError):
+                wal.append_batch(2, OPS_B)
+        finally:
+            os.write = saved
+        # The torn half-frame was truncated away: the next append lands
+        # on a valid boundary and the reissued seq is recoverable.
+        wal.append_batch(2, OPS_C)
+        wal.close()
+        scan = read_wal(tmp_path / "wal")
+        assert [r.seq for r in scan.records] == [1, 2]
+        assert scan.records[1].ops == OPS_C
+        assert scan.torn_bytes == 0
+
+    def test_unrollbackable_failure_breaks_the_log(self, tmp_path):
+        from repro.errors import PersistenceError
+
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.append_batch(1, OPS_A)
+        real_write, real_truncate = os.write, os.ftruncate
+
+        def bad_write(fd, data):
+            raise OSError("io error")
+
+        def bad_truncate(fd, size):
+            raise OSError("io error")
+
+        os.write, os.ftruncate = bad_write, bad_truncate
+        try:
+            with pytest.raises(OSError):
+                wal.append_batch(2, OPS_B)
+        finally:
+            os.write, os.ftruncate = real_write, real_truncate
+        # The tail state is unknown: further appends must refuse rather
+        # than risk landing after torn bytes.
+        with pytest.raises(PersistenceError):
+            wal.append_batch(2, OPS_C)
+        wal.close()
+
+    def test_torn_segment_header_dropped_on_reopen(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.append_batch(1, OPS_A)
+        wal.rotate()
+        wal.close()
+        # Simulate death during segment creation: a half-written header.
+        (tmp_path / "wal" / f"wal-{2:016x}.log").write_bytes(b"RPWL\x01")
+        scan = read_wal(tmp_path / "wal")
+        assert [r.seq for r in scan.records] == [1]
+        assert scan.torn_bytes == 5  # the half-written header
+        wal2 = WriteAheadLog(tmp_path / "wal")  # must not raise
+        wal2.append_batch(2, OPS_B)
+        wal2.close()
+        scan = read_wal(tmp_path / "wal")
+        assert [r.seq for r in scan.records] == [1, 2]

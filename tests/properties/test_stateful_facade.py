@@ -62,7 +62,6 @@ class FacadeMachine(RuleBasedStateMachine):
 
     @rule()
     def save_load_roundtrip(self):
-        import io
         import os
         import tempfile
 

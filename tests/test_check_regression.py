@@ -1,0 +1,186 @@
+"""The CI benchmark-regression gate must catch slowdowns and pass
+unchanged runs."""
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(
+    0, str(Path(__file__).resolve().parent.parent / "benchmarks")
+)
+
+from check_regression import classify, compare_trees, main  # noqa: E402
+
+BASELINE = {
+    "schema_version": 1,
+    "smoke": True,
+    "aggregate": {
+        "speedup_vs_legacy": 3.2,
+        "packed_ops_per_sec": 100_000.0,
+    },
+    "datasets": {
+        "G04": {
+            "n": 500,
+            "index_bytes_packed": 12345,
+            "packed": {
+                "ops_per_sec": 90_000.0,
+                "p50_us": 800.0,
+                "p99_us": 3000.0,
+            },
+            "speedup_vs_legacy": 3.0,
+        }
+    },
+}
+
+
+def write(tmp_path, name, tree):
+    d = tmp_path / name
+    d.mkdir(exist_ok=True)
+    (d / "BENCH_query.json").write_text(json.dumps(tree))
+    return str(d)
+
+
+def perturb(scale_throughput=1.0, scale_latency=1.0, scale_ratio=1.0):
+    fresh = json.loads(json.dumps(BASELINE))
+    agg = fresh["aggregate"]
+    agg["speedup_vs_legacy"] *= scale_ratio
+    agg["packed_ops_per_sec"] *= scale_throughput
+    row = fresh["datasets"]["G04"]
+    row["speedup_vs_legacy"] *= scale_ratio
+    row["packed"]["ops_per_sec"] *= scale_throughput
+    row["packed"]["p50_us"] *= scale_latency
+    row["packed"]["p99_us"] *= scale_latency
+    return fresh
+
+
+class TestClassify:
+    def test_metric_keys(self):
+        assert classify("speedup_vs_legacy") == (+1, "ratio")
+        assert classify("read_ratio_vs_idle") == (+1, "ratio")
+        assert classify("ops_per_sec") == (+1, "absolute")
+        assert classify("p99_us") == (-1, "absolute")
+        assert classify("recovery_warm_ms") == (-1, "absolute")
+
+    def test_disk_cpu_mixed_ratios_are_machine_dependent(self):
+        # fsync'd-vs-plain drain and recovery-vs-rebuild mix disk and
+        # CPU costs, which do not scale together across machines: they
+        # must get the loose absolute tolerance, not the tight one.
+        assert classify("wal_overhead_fsync") == (-1, "absolute")
+        assert classify("recovery_warm_speedup_vs_rebuild") == (
+            +1, "absolute"
+        )
+        assert classify("speedup_vs_serial") == (+1, "ratio")
+
+    def test_bookkeeping_keys_skipped(self):
+        for key in ("n", "m", "index_bytes_packed", "schema_version",
+                    "queries", "batches", "conflict_fraction"):
+            assert classify(key) is None
+
+
+class TestCompareTrees:
+    def test_unchanged_run_passes(self):
+        diffs = compare_trees(BASELINE, perturb(), 0.35, 0.65)
+        assert diffs and not any(d.regressed for d in diffs)
+
+    def test_synthetic_throughput_slowdown_flagged(self):
+        fresh = perturb(scale_throughput=0.25)  # 4x slower
+        diffs = compare_trees(BASELINE, fresh, 0.35, 0.65)
+        failed = {d.path for d in diffs if d.regressed}
+        assert "aggregate.packed_ops_per_sec" in failed
+        assert "datasets.G04.packed.ops_per_sec" in failed
+
+    def test_synthetic_latency_blowup_flagged(self):
+        fresh = perturb(scale_latency=3.0)
+        failed = {
+            d.path
+            for d in compare_trees(BASELINE, fresh, 0.35, 0.65)
+            if d.regressed
+        }
+        assert "datasets.G04.packed.p50_us" in failed
+        assert "datasets.G04.packed.p99_us" in failed
+
+    def test_microsecond_noise_under_floor_passes(self):
+        # A p99 that is the max of a few dozen tiny samples can triple
+        # on a scheduler blip; under the absolute noise floor that is
+        # not a regression.
+        fresh = perturb()
+        fresh["datasets"]["G04"]["packed"]["p50_us"] = 30.0
+        base = json.loads(json.dumps(BASELINE))
+        base["datasets"]["G04"]["packed"]["p50_us"] = 6.0  # 5x worse
+        diffs = compare_trees(base, fresh, 0.35, 0.65)
+        p50 = next(
+            d for d in diffs if d.path == "datasets.G04.packed.p50_us"
+        )
+        assert p50.worse_by > 0.65 and not p50.regressed
+
+    def test_ratio_regression_uses_tight_tolerance(self):
+        fresh = perturb(scale_ratio=0.5)  # halved speedup
+        failed = {
+            d.path
+            for d in compare_trees(BASELINE, fresh, 0.35, 0.65)
+            if d.regressed
+        }
+        assert "aggregate.speedup_vs_legacy" in failed
+
+    def test_machine_noise_within_abs_tolerance_passes(self):
+        # 40% slower absolute numbers: plausible runner variance, and
+        # within the loose default absolute tolerance.
+        fresh = perturb(scale_throughput=0.6, scale_latency=1.4)
+        diffs = compare_trees(BASELINE, fresh, 0.35, 0.65)
+        assert not any(d.regressed for d in diffs)
+
+    def test_improvements_never_flagged(self):
+        fresh = perturb(
+            scale_throughput=5.0, scale_latency=0.1, scale_ratio=2.0
+        )
+        diffs = compare_trees(BASELINE, fresh, 0.35, 0.65)
+        assert all(d.worse_by <= 0 for d in diffs)
+
+    def test_bookkeeping_not_judged(self):
+        fresh = perturb()
+        fresh["datasets"]["G04"]["n"] = 7  # wildly different, ignored
+        diffs = compare_trees(BASELINE, fresh, 0.35, 0.65)
+        assert all(".n" != d.path[-2:] for d in diffs)
+
+
+class TestMain:
+    def test_passes_on_identical_dirs(self, tmp_path, capsys):
+        base = write(tmp_path, "base", BASELINE)
+        fresh = write(tmp_path, "fresh", perturb())
+        assert main(
+            ["--baseline-dir", base, "--fresh-dir", fresh]
+        ) == 0
+        assert "within tolerance" in capsys.readouterr().out
+
+    def test_fails_on_synthetic_regression(self, tmp_path, capsys):
+        base = write(tmp_path, "base", BASELINE)
+        fresh = write(tmp_path, "fresh", perturb(scale_throughput=0.2))
+        assert main(
+            ["--baseline-dir", base, "--fresh-dir", fresh]
+        ) == 1
+        captured = capsys.readouterr()
+        assert "FAIL" in captured.out  # readable per-metric diff
+        assert "REGRESSION" in captured.err
+
+    def test_tolerance_flag_is_respected(self, tmp_path):
+        base = write(tmp_path, "base", BASELINE)
+        fresh = write(tmp_path, "fresh", perturb(scale_ratio=0.5))
+        assert main(
+            ["--baseline-dir", base, "--fresh-dir", fresh,
+             "--tolerance", "0.6"]
+        ) == 0
+
+    def test_missing_files_is_config_error(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        base = write(tmp_path, "base", BASELINE)
+        assert main(
+            ["--baseline-dir", base, "--fresh-dir", str(empty)]
+        ) == 2
+
+    def test_no_metrics_is_config_error(self, tmp_path):
+        base = write(tmp_path, "base", {"schema_version": 1})
+        fresh = write(tmp_path, "fresh", {"schema_version": 1})
+        assert main(
+            ["--baseline-dir", base, "--fresh-dir", fresh]
+        ) == 2

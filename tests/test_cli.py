@@ -28,6 +28,7 @@ class TestParser:
             ["profile", "g.txt"],
             ["batch-update", "g.txt"],
             ["serve", "g.txt"],
+            ["recover", "ddir"],
             ["datasets"],
             ["experiments", "table2"],
         ):
@@ -149,3 +150,89 @@ class TestServe:
         out = capsys.readouterr().out
         assert "% of the idle single-thread rate" in out
         assert "queries/s aggregate" in out
+
+
+class TestDurabilityCommands:
+    def test_serve_data_dir_then_recover(self, fig2_file, tmp_path, capsys):
+        data_dir = str(tmp_path / "ddir")
+        assert main(
+            ["serve", fig2_file, "--readers", "1", "--ops", "8",
+             "--batch-size", "4", "--seed", "3", "--data-dir", data_dir]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "durability:" in out and "WAL records" in out
+        assert main(["recover", data_dir, "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "recovered n=" in out
+        assert "match a from-scratch rebuild" in out
+
+    def test_recover_saves_queryable_index(
+        self, fig2_file, tmp_path, capsys
+    ):
+        data_dir = str(tmp_path / "ddir")
+        index_path = str(tmp_path / "rec.idx")
+        assert main(
+            ["serve", fig2_file, "--readers", "1", "--ops", "4",
+             "--batch-size", "2", "--data-dir", data_dir]
+        ) == 0
+        assert main(["recover", data_dir, "--out", index_path]) == 0
+        assert main(["query", index_path, "0"]) == 0
+
+
+    def test_serve_data_dir_resumes_existing_state(
+        self, fig2_file, tmp_path, capsys
+    ):
+        data_dir = str(tmp_path / "ddir")
+        assert main(
+            ["serve", fig2_file, "--readers", "1", "--ops", "6",
+             "--batch-size", "2", "--data-dir", data_dir]
+        ) == 0
+        capsys.readouterr()
+        # Second run must resume the mutated state (edge list ignored)
+        # and still pass --verify against the *resumed* graph.
+        assert main(
+            ["serve", fig2_file, "--readers", "1", "--ops", "6",
+             "--batch-size", "2", "--data-dir", data_dir, "--verify"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "resumed" in out and "edge list was ignored" in out
+        assert "bit-identical to serial replay" in out
+
+    def test_recover_missing_dir_exits_one_with_one_line(
+        self, tmp_path, capsys
+    ):
+        missing = str(tmp_path / "nothing-here")
+        assert main(["recover", missing]) == 1
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: ")
+        assert "no valid checkpoint chain" in captured.err
+        assert "Traceback" not in captured.err
+
+
+class TestOperationalErrorHandling:
+    def test_build_error_exits_one_with_message(
+        self, fig2_file, capsys, monkeypatch
+    ):
+        from repro import cli
+        from repro.errors import WorkerCrashError
+
+        def boom(args):
+            raise WorkerCrashError("worker 3 died with exit code -9")
+
+        monkeypatch.setitem(cli._COMMANDS, "build", boom)
+        assert main(["build", fig2_file, "out.idx"]) == 1
+        captured = capsys.readouterr()
+        assert captured.err == "error: worker 3 died with exit code -9\n"
+
+    def test_service_failure_exits_one_with_message(
+        self, fig2_file, capsys, monkeypatch
+    ):
+        from repro import cli
+        from repro.errors import ServiceFailedError
+
+        def boom(args):
+            raise ServiceFailedError("serve writer thread died")
+
+        monkeypatch.setitem(cli._COMMANDS, "serve", boom)
+        assert main(["serve", fig2_file]) == 1
+        assert "error: serve writer thread died" in capsys.readouterr().err
