@@ -42,7 +42,7 @@ def _run_sequential(base, ops):
     return index
 
 
-def _run_batched(base, ops, rebuild_threshold=1.0):
+def _run_batched(base, ops, rebuild_threshold=2.0):
     index = base.copy()
     apply_batch(index, ops, rebuild_threshold=rebuild_threshold)
     return index

@@ -233,6 +233,24 @@ class BuildPool:
                 results[ph] = delta
         return results
 
+    def run_repairs(
+        self, chunks: list[list[tuple[bool, int, int]]]
+    ) -> dict[tuple[int, bool], tuple[list[Entry], list[int]]]:
+        """Dispatch per-worker ``(forward, rank, hub)`` repair chunks;
+        collect speculative ``(entries, visited)`` keyed by
+        ``(rank, forward)``."""
+        busy = []
+        for i, chunk in enumerate(chunks):
+            if chunk:
+                self._send(i, ("repair", chunk))
+                busy.append(i)
+        results: dict[tuple[int, bool], tuple[list[Entry], list[int]]] = {}
+        for i in busy:
+            reply = self._recv(i)
+            for ph, forward, entries, visited in reply[1]:
+                results[(ph, forward)] = (entries, visited)
+        return results
+
     def shutdown(self) -> None:
         for conn in self._conns:
             try:
@@ -358,11 +376,11 @@ def build_label_tables(
 
     for p in range(plan.serial_prefix):
         h = order[p]
-        entries = forward(graph, h, p, pos, label_in, label_out,
-                          dist, cnt)
+        entries, _ = forward(graph, h, p, pos, label_in, label_out,
+                             dist, cnt)
         _commit(label_in, delta_in, no_canon, p, entries)
-        entries = backward(graph, h, p, pos, label_in, label_out,
-                           dist, cnt)
+        entries, _ = backward(graph, h, p, pos, label_in, label_out,
+                              dist, cnt)
         _commit(label_out, delta_out, no_canon, p, entries)
 
     if plan.waves:
@@ -394,13 +412,13 @@ def build_label_tables(
                     bwd_ok = h not in canon_in
                     if not fwd_ok:
                         stats.conflicts += 1
-                        fwd_e = forward(graph, h, p, pos, label_in,
-                                        label_out, dist, cnt)
+                        fwd_e, _ = forward(graph, h, p, pos, label_in,
+                                           label_out, dist, cnt)
                     _commit(label_in, delta_in, canon_in, p, fwd_e)
                     if not bwd_ok:
                         stats.conflicts += 1
-                        bwd_e = backward(graph, h, p, pos, label_in,
-                                         label_out, dist, cnt)
+                        bwd_e, _ = backward(graph, h, p, pos, label_in,
+                                            label_out, dist, cnt)
                     _commit(label_out, delta_out, canon_out, p, bwd_e)
 
     stats.entries = (

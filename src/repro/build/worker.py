@@ -4,7 +4,12 @@ The kernels are *delta* variants of the construction BFSes in
 :mod:`repro.core.csc` / :mod:`repro.labeling.hpspc`: instead of
 appending into the label tables they run against a **frozen** table
 state and return the ``(vertex, dist, count, flag)`` records the hub
-would append, in append (BFS-dequeue) order.
+would append, in append (BFS-dequeue) order, together with the list of
+vertices the BFS dequeued.  The dequeued list *is* the side's label
+read set — every pruning query probes exactly the dequeued vertex's
+labels — which is what the repair committer
+(:mod:`repro.core.parallel_repair`) intersects against committed
+changes to decide whether a speculative repair is still valid.
 
 Every pruning decision the BFS takes joins ``hub_dist`` — the
 *canonical* hub-side entries of the hub vertex, whose ranks all lie
@@ -39,9 +44,14 @@ message     payload                                       reply
 ``init``    ``(graph, pos, kind)``                        —
 ``extend``  ``(rpls_in, rpls_out)`` packed label bytes    —
 ``run``     ``[(rank, hub_vertex), ...]``                 ``result``
+``repair``  ``[(forward, rank, hub_vertex), ...]``        ``result``
 ``quit``    —                                             —
 ``_test``   ``"exit"`` / ``"raise"`` (crash injection)    —
 ==========  ============================================  =============
+
+``run`` serves the builder (both sides per hub, visited lists
+dropped); ``repair`` serves BATCH-DECCNT (one side per task, visited
+lists shipped back for the committer's conflict check).
 
 Any exception is shipped back as ``("error", traceback)`` before the
 worker exits; a vanished worker is detected by the master as an
@@ -123,7 +133,7 @@ def _csc_forward_delta(graph, h, ph, pos, label_in, label_out, dist, cnt):
     for w in visited:
         dist[w] = UNREACHED
         cnt[w] = 0
-    return entries
+    return entries, visited
 
 
 def _csc_backward_delta(graph, h, ph, pos, label_in, label_out, dist, cnt):
@@ -177,16 +187,16 @@ def _csc_backward_delta(graph, h, ph, pos, label_in, label_out, dist, cnt):
     for w in visited:
         dist[w] = UNREACHED
         cnt[w] = 0
-    return entries
+    return entries, visited
 
 
 def csc_hub_delta(graph, h, ph, pos, label_in, label_out, dist, cnt):
     """Both construction BFSes of CSC hub ``h`` (rank ``ph``) against a
     frozen table state."""
-    fwd = _csc_forward_delta(
+    fwd, _ = _csc_forward_delta(
         graph, h, ph, pos, label_in, label_out, dist, cnt
     )
-    bwd = _csc_backward_delta(
+    bwd, _ = _csc_backward_delta(
         graph, h, ph, pos, label_in, label_out, dist, cnt
     )
     return (fwd, bwd)
@@ -238,7 +248,7 @@ def _hpspc_delta(
     for w in visited:
         dist[w] = UNREACHED
         cnt[w] = 0
-    return entries
+    return entries, visited
 
 
 def hpspc_forward_delta(graph, h, ph, pos, label_in, label_out, dist, cnt):
@@ -257,10 +267,10 @@ def hpspc_backward_delta(graph, h, ph, pos, label_in, label_out, dist, cnt):
 
 def hpspc_hub_delta(graph, h, ph, pos, label_in, label_out, dist, cnt):
     """Both pruned counting BFSes of HP-SPC hub ``h`` (rank ``ph``)."""
-    fwd = hpspc_forward_delta(
+    fwd, _ = hpspc_forward_delta(
         graph, h, ph, pos, label_in, label_out, dist, cnt
     )
-    bwd = hpspc_backward_delta(
+    bwd, _ = hpspc_backward_delta(
         graph, h, ph, pos, label_in, label_out, dist, cnt
     )
     return (fwd, bwd)
@@ -344,6 +354,7 @@ def worker_main(conn) -> None:
     graph = None
     pos: list[int] = []
     kernel = None
+    fwd_kernel = bwd_kernel = None
     label_in: list[list[Entry]] = []
     label_out: list[list[Entry]] = []
     dist: list[int] = []
@@ -358,6 +369,7 @@ def worker_main(conn) -> None:
             if tag == "init":
                 graph, pos, kind = msg[1], msg[2], msg[3]
                 kernel = kernel_for(kind)
+                fwd_kernel, bwd_kernel = side_kernels(kind)
                 n = graph.n
                 label_in = [[] for _ in range(n)]
                 label_out = [[] for _ in range(n)]
@@ -378,6 +390,15 @@ def worker_main(conn) -> None:
                     )
                     results.append((ph, delta))
                 conn.send(("result", results))
+            elif tag == "repair":
+                repairs: list[tuple[int, bool, list[Entry], list[int]]] = []
+                for forward, ph, h in msg[1]:
+                    k = fwd_kernel if forward else bwd_kernel
+                    entries, visited = k(
+                        graph, h, ph, pos, label_in, label_out, dist, cnt
+                    )
+                    repairs.append((ph, forward, entries, visited))
+                conn.send(("result", repairs))
             elif tag == "quit":
                 return
             elif tag == "_test":

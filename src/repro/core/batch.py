@@ -49,16 +49,22 @@ work across a whole mixed batch of insertions and deletions:
    deletion side and on the fallback below.
 
 A cost-model fallback bounds the worst case: each fingerprint repair
-costs about one hub's construction BFS, so once the deletion-affected
-union exceeds ``rebuild_threshold`` as a fraction of all vertices, a
-single from-scratch build of the final graph (the paper's Figure 11/12
+costs about one hub's construction BFS, and a hub affected on *both*
+sides pays two (its in-side and its out-side fingerprints are separate
+BFSes), so once the total repair-side count exceeds
+``rebuild_threshold`` as a fraction of all vertices, a single
+from-scratch build of the final graph (the paper's Figure 11/12
 strawman) is the cheaper plan and :func:`apply_batch` takes it instead.
+Past the threshold — or when the serving engine defers the batch — the
+repair loop itself can run on the PR 4 worker pool; see
+:mod:`repro.core.parallel_repair`.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from repro.core.csc import CSCIndex
 from repro.core.maintenance import (
@@ -103,11 +109,17 @@ class BatchStats:
     cancelled: int = 0
     #: repair/update passes run (0 when the rebuild fallback ran)
     hubs_processed: int = 0
+    #: fingerprint-repair BFSes actually run — one per repaired *side*,
+    #: so a hub repaired on both sides counts twice (``hubs_processed``
+    #: counts it once)
+    repair_bfs_count: int = 0
     vertices_visited: int = 0
     entries_added: int = 0
     entries_updated: int = 0
     entries_removed: int = 0
-    #: |deletion-affected hub union| / n — the rebuild cost model's input
+    #: deletion-affected repair *sides* / n — the rebuild cost model's
+    #: input.  Each side is one fingerprint-repair BFS, so a hub affected
+    #: on both sides counts twice and the fraction can reach 2.0.
     affected_hub_fraction: float = 0.0
     #: True when the cost model chose a from-scratch rebuild
     rebuilt: bool = False
@@ -195,6 +207,7 @@ def apply_batch(
     rebuild_threshold: float = DEFAULT_REBUILD_THRESHOLD,
     on_invalid: str = "raise",
     workers: int | None = None,
+    on_repair_plan: Callable[[set[int], set[int]], None] | None = None,
 ) -> BatchStats:
     """Apply a mixed batch of ``("insert"|"delete", tail, head)`` ops and
     repair the index with one fingerprint pass per distinct
@@ -206,9 +219,18 @@ def apply_batch(
     for the argument and ``tests/properties/test_batch_differential.py``
     for the machine-checked version).
 
-    ``workers`` is handed to :meth:`CSCIndex.build` when the cost model
-    takes the rebuild fallback — the one phase of a batch that
-    parallelizes (``None`` consults ``$REPRO_BUILD_WORKERS``).
+    ``workers`` parallelizes the two expensive phases (``None`` consults
+    ``$REPRO_BUILD_WORKERS``): the per-hub fingerprint repairs go
+    through the speculative pool committer of
+    :mod:`repro.core.parallel_repair` (bit-identical to the serial loop
+    for any worker count), and a rebuild fallback is handed to
+    :meth:`CSCIndex.build` as a parallel build.
+
+    ``on_repair_plan``, when given, is called with ``(del_in, del_out)``
+    — the hub-position sets needing forward/backward repair — after
+    affected-hub discovery but *before* any graph or label mutation.
+    The deferred-repair serving path uses this seam to tombstone exactly
+    the hubs whose fingerprints are about to go stale.
     """
     _check_strategy(strategy)
     graph = index.graph
@@ -235,19 +257,27 @@ def apply_batch(
     del_out: set[int] = set()  # hub positions needing a backward repair
     forward_dists: dict[int, list[float]] = {}
     reverse_dists: dict[int, list[float]] = {}
+    phase_start = time.perf_counter()
     for a, b in deletes:
         aff_in, aff_out = deletion_affected_hubs(
             index, a, b, forward_dists, reverse_dists
         )
         del_in.update(pos[v] for v in aff_in)
         del_out.update(pos[v] for v in aff_out)
+    stats.details["discovery_wall_s"] = time.perf_counter() - phase_start
 
     repair_hubs = del_in | del_out
+    # Price per repair *side*: a hub in both del_in and del_out costs two
+    # fingerprint BFSes, so |del_in| + |del_out| (not the union) is the
+    # BFS count the rebuild is weighed against.
     stats.affected_hub_fraction = (
-        len(repair_hubs) / graph.n if graph.n else 0.0
+        (len(del_in) + len(del_out)) / graph.n if graph.n else 0.0
     )
     stats.details["affected_in_hubs"] = len(del_in)
     stats.details["affected_out_hubs"] = len(del_out)
+
+    if on_repair_plan is not None:
+        on_repair_plan(del_in, del_out)
 
     for a, b in deletes:
         graph.remove_edge(a, b)
@@ -257,26 +287,48 @@ def apply_batch(
     if stats.affected_hub_fraction > rebuild_threshold:
         for a, b in inserts:
             graph.add_edge(a, b)
+        phase_start = time.perf_counter()
         fresh = CSCIndex.build(graph, order, workers=workers)
         index.adopt_labels(fresh)
+        stats.details["rebuild_wall_s"] = time.perf_counter() - phase_start
         stats.rebuilt = True
         return stats
 
-    # -- one fingerprint repair per distinct hub, descending rank --------
+    # -- one fingerprint repair per distinct hub side, descending rank --
     if repair_hubs:
+        phase_start = time.perf_counter()
         index.ensure_inverted()
-        for p in sorted(repair_hubs):
-            stats.hubs_processed += 1
-            h = order[p]
-            if p in del_in:
-                _repair_hub(index, h, forward=True, stats=stats)
-            if p in del_out:
-                _repair_hub(index, h, forward=False, stats=stats)
+        # Lazy: pulling the pool machinery in at module scope would
+        # cycle through repro.build (same reason CSCIndex.build defers).
+        from repro.build.parallel import resolve_workers
+        from repro.core.parallel_repair import (
+            PARALLEL_REPAIR_MIN_SIDES,
+            repair_hubs_parallel,
+        )
+
+        n_workers = resolve_workers(workers)
+        sides = len(del_in) + len(del_out)
+        if n_workers > 1 and sides >= PARALLEL_REPAIR_MIN_SIDES:
+            conflicts = repair_hubs_parallel(
+                index, del_in, del_out, n_workers, stats
+            )
+            stats.details["repair_workers"] = n_workers
+            stats.details["repair_conflicts"] = conflicts
+        else:
+            for p in sorted(repair_hubs):
+                stats.hubs_processed += 1
+                h = order[p]
+                if p in del_in:
+                    _repair_hub(index, h, forward=True, stats=stats)
+                if p in del_out:
+                    _repair_hub(index, h, forward=False, stats=stats)
+        stats.details["repair_wall_s"] = time.perf_counter() - phase_start
 
     # -- INCCNT replay of the insertions on the post-deletion graph ------
     for a, b in inserts:
         sub = insert_edge(index, a, b, strategy)
         stats.hubs_processed += sub.hubs_processed
+        stats.repair_bfs_count += sub.repair_bfs_count
         stats.vertices_visited += sub.vertices_visited
         stats.entries_added += sub.entries_added
         stats.entries_updated += sub.entries_updated

@@ -17,7 +17,7 @@ CycleCount(count=1, length=4)
 from __future__ import annotations
 
 from pathlib import Path
-from typing import TYPE_CHECKING, Iterable, Sequence, Union
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence, Union
 
 from repro.core.batch import (
     DEFAULT_REBUILD_THRESHOLD,
@@ -146,6 +146,7 @@ class ShortestCycleCounter:
         rebuild_threshold: float = DEFAULT_REBUILD_THRESHOLD,
         on_invalid: str = "raise",
         workers: int | None = None,
+        on_repair_plan: "Callable[[set[int], set[int]], None] | None" = None,
     ) -> BatchStats:
         """Apply a mixed batch of ``("insert"|"delete", tail, head)`` ops
         with one repair pass per distinct affected hub (BATCH-INCCNT/
@@ -165,6 +166,7 @@ class ShortestCycleCounter:
             rebuild_threshold=rebuild_threshold,
             on_invalid=on_invalid,
             workers=workers,
+            on_repair_plan=on_repair_plan,
         )
         self._updates.append(stats)
         return stats

@@ -44,7 +44,7 @@ from bisect import bisect_left
 from collections import deque
 from typing import Sequence
 
-from repro.errors import SerializationError
+from repro.errors import SerializationError, StaleLabelError
 from repro.graph.digraph import DiGraph
 from repro.labeling.hpspc import UNREACHED
 from repro.labeling.labelstore import (
@@ -243,6 +243,11 @@ class CSCIndex:
         (iterate the smaller side, probe the larger at C dict speed); the
         ``Gb`` distance ``d`` maps to cycle length ``(d + 1) / 2``.
         """
+        if self.store_in._stale or self.store_out._stale:
+            raise StaleLabelError(
+                "labels have deferred-repair tombstones; query a clean "
+                "snapshot until the background repair completes"
+            )
         # Iterate the smaller side's distance-sorted view, probe the
         # larger side's {hub: dist} dict (counts fetched only on
         # improve/tie); stop once the sorted distance passes the best sum
@@ -291,6 +296,11 @@ class CSCIndex:
         it.  ``spcnt(x, x)`` is the empty path ``(count=1, dist=0)``;
         cycle queries stay :meth:`sccnt`.
         """
+        if self.store_in._stale or self.store_out._stale:
+            raise StaleLabelError(
+                "labels have deferred-repair tombstones; query a clean "
+                "snapshot until the background repair completes"
+            )
         if x == y:
             return PathCount(1, 0)
         my = self._qmaps_in[y]

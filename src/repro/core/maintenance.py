@@ -81,6 +81,9 @@ class UpdateStats:
     edge: tuple[int, int]
     strategy: str = "redundancy"
     hubs_processed: int = 0
+    #: fingerprint-repair BFSes run, one per repaired side — a hub
+    #: repaired on both sides counts twice (deletions only)
+    repair_bfs_count: int = 0
     vertices_visited: int = 0
     entries_added: int = 0
     entries_updated: int = 0
@@ -492,13 +495,15 @@ def delete_edge(index: CSCIndex, a: int, b: int) -> UpdateStats:
 
 def _repair_hub(
     index: CSCIndex, h: int, forward: bool, stats: UpdateStats
-) -> None:
+) -> list[int]:
     """Re-run the construction BFS for hub ``h_in`` on the current graph and
     replace the hub's label fingerprint (fresh upserts + stale removals),
-    patching packed entries in place."""
+    patching packed entries in place.  Returns the vertices whose stored
+    labels actually changed (the parallel repair committer's write set)."""
     graph = index.graph
     pos = index.pos
     ph = pos[h]
+    stats.repair_bfs_count += 1
     inv_in, inv_out = index.ensure_inverted()
     if forward:
         target = index.store_in
@@ -557,6 +562,22 @@ def _repair_hub(
                 elif d_u == d_next:
                     cnt[u] += c_w
 
+    return _commit_fingerprint(target, inv, ph, fresh, stats)
+
+
+def _commit_fingerprint(
+    target: LabelStore,
+    inv: list[set[int]],
+    ph: int,
+    fresh: dict[int, tuple[int, int, bool]],
+    stats: UpdateStats,
+) -> list[int]:
+    """Replace hub ``ph``'s fingerprint on ``target`` with ``fresh``
+    (upserts + stale removals via the inverted index), patching packed
+    entries in place.  Shared by the serial repair above and the
+    speculative commits of :mod:`repro.core.parallel_repair`.  Returns
+    the vertices whose stored labels actually changed."""
+    changed: list[int] = []
     stale = inv[ph] - fresh.keys()
     for w, (d, c, flag) in fresh.items():
         i = target.hub_index(w, ph)
@@ -564,13 +585,17 @@ def _repair_hub(
             if target.decode(w, i)[1:] != (d, c, flag):
                 target.set_at(w, i, ph, d, c, flag)
                 stats.entries_updated += 1
+                changed.append(w)
         else:
             target.insert_sorted(w, ph, d, c, flag)
             inv[ph].add(w)
             stats.entries_added += 1
+            changed.append(w)
     for w in stale:
         i = target.hub_index(w, ph)
         if i >= 0:
             target.delete_at(w, i)
             stats.entries_removed += 1
+            changed.append(w)
         inv[ph].discard(w)
+    return changed

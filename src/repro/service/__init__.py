@@ -60,9 +60,11 @@ from repro.service.driver import (
     serial_replay,
 )
 from repro.service.engine import ServeEngine, ServeStats
+from repro.service.overlay import DeferredOverlay
 from repro.service.snapshot import Snapshot
 
 __all__ = [
+    "DeferredOverlay",
     "DriveResult",
     "ServeEngine",
     "ServeStats",

@@ -8,6 +8,16 @@ grab the latest published snapshot (one atomic attribute read) and
 answer ``sccnt`` / ``spcnt`` / ``top_suspicious`` against it, so a long
 deletion repair pass no longer blocks queries; readers just keep serving
 the previous epoch until the next one lands.
+
+With ``defer_deletions=True`` the *writer* stops blocking on deletions
+too: a deletion batch's DECCNT repair (or rebuild fallback) is handed to
+a background repair thread — the affected hubs are tombstoned in the
+live stores for the duration (see :class:`~repro.labeling.LabelStore`
+tombstones and :class:`~repro.service.DeferredOverlay`) — while the
+writer keeps draining the queue, buffering follow-up batches for the
+repair thread to apply in submission order.  Epoch sequence, labels,
+and WAL contents are identical to eager mode; only *who* runs the
+repair and *when* changes.
 """
 
 from __future__ import annotations
@@ -31,6 +41,7 @@ from repro.persist.manager import (
     DEFAULT_FULL_CHECKPOINT_EVERY,
     DurabilityManager,
 )
+from repro.service.overlay import DeferredOverlay
 from repro.service.snapshot import Snapshot
 
 __all__ = ["ServeEngine", "ServeStats"]
@@ -63,6 +74,11 @@ class ServeStats:
     queue_depth: int = 0
     #: whether the writer thread is alive
     running: bool = False
+    #: batches handed to (or buffered behind) the background repair
+    #: thread instead of being applied inline by the writer
+    deferrals: int = 0
+    #: whether a background deferred repair is in flight right now
+    repairing: bool = False
 
 
 class ServeEngine:
@@ -107,6 +123,25 @@ class ServeEngine:
     checkpoint_on_stop:
         Write a final checkpoint on a clean :meth:`stop` so the next
         open skips WAL replay (default ``True``).
+    defer_deletions:
+        Hand deletion batches to a background repair thread instead of
+        repairing them on the writer (see the module docstring).  The
+        writer keeps draining and logging the queue; batches that
+        arrive while a repair is in flight are buffered and applied by
+        the repair thread in submission order, so the published epoch
+        sequence is identical to eager mode — readers simply keep the
+        last clean epoch a little longer.  :meth:`overlay` exposes the
+        staleness metadata during the window.
+    workers:
+        Worker-process count for the expensive maintenance phases
+        (parallel per-hub DECCNT repair and the rebuild fallback;
+        ``None`` consults ``$REPRO_BUILD_WORKERS``).  Results are
+        bit-identical to serial for any value.
+    on_defer:
+        Test/instrumentation seam: called on the repair thread for each
+        deferred batch, right after the affected hubs are tombstoned
+        and before any label mutation.  Must not touch the engine's
+        public API (it runs inside the mutation window).
 
     A callback or batch failure is recorded (see :attr:`failure`) and
     re-raised by :meth:`flush` / :meth:`stop`; the engine keeps serving
@@ -133,6 +168,9 @@ class ServeEngine:
         checkpoint_wal_bytes: int = DEFAULT_CHECKPOINT_WAL_BYTES,
         full_checkpoint_every: int = DEFAULT_FULL_CHECKPOINT_EVERY,
         checkpoint_on_stop: bool = True,
+        defer_deletions: bool = False,
+        workers: int | None = None,
+        on_defer: Callable[[], None] | None = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be at least 1")
@@ -194,6 +232,18 @@ class ServeEngine:
         self._on_invalid = on_invalid
         self._monitor = monitor
         self._on_publish = on_publish
+        self._workers = workers
+        self._defer = defer_deletions
+        self._on_defer = on_defer
+        # Deferred-repair hand-off: _repair_thread/_pending are guarded
+        # by _defer_lock; the durability manager is single-threaded by
+        # contract, so in deferred mode the writer's log_batch and the
+        # repair thread's log_abort/note_applied serialize on _dur_lock.
+        self._defer_lock = threading.Lock()
+        self._dur_lock = threading.Lock()
+        self._pending: list[tuple[list[Op], int | None]] = []
+        self._repair_thread: threading.Thread | None = None
+        self._deferrals = 0
 
         self._queue: "queue.SimpleQueue[object]" = queue.SimpleQueue()
         self._lock = threading.Lock()
@@ -380,6 +430,23 @@ class ServeEngine:
             raise ServiceStoppedError("engine not started")
         return snap
 
+    def overlay(self) -> DeferredOverlay:
+        """The latest clean snapshot wrapped with deferred-repair
+        staleness metadata (see :class:`DeferredOverlay`).
+
+        Useful mainly with ``defer_deletions=True``: queries delegate to
+        the same snapshot :meth:`snapshot` returns, and
+        :attr:`DeferredOverlay.stale` reports whether a repair window is
+        open behind it.  Safe from any thread; never blocks.
+        """
+        snap = self.snapshot()
+        index = self._counter.index
+        stale_in = index.store_in.stale_hubs
+        stale_out = index.store_out.stale_hubs
+        with self._lock:
+            pending = self._submitted - self._consumed
+        return DeferredOverlay(snap, stale_in, stale_out, pending)
+
     def flush(self, timeout: float | None = None) -> Snapshot:
         """Block until every op submitted so far has been consumed and
         its epoch published; returns the then-current snapshot.
@@ -457,6 +524,8 @@ class ServeEngine:
                 running=(
                     self._writer is not None and self._writer.is_alive()
                 ),
+                deferrals=self._deferrals,
+                repairing=self._repair_thread is not None,
             )
 
     # ------------------------------------------------------------------
@@ -479,10 +548,21 @@ class ServeEngine:
                         stop_after = True
                         break
                     ops.append(nxt)
-                self._apply_and_publish(ops)
+                if self._defer:
+                    self._dispatch_deferred(ops)
+                else:
+                    self._apply_and_publish(ops)
                 if stop_after:
                     break
         finally:
+            # A live background repair still owns buffered batches; the
+            # writer's exit must not strand them (stop() joins only the
+            # writer).  Joining here keeps the clean-stop invariant:
+            # writer dead => everything accepted has been consumed.
+            with self._defer_lock:
+                repair = self._repair_thread
+            if repair is not None:
+                repair.join()
             # Wake any flush() waiting on consumption: once this thread
             # exits (cleanly or not), nothing else will ever notify, and
             # flush must get the chance to fail fast instead of hanging.
@@ -506,30 +586,115 @@ class ServeEngine:
                 self._consumed += len(ops)
             self._progress.notify_all()
 
-    def _apply_and_publish(self, ops: list[Op]) -> None:
+    def _log_batch(self, ops: list[Op]) -> tuple[int | None, bool]:
+        """Durably log ``ops``; returns ``(seq, ok)``.
+
+        Log-before-publish: the batch's ops and exact apply_batch
+        framing hit the disk (and, under fsync="always", the platter)
+        before the index is touched, so every epoch a reader can ever
+        observe is reconstructible from the data dir.  A failed append
+        means no durability for this batch — it is dropped, not
+        applied, and the failure surfaces through the sticky record.
+        """
         dur = self._durability
-        seq = None
-        if dur is not None:
-            # Log-before-publish: the batch's ops and exact apply_batch
-            # framing hit the disk (and, under fsync="always", the
-            # platter) before the index is touched, so every epoch a
-            # reader can ever observe is reconstructible from the data
-            # dir.  A failed append means no durability for this batch
-            # — it is dropped, not applied, and the failure surfaces
-            # through the sticky record.
-            try:
+        if dur is None:
+            return None, True
+        try:
+            with self._dur_lock:
                 seq = dur.log_batch(
                     ops, self._on_invalid, self._rebuild_threshold
                 )
-            except BaseException as exc:  # noqa: BLE001 - via flush()
-                self._record_failure(exc, ops)
+        except BaseException as exc:  # noqa: BLE001 - via flush()
+            self._record_failure(exc, ops)
+            return None, False
+        return seq, True
+
+    def _apply_and_publish(self, ops: list[Op]) -> None:
+        seq, ok = self._log_batch(ops)
+        if ok:
+            self._apply_logged(ops, seq)
+
+    def _dispatch_deferred(self, ops: list[Op]) -> None:
+        """Deferred-mode routing (writer thread).
+
+        The batch is logged first either way (WAL order == submission
+        order, as in eager mode).  Then: while a background repair owns
+        the mutator role, every batch is buffered for it; otherwise a
+        batch with deletions spawns the repair thread and the writer
+        moves on immediately, and a pure-insert batch is applied inline
+        (INCCNT is cheap — deferring it would only delay the epoch).
+        """
+        seq, ok = self._log_batch(ops)
+        if not ok:
+            return
+        with self._defer_lock:
+            if self._repair_thread is not None:
+                self._deferrals += 1
+                self._pending.append((ops, seq))
                 return
+            if any(op == "delete" for op, _, _ in ops):
+                self._deferrals += 1
+                thread = threading.Thread(
+                    target=self._repair_worker,
+                    args=(ops, seq),
+                    name="repro-serve-repair",
+                    daemon=True,
+                )
+                self._repair_thread = thread
+                thread.start()
+                return
+        self._apply_logged(ops, seq)
+
+    def _repair_worker(self, ops: list[Op], seq: int | None) -> None:
+        """Background repair thread: applies its seed batch and then
+        drains whatever the writer buffered meanwhile, in order, before
+        handing the mutator role back (clearing ``_repair_thread``)."""
+        while True:
+            try:
+                self._apply_logged(ops, seq, defer=True)
+            except BaseException as exc:  # noqa: BLE001 - backstop
+                self._record_failure(exc, ops)
+            with self._defer_lock:
+                if not self._pending:
+                    self._repair_thread = None
+                    return
+                ops, seq = self._pending.pop(0)
+
+    def _apply_logged(
+        self, ops: list[Op], seq: int | None, defer: bool = False
+    ) -> None:
+        dur = self._durability
+        on_plan = None
+        if defer:
+            # Tombstone exactly the hubs whose fingerprints the repair
+            # is about to invalidate, for exactly the mutation window:
+            # set when the repair plan is known (before any label or
+            # graph mutation), cleared when apply_batch returns (the
+            # labels are clean again — repaired, or swapped by the
+            # rebuild fallback).  Tombstones are in-memory only, so the
+            # WAL/recovery path never sees them.
+            index = self._counter.index
+            store_in, store_out = index.store_in, index.store_out
+
+            def on_plan(del_in: set[int], del_out: set[int]) -> None:
+                store_in.tombstone_hubs(del_in)
+                store_out.tombstone_hubs(del_out)
+                if self._on_defer is not None:
+                    self._on_defer()
+
         try:
-            stats = self._counter.apply_batch(
-                ops,
-                rebuild_threshold=self._rebuild_threshold,
-                on_invalid=self._on_invalid,
-            )
+            try:
+                stats = self._counter.apply_batch(
+                    ops,
+                    rebuild_threshold=self._rebuild_threshold,
+                    on_invalid=self._on_invalid,
+                    workers=self._workers,
+                    on_repair_plan=on_plan,
+                )
+            finally:
+                if defer:
+                    store_in.clear_tombstones()
+                    store_out.clear_tombstones()
         except BaseException as exc:  # noqa: BLE001 - reported via flush()
             if dur is not None:
                 # apply_batch is atomic-on-raise, so the live state
@@ -537,7 +702,8 @@ class ServeEngine:
                 # recovery skips it too.  (Losing the marker is safe:
                 # the same deterministic exception fires on replay.)
                 try:
-                    dur.log_abort(seq)
+                    with self._dur_lock:
+                        dur.log_abort(seq)
                 except BaseException:  # noqa: BLE001 - crash-equivalent
                     pass
             self._record_failure(exc, ops)
@@ -572,8 +738,12 @@ class ServeEngine:
         if dur is not None:
             # Checkpoint *after* publication, from the published frozen
             # snapshot, between batches — the only window in which the
-            # live graph still equals the snapshot's capture state.
+            # live graph still equals the snapshot's capture state.  In
+            # deferred mode the applying thread *is* the sole mutator
+            # here (the writer only logs and buffers while a repair is
+            # alive), so the window argument holds unchanged.
             try:
-                dur.note_applied(seq, snap)
+                with self._dur_lock:
+                    dur.note_applied(seq, snap)
             except BaseException as exc:  # noqa: BLE001 - via flush()
                 self._record_failure(exc)

@@ -1,0 +1,96 @@
+"""Correctness-preserving query overlay for deferred deletion repair.
+
+When :class:`~repro.service.ServeEngine` runs in ``defer_deletions``
+mode, a deletion batch's DECCNT repair (or rebuild fallback) happens on
+a background thread while the live label stores carry tombstones for the
+affected hubs.  Readers never see that window: they keep answering from
+the last *clean* published snapshot.  :class:`DeferredOverlay` packages
+that snapshot together with the staleness metadata — which hub positions
+are pending repair, and how many submitted ops have not reached a
+published epoch yet — so a client can both query correctly and observe
+that it is reading slightly behind the ingest point.
+
+The overlay is a point-in-time value object: capture one per read
+session via :meth:`ServeEngine.overlay`; it never blocks on the writer
+or the repair thread.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.types import CycleCount, PathCount
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.snapshot import Snapshot
+
+__all__ = ["DeferredOverlay"]
+
+
+class DeferredOverlay:
+    """A clean snapshot plus the deferred-repair staleness it hides.
+
+    Queries delegate to the wrapped :class:`Snapshot` — the last epoch
+    whose labels were fully repaired — so results are always correct for
+    that epoch; :attr:`stale` tells the caller whether a repair is in
+    flight behind it.
+    """
+
+    __slots__ = ("snapshot", "stale_in_hubs", "stale_out_hubs",
+                 "pending_ops")
+
+    def __init__(
+        self,
+        snapshot: "Snapshot",
+        stale_in_hubs: frozenset[int] = frozenset(),
+        stale_out_hubs: frozenset[int] = frozenset(),
+        pending_ops: int = 0,
+    ) -> None:
+        #: the last clean published epoch (all queries answer from it)
+        self.snapshot = snapshot
+        #: hub positions whose forward fingerprints are pending repair
+        self.stale_in_hubs = frozenset(stale_in_hubs)
+        #: hub positions whose backward fingerprints are pending repair
+        self.stale_out_hubs = frozenset(stale_out_hubs)
+        #: submitted ops not yet reflected in any published epoch
+        self.pending_ops = pending_ops
+
+    # ------------------------------------------------------------------
+    @property
+    def stale(self) -> bool:
+        """Whether a deferred repair window is open behind the epoch
+        this overlay answers from."""
+        return bool(
+            self.stale_in_hubs or self.stale_out_hubs or self.pending_ops
+        )
+
+    @property
+    def epoch(self) -> int:
+        """The epoch every query is answered at."""
+        return self.snapshot.epoch
+
+    # ------------------------------------------------------------------
+    # Query delegation (always against the clean snapshot)
+    # ------------------------------------------------------------------
+    def count(self, v: int) -> CycleCount:
+        """``SCCnt(v)`` at :attr:`epoch`."""
+        return self.snapshot.count(v)
+
+    def count_many(self, vertices: Sequence[int]) -> list[CycleCount]:
+        """Batch form of :meth:`count`."""
+        return self.snapshot.count_many(vertices)
+
+    def spcnt(self, x: int, y: int) -> PathCount:
+        """``SPCnt(x, y)`` at :attr:`epoch`."""
+        return self.snapshot.spcnt(x, y)
+
+    def top_suspicious(self, k: int = 10) -> list[tuple[int, CycleCount]]:
+        """The paper's fraud pre-screen, at :attr:`epoch`."""
+        return self.snapshot.top_suspicious(k)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"DeferredOverlay(epoch={self.epoch}, stale={self.stale}, "
+            f"stale_hubs={len(self.stale_in_hubs)}+"
+            f"{len(self.stale_out_hubs)}, pending_ops={self.pending_ops})"
+        )

@@ -29,6 +29,7 @@ __all__ = [
     "cluster_edges_by_degree",
     "mixed_update_stream",
     "batched_workload",
+    "low_impact_delete_batch",
 ]
 
 
@@ -184,3 +185,64 @@ def batched_workload(
         ops[i : i + batch_size] for i in range(0, len(ops), batch_size)
     ]
     return BatchUpdateWorkload(batches, seed)
+
+
+def low_impact_delete_batch(
+    index,
+    max_ops: int,
+    seed: int = 0,
+    sample: int = 120,
+    fraction_cap: float | None = None,
+) -> tuple[list[Op], float]:
+    """A deletion batch biased toward the *least* repair work.
+
+    Samples ``sample`` candidate edges, prices each by its
+    deletion-affected repair sides (the batch engine's own
+    :func:`~repro.core.batch.deletion_affected_hubs`, BFSes memoized per
+    endpoint across candidates), and greedily takes the cheapest edges
+    first.  With ``fraction_cap`` the greedy stops before the running
+    *union* fraction ``(|del_in| + |del_out|) / n`` would exceed the
+    cap, so the returned batch stays on the incremental path under that
+    rebuild threshold — when the graph admits it at all: on dense
+    synthetic graphs a single deletion can exceed the default cap, in
+    which case the single cheapest edge is returned and the caller sees
+    the honest fraction.
+
+    Returns ``(ops, fraction)`` where ``fraction`` is the batch's
+    affected-side fraction on the pre-batch graph.  ``index`` is only
+    read (discovery mutates nothing).
+    """
+    from repro.core.batch import deletion_affected_hubs
+
+    graph = index.graph
+    pos = index.pos
+    rng = random.Random(seed)
+    edges = sorted(graph.edges())
+    candidates = (
+        rng.sample(edges, sample) if len(edges) > sample else edges
+    )
+    fwd: dict[int, list[float]] = {}
+    rev: dict[int, list[float]] = {}
+    priced = []
+    for a, b in candidates:
+        aff_in, aff_out = deletion_affected_hubs(index, a, b, fwd, rev)
+        priced.append((len(aff_in) + len(aff_out), (a, b), aff_in, aff_out))
+    priced.sort(key=lambda item: (item[0], item[1]))
+    del_in: set[int] = set()
+    del_out: set[int] = set()
+    ops: list[Op] = []
+    n = graph.n or 1
+    for _, (a, b), aff_in, aff_out in priced:
+        if len(ops) >= max_ops:
+            break
+        new_in = del_in | {pos[v] for v in aff_in}
+        new_out = del_out | {pos[v] for v in aff_out}
+        if (
+            ops
+            and fraction_cap is not None
+            and (len(new_in) + len(new_out)) / n > fraction_cap
+        ):
+            continue
+        del_in, del_out = new_in, new_out
+        ops.append(("delete", a, b))
+    return ops, (len(del_in) + len(del_out)) / n

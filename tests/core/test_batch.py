@@ -175,7 +175,7 @@ class TestApplyBatch:
             else:
                 delete_edge(sequential, a, b)
         batched = CSCIndex.build(g.copy())
-        stats = apply_batch(batched, ops, rebuild_threshold=1.0)
+        stats = apply_batch(batched, ops, rebuild_threshold=2.0)
         assert not stats.rebuilt
         assert batched.graph == sequential.graph
         for v in g.vertices():
@@ -192,7 +192,7 @@ class TestApplyBatch:
         for _op, a, b in ops:
             per_edge_hubs += delete_edge(sequential, a, b).hubs_processed
         batched = CSCIndex.build(g.copy())
-        stats = apply_batch(batched, ops, rebuild_threshold=1.0)
+        stats = apply_batch(batched, ops, rebuild_threshold=2.0)
         assert 0 < stats.hubs_processed < per_edge_hubs
 
     def test_rebuild_fallback_triggers(self):
@@ -254,7 +254,7 @@ class TestBatchStats:
         stats = apply_batch(
             index,
             [("insert", 3, 0), ("delete", 0, 1)],
-            rebuild_threshold=1.0,
+            rebuild_threshold=2.0,
         )
         assert stats.operation == "batch"
         assert (stats.submitted, stats.inserted, stats.deleted) == (2, 1, 1)
@@ -267,12 +267,65 @@ class TestBatchStats:
         g = DiGraph.from_edges(3, [(0, 1), (1, 2), (2, 0)])
         index = CSCIndex.build(g)
         stats = apply_batch(
-            index, [("delete", 0, 1)], rebuild_threshold=1.0
+            index, [("delete", 0, 1)], rebuild_threshold=2.0
         )
-        assert 0.0 < stats.affected_hub_fraction <= 1.0
+        assert 0.0 < stats.affected_hub_fraction <= 2.0
         index2 = CSCIndex.build(DiGraph(3))
         stats2 = apply_batch(index2, [("insert", 0, 1)])
         assert stats2.affected_hub_fraction == 0.0
+
+    def test_affected_fraction_prices_per_repair_side(self):
+        """A hub present in both del_in and del_out costs *two* repair
+        BFSes; the cost model must price per side, not per distinct hub
+        (the union undershoots by up to 2x)."""
+        # 3-cycle plus padding: deleting (0, 1) puts vertex 2 (and the
+        # cycle-pair hub 0) on both repair sides.
+        g = DiGraph.from_edges(8, [(0, 1), (1, 2), (2, 0)])
+        index = CSCIndex.build(g)
+        stats = apply_batch(
+            index, [("delete", 0, 1)], rebuild_threshold=2.0
+        )
+        assert not stats.rebuilt
+        sides = (
+            stats.details["affected_in_hubs"]
+            + stats.details["affected_out_hubs"]
+        )
+        assert sides > stats.hubs_processed  # overlap exists
+        assert stats.affected_hub_fraction == sides / 8
+        assert stats.repair_bfs_count == sides
+        assert_exact(index)
+
+    def test_two_sided_hubs_can_trigger_rebuild(self):
+        """Same batch as above: union/n = 3/8 but sides/n = 5/8, so a
+        0.5 threshold must take the rebuild fallback."""
+        g = DiGraph.from_edges(8, [(0, 1), (1, 2), (2, 0)])
+        index = CSCIndex.build(g)
+        stats = apply_batch(
+            index, [("delete", 0, 1)], rebuild_threshold=0.5
+        )
+        assert stats.rebuilt
+        assert_exact(index)
+
+    def test_repair_bfs_count_matches_per_side_work(self):
+        """hubs_processed counts distinct hubs; repair_bfs_count counts
+        actual fingerprint BFSes (one per repaired side)."""
+        g = random_digraph(12, 40, seed=11)
+        ops = [("delete", *e) for e in list(g.edges())[:4]]
+        index = CSCIndex.build(g.copy())
+        stats = apply_batch(index, ops, rebuild_threshold=2.0)
+        sides = (
+            stats.details["affected_in_hubs"]
+            + stats.details["affected_out_hubs"]
+        )
+        assert stats.repair_bfs_count == sides
+        assert stats.hubs_processed <= stats.repair_bfs_count
+        per_edge = CSCIndex.build(g.copy())
+        total = 0
+        for _op, a, b in ops:
+            sub = delete_edge(per_edge, a, b)
+            assert sub.repair_bfs_count >= sub.hubs_processed
+            total += sub.repair_bfs_count
+        assert stats.repair_bfs_count <= total
 
 
 class TestFacade:

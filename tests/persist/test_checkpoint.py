@@ -59,10 +59,10 @@ class TestFullCheckpoint:
 class TestDeltaCheckpoint:
     def _snapshot_pair(self, counter, ops):
         before = counter.snapshot()
-        # rebuild_threshold=1.0: force incremental repair — a rebuild
+        # rebuild_threshold=2.0: force incremental repair — a rebuild
         # fallback swaps in whole fresh stores and (correctly) marks
         # every vertex dirty, which is not the path under test here.
-        counter.apply_batch(ops, on_invalid="skip", rebuild_threshold=1.0)
+        counter.apply_batch(ops, on_invalid="skip", rebuild_threshold=2.0)
         after = counter.snapshot()
         return before, after
 
@@ -111,7 +111,7 @@ class TestDeltaCheckpoint:
             edge = edges[rng.randrange(len(edges))]
             counter.apply_batch(
                 [("delete", *edge)], on_invalid="skip",
-                rebuild_threshold=1.0,
+                rebuild_threshold=2.0,
             )
             snap = counter.snapshot()
             store.write_delta(

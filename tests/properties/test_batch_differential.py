@@ -75,7 +75,7 @@ def test_batch_matches_sequential_and_rebuild(case, strategy):
     sequential = _sequential_replay(g, ops, strategy)
 
     batched = CSCIndex.build(g.copy())
-    apply_batch(batched, ops, strategy, rebuild_threshold=1.0)
+    apply_batch(batched, ops, strategy, rebuild_threshold=2.0)
 
     assert batched.graph == sequential.graph
     rebuilt = CSCIndex.build(batched.graph.copy())
@@ -91,10 +91,10 @@ def test_batch_matches_sequential_and_rebuild(case, strategy):
 @given(case=graphs_with_ops())
 def test_batch_invariants_incremental_path(case, strategy):
     """Label invariants after a batch forced through the incremental
-    path (rebuild_threshold=1.0 can never be exceeded)."""
+    path (rebuild_threshold=2.0 can never be exceeded)."""
     g, ops = case
     index = CSCIndex.build(g.copy())
-    stats = apply_batch(index, ops, strategy, rebuild_threshold=1.0)
+    stats = apply_batch(index, ops, strategy, rebuild_threshold=2.0)
     assert not stats.rebuilt
     assert_label_invariants(index)
     if strategy == "minimality":
