@@ -25,6 +25,10 @@ Two questions behind ``BENCH_recovery.json``:
    Both recoveries are asserted bit-identical to the live engine's
    final label bytes before any number is recorded.
 
+Every timed region is best-of-``--repeats`` (min): single-shot drain
+and recovery timings swing 2x with machine load, which made the
+regression gate flip on noise rather than code.
+
 Usage::
 
     python benchmarks/bench_recovery.py             # small profile
@@ -45,7 +49,6 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.core.counter import ShortestCycleCounter  # noqa: E402
 from repro.core.csc import CSCIndex  # noqa: E402
 from repro.graph.datasets import DATASETS  # noqa: E402
 from repro.persist import recover  # noqa: E402
@@ -74,12 +77,24 @@ def _drain(graph, ops, batch_size, **engine_kwargs) -> float:
         engine.stop()
 
 
+def _timed_best(repeats: int, fn):
+    """``(last_result, best_seconds)`` over ``repeats`` calls — the
+    minimum estimates the noise-free floor of an idempotent operation."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return result, best
+
+
 def bench_recovery(
     profile: str,
     datasets,
     total_ops: int,
     batch_size: int,
     checkpoint_wal_bytes: int,
+    repeats: int = 3,
 ):
     out = {
         "datasets": {},
@@ -100,30 +115,43 @@ def bench_recovery(
         if not ops:
             continue
 
-        plain_s = _drain(graph, ops, batch_size)
+        plain_s = min(
+            _drain(graph, ops, batch_size) for _ in range(repeats)
+        )
         tmp = Path(tempfile.mkdtemp(prefix="bench-recovery-"))
         try:
-            nosync_s = _drain(
-                graph, ops, batch_size,
-                data_dir=str(tmp / "nosync"),
-                wal_fsync="off",
-                checkpoint_wal_bytes=checkpoint_wal_bytes,
-                checkpoint_on_stop=False,
+            nosync_s = min(
+                _drain(
+                    graph, ops, batch_size,
+                    data_dir=str(tmp / f"nosync-{i}"),
+                    wal_fsync="off",
+                    checkpoint_wal_bytes=checkpoint_wal_bytes,
+                    checkpoint_on_stop=False,
+                )
+                for i in range(repeats)
             )
-            data_dir = tmp / "durable"
-            engine = ServeEngine(
-                graph.copy(),
-                batch_size=batch_size,
-                data_dir=str(data_dir),
-                wal_fsync="always",
-                checkpoint_wal_bytes=checkpoint_wal_bytes,
-                checkpoint_on_stop=True,
-            )
-            engine.start()
-            t0 = time.perf_counter()
-            engine.submit_many(ops)
-            engine.flush()
-            fsync_s = time.perf_counter() - t0
+            fsync_runs = []
+            for i in range(repeats):
+                data_dir = tmp / f"durable-{i}"
+                engine = ServeEngine(
+                    graph.copy(),
+                    batch_size=batch_size,
+                    data_dir=str(data_dir),
+                    wal_fsync="always",
+                    checkpoint_wal_bytes=checkpoint_wal_bytes,
+                    checkpoint_on_stop=True,
+                )
+                engine.start()
+                t0 = time.perf_counter()
+                engine.submit_many(ops)
+                engine.flush()
+                fsync_runs.append(time.perf_counter() - t0)
+                if i < repeats - 1:
+                    engine.stop()
+            fsync_s = min(fsync_runs)
+            # The last durable run feeds the recovery scenarios — every
+            # run drained the identical stream, so its final state is
+            # the same state.
             live_bytes = engine.counter.index.to_bytes()
             final_graph = engine.counter.graph.copy()
             order = list(engine.counter.index.order)
@@ -134,12 +162,12 @@ def bench_recovery(
             shutil.copytree(data_dir, crash_dir)
             engine.stop()  # writes the final checkpoint -> warm dir
 
-            t0 = time.perf_counter()
-            crash_result = recover(crash_dir)
-            crash_s = time.perf_counter() - t0
-            t0 = time.perf_counter()
-            warm_result = recover(data_dir)
-            warm_s = time.perf_counter() - t0
+            crash_result, crash_s = _timed_best(
+                repeats, lambda: recover(crash_dir)
+            )
+            warm_result, warm_s = _timed_best(
+                repeats, lambda: recover(data_dir)
+            )
             for label, result in (
                 ("crash", crash_result), ("warm", warm_result)
             ):
@@ -154,9 +182,9 @@ def bench_recovery(
                     f"{warm_result.records_replayed} records"
                 )
 
-            t0 = time.perf_counter()
-            CSCIndex.build(final_graph, order)
-            rebuild_s = time.perf_counter() - t0
+            _, rebuild_s = _timed_best(
+                repeats, lambda: CSCIndex.build(final_graph, order)
+            )
         finally:
             shutil.rmtree(tmp, ignore_errors=True)
 
@@ -226,6 +254,8 @@ def main(argv=None) -> int:
     parser.add_argument("--ops", type=int, default=None)
     parser.add_argument("--batch-size", type=int, default=None)
     parser.add_argument("--checkpoint-bytes", type=int, default=None)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of-N for every timed region")
     parser.add_argument("--out-dir", default=str(REPO_ROOT))
     args = parser.parse_args(argv)
 
@@ -244,6 +274,7 @@ def main(argv=None) -> int:
         "profile": profile,
         "seed": SEED,
         "smoke": args.smoke,
+        "repeats": args.repeats,
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
     }
@@ -252,7 +283,8 @@ def main(argv=None) -> int:
     data = {
         **meta,
         **bench_recovery(
-            profile, datasets, total_ops, batch_size, checkpoint_bytes
+            profile, datasets, total_ops, batch_size, checkpoint_bytes,
+            repeats=args.repeats,
         ),
     }
     out_dir = Path(args.out_dir)

@@ -4,21 +4,29 @@ Walks every ``BENCH_*.json`` present in both directories, pairs numeric
 leaves by their JSON path, classifies each metric by key name, and fails
 (exit 1) when any metric is worse than its tolerance allows:
 
+Worsening is measured as a **slowdown factor minus one**, symmetric in
+direction: a latency that doubles and a throughput that halves are both
+``worse_by = 1.0``.  (The old one-sided definition saturated at 1.0 for
+higher-is-better metrics, so any tolerance >= 1 could never fail a
+throughput collapse.)
+
 * **ratio metrics** (``*speedup*``, ``*ratio*``) are scale-free — they
   compare like-for-like costs on the same machine inside one run — so
-  they get the tight ``--tolerance`` (default 0.35: fail when more than
-  35% worse than the baseline).  Ratios that mix *disk-bound* and
-  *CPU-bound* sides (``*overhead*`` = fsync'd vs plain drain,
-  ``*speedup_vs_rebuild*`` = disk-heavy recovery vs CPU-heavy rebuild)
-  are **not** machine-invariant — a runner with a faster CPU but the
-  same fsync latency shifts them with no code change — so they are
-  classed absolute instead.
+  they get the tight ``--tolerance`` (default 0.55: fail when the
+  ratio lands below ~65% of the baseline).  Ratios that mix
+  *disk-bound* and *CPU-bound* sides (``*overhead*`` = fsync'd vs
+  plain drain, ``*speedup_vs_rebuild*`` = disk-heavy recovery vs
+  CPU-heavy rebuild), and reader-vs-writer scheduling ratios
+  (``read_ratio_vs_idle`` — GIL handoff under load does not scale
+  with CPU speed) are **not** machine-invariant, so they are classed
+  absolute instead.
 * **absolute metrics** (``*ops_per_sec*``, ``*qps*``, ``p50_us`` /
   ``p99_us`` / ``*_ms`` latencies) vary with the machine the baseline
-  was recorded on, so they get the loose ``--abs-tolerance`` (default
-  0.65: fail when more than 65% worse — still a hard stop for
-  catastrophic slowdowns like an accidentally quadratic kernel, while
-  tolerating runner-to-runner variance).
+  was recorded on — measured drift on a shared 1-CPU VM is >2x for
+  identical code between runs an hour apart — so they get the loose
+  ``--abs-tolerance`` (default 1.5: fail beyond 2.5x slower — still a
+  hard stop for catastrophic slowdowns like an accidentally quadratic
+  kernel, while tolerating host-contention variance).
 
 Direction comes from the name too: throughputs/speedups/ratios must not
 *drop*, latencies/overheads must not *rise*.  Bookkeeping leaves
@@ -48,14 +56,22 @@ import sys
 from dataclasses import dataclass
 from pathlib import Path
 
-__all__ = ["MetricDiff", "classify", "compare_trees", "main"]
+__all__ = [
+    "MetricDiff",
+    "classify",
+    "compare_trees",
+    "fresh_only_metrics",
+    "main",
+]
 
 #: (substring, direction, klass) — first match wins.  Direction is the
 #: good direction: +1 higher-is-better, -1 lower-is-better.
 _RULES = (
-    # Disk/CPU-mixed ratios first: machine-dependent, loose tolerance.
+    # Disk/CPU-mixed and scheduling-mixed ratios first:
+    # machine-dependent, loose tolerance.
     ("speedup_vs_rebuild", +1, "absolute"),
     ("overhead", -1, "absolute"),
+    ("read_ratio_vs_idle", +1, "absolute"),
     ("speedup", +1, "ratio"),
     ("ratio", +1, "ratio"),
     ("ops_per_sec", +1, "absolute"),
@@ -79,7 +95,8 @@ class MetricDiff:
     fresh: float
     direction: int
     klass: str
-    #: fractional worsening (positive = worse), e.g. 0.25 = 25% worse
+    #: slowdown factor minus one (positive = worse): 1.0 means twice
+    #: as slow / half the throughput, symmetric in direction
     worse_by: float
     tolerance: float
     #: absolute worsening a latency must also exceed (0 = no floor)
@@ -141,9 +158,12 @@ def compare_trees(
         if base_value <= 0:
             continue  # degenerate baseline; nothing to normalize by
         if direction > 0:
-            worse_by = (base_value - fresh_value) / base_value
+            worse_by = (
+                base_value / fresh_value - 1.0
+                if fresh_value > 0 else float("inf")
+            )
         else:
-            worse_by = (fresh_value - base_value) / base_value
+            worse_by = fresh_value / base_value - 1.0
         tolerance = (
             ratio_tolerance if klass == "ratio" else abs_tolerance
         )
@@ -161,6 +181,28 @@ def compare_trees(
         )
     diffs.sort(key=lambda d: d.worse_by, reverse=True)
     return diffs
+
+
+def fresh_only_metrics(
+    baseline: dict, fresh: dict
+) -> list[tuple[str, float]]:
+    """Judged metrics present only in the fresh tree.
+
+    A benchmark section that just landed has no baseline leaf to gate
+    against; silently skipping it (the old behavior of the
+    baseline-driven walk) made a new metric look covered when it was
+    not.  These are reported as "new metric — ungated" and never fail
+    the run — the gate starts judging them once the baseline is
+    regenerated to include them.
+    """
+    base_leaves = dict(_walk(baseline))
+    news: list[tuple[str, float]] = []
+    for path, value in _walk(fresh):
+        key = path.rsplit(".", 1)[-1]
+        if classify(key) is None or path in base_leaves:
+            continue
+        news.append((path, value))
+    return news
 
 
 def _format_row(diff: MetricDiff) -> str:
@@ -183,12 +225,14 @@ def main(argv=None) -> int:
                         help="directory holding the committed baselines")
     parser.add_argument("--fresh-dir", required=True,
                         help="directory holding this run's BENCH_*.json")
-    parser.add_argument("--tolerance", type=float, default=0.35,
-                        help="allowed worsening for scale-free ratio "
-                        "metrics (default 0.35)")
-    parser.add_argument("--abs-tolerance", type=float, default=0.65,
-                        help="allowed worsening for machine-dependent "
-                        "absolute metrics (default 0.65)")
+    parser.add_argument("--tolerance", type=float, default=0.55,
+                        help="allowed slowdown-factor-minus-one for "
+                        "scale-free ratio metrics (default 0.55, i.e. "
+                        "fail below ~65%% of baseline)")
+    parser.add_argument("--abs-tolerance", type=float, default=1.5,
+                        help="allowed slowdown-factor-minus-one for "
+                        "machine-dependent absolute metrics (default "
+                        "1.5, i.e. fail beyond 2.5x slower)")
     parser.add_argument("--floor-us", type=float, default=100.0,
                         help="noise floor for *_us latency metrics: "
                         "also require this much absolute worsening "
@@ -215,7 +259,7 @@ def main(argv=None) -> int:
         )
         return 2
 
-    total = regressions = 0
+    total = regressions = ungated = 0
     for baseline_file, fresh_file in pairs:
         baseline = json.loads(baseline_file.read_text())
         fresh = json.loads(fresh_file.read_text())
@@ -224,16 +268,34 @@ def main(argv=None) -> int:
             prefix=f"{baseline_file.name}:",
             floor_us=args.floor_us, floor_ms=args.floor_ms,
         )
+        news = fresh_only_metrics(baseline, fresh)
         total += len(diffs)
+        ungated += len(news)
         failed = [d for d in diffs if d.regressed]
         regressions += len(failed)
         shown = failed if args.quiet else diffs
         if shown or not args.quiet:
             print(f"{baseline_file.name}: {len(diffs)} metrics compared, "
-                  f"{len(failed)} regressed")
+                  f"{len(failed)} regressed, {len(news)} new")
         for diff in shown:
             print(_format_row(diff))
-    if total == 0:
+        if not args.quiet:
+            for path, value in news:
+                print(f"  [ new] {baseline_file.name}:{path}  "
+                      f"{value:.4g}  (new metric — ungated; regenerate "
+                      "the baseline to gate it)")
+
+    # Fresh BENCH files with no committed baseline at all: a brand-new
+    # benchmark.  Announce rather than silently skip; never a failure.
+    baseline_names = {p.name for p, _ in pairs}
+    for fresh_file in sorted(fresh_dir.glob("BENCH_*.json")):
+        if fresh_file.name in baseline_names:
+            continue
+        news = fresh_only_metrics({}, json.loads(fresh_file.read_text()))
+        ungated += len(news)
+        print(f"{fresh_file.name}: new benchmark file — ungated "
+              f"({len(news)} judged metrics, no committed baseline)")
+    if total == 0 and ungated == 0:
         print("error: files matched but no comparable metrics found",
               file=sys.stderr)
         return 2
@@ -244,7 +306,8 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
         return 1
-    print(f"\nall {total} metrics within tolerance")
+    tail = f" ({ungated} new metrics ungated)" if ungated else ""
+    print(f"\nall {total} metrics within tolerance{tail}")
     return 0
 
 

@@ -130,6 +130,15 @@ def build_parser() -> argparse.ArgumentParser:
                    default=DEFAULT_CHECKPOINT_WAL_BYTES,
                    help="checkpoint once the WAL grows past this many "
                    f"bytes (default {DEFAULT_CHECKPOINT_WAL_BYTES})")
+    p.add_argument("--max-queue-depth", type=int, default=None,
+                   help="bounded admission: cap on submitted-but-not-"
+                   "consumed ops (default unbounded)")
+    p.add_argument("--backpressure",
+                   choices=["block", "reject", "shed"],
+                   default="block",
+                   help="full-queue policy under --max-queue-depth: "
+                   "block until the writer drains (default), reject "
+                   "with an error, or shed the op")
 
     p = sub.add_parser(
         "recover",
@@ -143,6 +152,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verify", action="store_true",
                    help="rebuild the index from the recovered graph and "
                    "check every vertex count matches")
+    p.add_argument("--dead-letter", action="store_true",
+                   help="inspect the quarantined (poison) batches in "
+                   "the data dir's dead-letter log instead of running "
+                   "a recovery")
+    p.add_argument("--drain", action="store_true",
+                   help="with --dead-letter: delete the dead-letter "
+                   "log after printing it")
 
     sub.add_parser("datasets", help="list built-in dataset stand-ins")
 
@@ -308,6 +324,9 @@ def _cmd_serve(args) -> int:
             "wal_fsync": args.wal_fsync,
             "checkpoint_wal_bytes": args.checkpoint_bytes,
         }
+    if args.max_queue_depth is not None:
+        engine_kwargs["max_queue_depth"] = args.max_queue_depth
+        engine_kwargs["backpressure"] = args.backpressure
     # Build the engine first: with --data-dir pointing at existing
     # state the engine *resumes* that state (the edge list is only the
     # bootstrap source), and the op stream, idle baseline, and --verify
@@ -370,6 +389,12 @@ def _cmd_serve(args) -> int:
         f"batches ({stats.rebuilds} rebuild fallbacks, "
         f"{stats.ops_skipped} skipped), published {stats.epoch} epochs"
     )
+    if result.ops_shed or result.ops_rejected or stats.quarantined:
+        print(
+            f"admission/faults: {result.ops_shed} ops shed, "
+            f"{result.ops_rejected} rejected, {stats.quarantined} "
+            f"batches quarantined (health: {stats.health})"
+        )
     print(
         f"readers: {result.queries_per_second:.0f} queries/s aggregate "
         f"while draining — {100 * ratio:.0f}% of the idle single-thread "
@@ -403,6 +428,8 @@ def _cmd_recover(args) -> int:
     from repro.core.csc import CSCIndex
     from repro.persist import recover
 
+    if args.dead_letter:
+        return _recover_dead_letter(args)
     start = time.perf_counter()
     result = recover(args.data_dir)
     elapsed = time.perf_counter() - start
@@ -436,6 +463,44 @@ def _cmd_recover(args) -> int:
     if args.out:
         counter.save(args.out)
         print(f"saved recovered index -> {args.out}")
+    return 0
+
+
+def _recover_dead_letter(args) -> int:
+    """Inspect (and optionally drain) a data dir's dead-letter log of
+    quarantined poison batches."""
+    from pathlib import Path
+
+    from repro.persist.deadletter import (
+        DEADLETTER_FILE,
+        read_dead_letters,
+    )
+
+    path = Path(args.data_dir) / DEADLETTER_FILE
+    letters = read_dead_letters(path)
+    if not letters:
+        print(f"no dead letters in {args.data_dir}")
+    else:
+        rows = [
+            [
+                letter.seq,
+                len(letter.ops),
+                letter.on_invalid,
+                " ".join(
+                    f"{op[0]}({op[1]},{op[2]})" for op in letter.ops[:4]
+                ) + (" ..." if len(letter.ops) > 4 else ""),
+                letter.error,
+            ]
+            for letter in letters
+        ]
+        print(format_table(
+            ["seq", "ops", "policy", "batch", "error"],
+            rows,
+            title=f"{len(letters)} quarantined batches in {path}",
+        ))
+    if args.drain and path.exists():
+        path.unlink()
+        print(f"drained: removed {path}")
     return 0
 
 
@@ -498,20 +563,28 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code.
 
     Operational failures — a crashed build worker, a failed serving
-    engine, an unrecoverable data dir — exit with status 1 and a
-    one-line message instead of a raw traceback; genuine bugs still
-    surface as tracebacks.
+    engine, an unrecoverable data dir, backpressure or read-only write
+    rejection — exit with status 1 and a one-line message instead of a
+    raw traceback; genuine bugs still surface as tracebacks.
     """
     from repro.errors import (
+        BackpressureError,
         BuildError,
         PersistenceError,
-        ServiceFailedError,
+        ServiceStoppedError,
     )
 
     args = build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
-    except (BuildError, PersistenceError, ServiceFailedError) as exc:
+    except (
+        BackpressureError,
+        BuildError,
+        PersistenceError,
+        ServiceStoppedError,
+    ) as exc:
+        # ServiceStoppedError covers ServiceFailedError and
+        # EngineReadOnlyError (read-only write rejection) too.
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

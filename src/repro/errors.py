@@ -99,6 +99,40 @@ class ServiceStoppedError(ReproError):
     """An operation was submitted to a serving engine that is not running."""
 
 
+class BackpressureError(ReproError):
+    """Bounded admission refused an op: the update queue is full.
+
+    Raised by :meth:`repro.service.ServeEngine.submit` under the
+    ``"reject"`` backpressure policy (immediately) or the ``"block"``
+    policy (after the admission timeout expired without the queue
+    draining below ``max_queue_depth``).  The op was *not* enqueued;
+    the client owns the retry decision.
+    """
+
+    def __init__(self, depth: int, max_depth: int,
+                 timed_out: bool = False) -> None:
+        how = (
+            f"queue stayed full (depth {depth}/{max_depth}) past the "
+            "admission timeout"
+            if timed_out
+            else f"queue is full (depth {depth}/{max_depth})"
+        )
+        super().__init__(f"backpressure: {how}")
+        self.depth = depth
+        self.max_depth = max_depth
+        self.timed_out = timed_out
+
+
+class EngineReadOnlyError(ServiceStoppedError):
+    """The serving engine is in the ``read_only`` health state: durable
+    acknowledgement is unavailable (WAL appends keep failing with
+    ``ENOSPC``/``EIO``), so writes are rejected while reads keep
+    answering from the last published epoch.  A background probe
+    retries the disk; once an append succeeds the engine returns to
+    ``healthy`` and accepts writes again.
+    """
+
+
 class ServiceFailedError(ServiceStoppedError):
     """The serving engine's writer thread failed or died.
 
@@ -124,6 +158,16 @@ class PersistenceError(ReproError):
 class RecoveryError(PersistenceError):
     """A durability directory holds no recoverable state (no valid
     checkpoint chain, or WAL segments with no checkpoint under them)."""
+
+
+class DurabilityUnavailableError(PersistenceError):
+    """Durable acknowledgement is (persistently) failing.
+
+    Recorded by the serving engine when a WAL append keeps raising a
+    disk-exhaustion/IO errno after its bounded retries — the moment the
+    engine transitions to the ``read_only`` health state.  The original
+    ``OSError`` is chained as ``__cause__``.
+    """
 
 
 class BuildError(ReproError):

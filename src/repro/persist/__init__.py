@@ -37,7 +37,17 @@ from repro.persist.checkpoint import (
     CheckpointState,
     CheckpointStore,
 )
-from repro.persist.faults import SimulatedCrash, io_event, set_fault_hook
+from repro.persist.deadletter import (
+    DeadLetter,
+    DeadLetterLog,
+    read_dead_letters,
+)
+from repro.persist.faults import (
+    SimulatedCrash,
+    fault_scope,
+    io_event,
+    set_fault_hook,
+)
 from repro.persist.manager import DurabilityManager, DurabilityStats
 from repro.persist.recovery import (
     RecoveryResult,
@@ -56,6 +66,8 @@ __all__ = [
     "CheckpointMeta",
     "CheckpointState",
     "CheckpointStore",
+    "DeadLetter",
+    "DeadLetterLog",
     "DurabilityManager",
     "DurabilityStats",
     "RecoveryResult",
@@ -63,7 +75,9 @@ __all__ = [
     "WalRecord",
     "WalScan",
     "WriteAheadLog",
+    "fault_scope",
     "io_event",
+    "read_dead_letters",
     "read_wal",
     "recover",
     "replay_reference",

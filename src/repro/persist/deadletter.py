@@ -1,0 +1,207 @@
+"""CRC-framed dead-letter log for quarantined (poison) batches.
+
+When the serving engine's writer meets a batch whose ``apply_batch``
+raises a *deterministic* error — a poison batch that would raise again
+on every retry and on recovery replay — failing the whole engine for it
+would turn one bad client op into a total outage.  Instead the batch is
+**quarantined**: its WAL record is marked aborted (so recovery skips
+it), the writer resumes the stream, and the batch is appended here so
+an operator can inspect, fix, and replay it later
+(``repro recover <dir> --dead-letter``).
+
+The file reuses the WAL's record framing — ``len (4B) | crc32 (4B) |
+payload`` behind a 16-byte ``RPDL`` header — so the same torn-tail
+discipline applies: a record whose frame runs past EOF or whose CRC
+mismatches ends the readable prefix silently.  The payload is the WAL
+``BATCH`` encoding (seq, policy, threshold, ops) followed by the
+UTF-8 error string that condemned the batch.
+
+All I/O is unbuffered ``os`` calls announced through the
+:mod:`repro.persist.faults` seam (``dlq.*`` tags), so the chaos harness
+can fault-inject the quarantine path like any other durable write.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Union
+
+from repro.errors import PersistenceError
+from repro.persist.faults import io_event
+from repro.persist.wal import _FRAME, _OP, _OPCODES, _OPNAMES, write_all
+
+__all__ = ["DeadLetter", "DeadLetterLog", "read_dead_letters"]
+
+_MAGIC = b"RPDL"
+_VERSION = 1
+_HEADER = struct.Struct("<4sB3xQ")  # magic, version, pad, reserved
+_BODY = struct.Struct("<QBdI")  # seq, policy, rebuild_threshold, op count
+
+_POLICIES = {"skip": 0, "raise": 1}
+_POLICY_NAMES = {code: name for name, code in _POLICIES.items()}
+
+Op = tuple[str, int, int]
+
+#: File name inside a durability data dir.
+DEADLETTER_FILE = "deadletter.log"
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """One quarantined batch, as recorded (and as recoverable)."""
+
+    #: the WAL sequence number the batch was logged under (0 = none:
+    #: the engine had no durability directory)
+    seq: int
+    #: the batch's ops, in submission order
+    ops: tuple[Op, ...]
+    #: ``apply_batch`` framing the batch ran (and would replay) under
+    on_invalid: str
+    rebuild_threshold: float
+    #: ``repr`` of the deterministic exception that condemned the batch
+    error: str
+
+
+def _encode(letter: DeadLetter) -> bytes:
+    error = letter.error.encode("utf-8", "replace")
+    chunks = [
+        _BODY.pack(
+            letter.seq,
+            _POLICIES[letter.on_invalid],
+            letter.rebuild_threshold,
+            len(letter.ops),
+        )
+    ]
+    for op, tail, head in letter.ops:
+        chunks.append(_OP.pack(_OPCODES[op], tail, head))
+    chunks.append(struct.pack("<I", len(error)))
+    chunks.append(error)
+    return b"".join(chunks)
+
+
+def _decode(payload: bytes) -> DeadLetter | None:
+    """``None`` on any malformation (treated as a torn tail)."""
+    if len(payload) < _BODY.size:
+        return None
+    seq, policy, threshold, count = _BODY.unpack_from(payload)
+    if policy not in _POLICY_NAMES:
+        return None
+    off = _BODY.size
+    if len(payload) < off + count * _OP.size + 4:
+        return None
+    ops = []
+    for _ in range(count):
+        code, tail, head = _OP.unpack_from(payload, off)
+        off += _OP.size
+        if code not in _OPNAMES:
+            return None
+        ops.append((_OPNAMES[code], tail, head))
+    (err_len,) = struct.unpack_from("<I", payload, off)
+    off += 4
+    if len(payload) != off + err_len:
+        return None
+    error = payload[off:].decode("utf-8", "replace")
+    return DeadLetter(
+        seq=seq,
+        ops=tuple(ops),
+        on_invalid=_POLICY_NAMES[policy],
+        rebuild_threshold=threshold,
+        error=error,
+    )
+
+
+def read_dead_letters(path: Union[str, Path]) -> list[DeadLetter]:
+    """Decode the readable record prefix of a dead-letter log.
+
+    A missing file is an empty log.  A torn or corrupt tail ends the
+    prefix silently (same discipline as the WAL scanner); only a bad
+    header raises :class:`~repro.errors.PersistenceError`.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    blob = path.read_bytes()
+    if len(blob) < _HEADER.size:
+        raise PersistenceError(f"{path}: truncated dead-letter header")
+    magic, version, _ = _HEADER.unpack_from(blob)
+    if magic != _MAGIC:
+        raise PersistenceError(f"{path}: not a dead-letter log (bad magic)")
+    if version != _VERSION:
+        raise PersistenceError(
+            f"{path}: unsupported dead-letter version {version}"
+        )
+    letters: list[DeadLetter] = []
+    off = _HEADER.size
+    while True:
+        if off + _FRAME.size > len(blob):
+            break
+        length, crc = _FRAME.unpack_from(blob, off)
+        end = off + _FRAME.size + length
+        if end > len(blob):
+            break
+        payload = blob[off + _FRAME.size:end]
+        if zlib.crc32(payload) != crc:
+            break
+        letter = _decode(payload)
+        if letter is None:
+            break
+        letters.append(letter)
+        off = end
+    return letters
+
+
+class DeadLetterLog:
+    """Appender over one dead-letter file (single mutator at a time —
+    the engine serializes quarantine writes on its durability lock)."""
+
+    def __init__(self, path: Union[str, Path], fsync: str = "always") -> None:
+        if fsync not in ("always", "off"):
+            raise ValueError(f"unknown fsync policy {fsync!r}")
+        self._path = Path(path)
+        self._fsync = fsync
+        self._fd: int | None = None
+        self.records_appended = 0
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    def _ensure_open(self) -> int:
+        if self._fd is not None:
+            return self._fd
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        fresh = not self._path.exists()
+        io_event("dlq.open")
+        fd = os.open(
+            self._path, os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644
+        )
+        if fresh or os.fstat(fd).st_size == 0:
+            try:
+                write_all(fd, _HEADER.pack(_MAGIC, _VERSION, 0))
+            except BaseException:
+                os.close(fd)
+                raise
+        self._fd = fd
+        return fd
+
+    def append(self, letter: DeadLetter) -> int:
+        """Durably append one quarantined batch; returns bytes written."""
+        fd = self._ensure_open()
+        payload = _encode(letter)
+        frame = _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+        io_event("dlq.write")
+        write_all(fd, frame)
+        if self._fsync == "always":
+            io_event("dlq.fsync")
+            os.fsync(fd)
+        self.records_appended += 1
+        return len(frame)
+
+    def close(self) -> None:
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None

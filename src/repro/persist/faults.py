@@ -9,17 +9,24 @@ so the on-disk state is exactly the prefix of syscalls a real process
 death at that instant would have left behind (all persist file I/O is
 unbuffered, so a Python-level write *is* an OS-level write).
 
-The hook is process-global and not thread-safe by design: tests drive
-the durability manager single-threaded (the same call sequence the
-serving engine's writer thread makes) so the event order is
-deterministic.
+Hook *installation* is thread-safe and scope-able: :func:`fault_scope`
+installs a hook for a dynamic extent and restores the previous one on
+exit, serializing with any concurrent install/clear under a module
+lock, so a test can inject into an engine whose writer and
+deferred-repair threads are both issuing durable I/O without racing
+the installation itself.  The hook remains process-global (there is one
+durability layer per process); a hook that will be *invoked* from
+several threads must be internally thread-safe — see
+:class:`repro.faults.FaultInjector` for the stock one.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+import threading
+from contextlib import contextmanager
+from typing import Callable, Iterator, Optional
 
-__all__ = ["SimulatedCrash", "io_event", "set_fault_hook"]
+__all__ = ["SimulatedCrash", "fault_scope", "io_event", "set_fault_hook"]
 
 
 class SimulatedCrash(BaseException):
@@ -31,16 +38,52 @@ class SimulatedCrash(BaseException):
     """
 
 
+_lock = threading.Lock()
 _hook: Optional[Callable[[str], None]] = None
 
 
 def set_fault_hook(hook: Optional[Callable[[str], None]]) -> None:
-    """Install (or clear, with ``None``) the global I/O event hook."""
+    """Install (or clear, with ``None``) the global I/O event hook.
+
+    Installation is serialized under a module lock; prefer
+    :func:`fault_scope` so the previous hook is restored even when the
+    scoped code raises.
+    """
     global _hook
-    _hook = hook
+    with _lock:
+        _hook = hook
+
+
+@contextmanager
+def fault_scope(
+    hook: Optional[Callable[[str], None]],
+) -> Iterator[Optional[Callable[[str], None]]]:
+    """Install ``hook`` for the duration of the ``with`` block.
+
+    The previously installed hook (usually ``None``) is saved under the
+    module lock and restored on exit no matter how the block leaves —
+    including via :class:`SimulatedCrash` — so scopes nest and a
+    crashed test cannot leak its hook into the next one.
+    """
+    global _hook
+    with _lock:
+        previous = _hook
+        _hook = hook
+    try:
+        yield hook
+    finally:
+        with _lock:
+            _hook = previous
 
 
 def io_event(tag: str) -> None:
-    """Announce one imminent durable side effect (e.g. ``"wal.write"``)."""
-    if _hook is not None:
-        _hook(tag)
+    """Announce one imminent durable side effect (e.g. ``"wal.write"``).
+
+    The hook reference is read atomically (one attribute load) and
+    invoked outside the installation lock, so concurrent announcers —
+    the engine's writer thread and a deferred-repair thread both
+    appending under their own serialization — never contend here.
+    """
+    hook = _hook
+    if hook is not None:
+        hook(tag)

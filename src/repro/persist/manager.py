@@ -65,6 +65,9 @@ class DurabilityStats:
     checkpoint_bytes: int = 0
     last_checkpoint_seq: int = 0
     last_seq: int = 0
+    #: serving-engine health state at observation time ("healthy" when
+    #: read straight off a manager; the engine annotates its own view)
+    health: str = "healthy"
 
 
 def _dirty_vertices(prev: "LabelStore", cur: "LabelStore") -> list[int]:

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Sequence, Union
 
 from repro.core.counter import ShortestCycleCounter
+from repro.errors import BackpressureError, EngineReadOnlyError
 from repro.graph.digraph import DiGraph
 from repro.service.engine import Op, ServeEngine, ServeStats
 from repro.service.snapshot import Snapshot
@@ -54,6 +55,13 @@ class DriveResult:
     errors: list[str] = field(default_factory=list)
     #: WAL/checkpoint counters for durable runs (``data_dir`` given)
     durability: object | None = None
+    #: ops actually admitted by bounded admission (== ``ops`` without a
+    #: ``max_queue_depth``)
+    ops_admitted: int = 0
+    #: ops dropped under the ``"shed"`` backpressure policy
+    ops_shed: int = 0
+    #: ops refused with BackpressureError / EngineReadOnlyError
+    ops_rejected: int = 0
 
 
 def idle_read_throughput(
@@ -184,7 +192,17 @@ def drive_mixed(
         t.start()
     try:
         t0 = time.perf_counter()
-        engine.submit_many(ops)
+        # Per-op submission so bounded admission is observable: shed
+        # ops return False, rejected ops raise typed errors — both are
+        # counted instead of aborting the run (the client owns retry).
+        for op, tail, head in ops:
+            try:
+                if engine.submit(op, tail, head):
+                    result.ops_admitted += 1
+                else:
+                    result.ops_shed += 1
+            except (BackpressureError, EngineReadOnlyError):
+                result.ops_rejected += 1
         final = engine.flush()
         drain = time.perf_counter() - t0
     finally:

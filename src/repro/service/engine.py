@@ -18,28 +18,82 @@ writer keeps draining the queue, buffering follow-up batches for the
 repair thread to apply in submission order.  Epoch sequence, labels,
 and WAL contents are identical to eager mode; only *who* runs the
 repair and *when* changes.
+
+Self-healing (fault taxonomy)
+-----------------------------
+
+The writer classifies every batch failure instead of treating them all
+as fatal:
+
+* **poison** — a deterministic :class:`~repro.errors.ReproError` from
+  ``apply_batch`` (an infeasible op under ``on_invalid="raise"``, a
+  packing overflow, ...) would raise again on every retry and on
+  recovery replay.  Under the default ``on_poison="quarantine"`` the
+  batch is WAL-marked aborted, appended to a CRC-framed dead-letter log
+  (:mod:`repro.persist.deadletter`), counted in
+  :attr:`ServeStats.quarantined`, and the writer *resumes the stream*;
+  ``on_poison="fail"`` keeps the pre-taxonomy behavior (sticky failure
+  surfaced by :meth:`flush`).
+* **transient** — a :class:`~repro.errors.WorkerCrashError` or an
+  ``OSError`` with a disk-pressure errno (``ENOSPC``/``EIO``) is
+  retried with bounded exponential backoff (``io_retries`` attempts).
+* **durability outage** — a WAL append still failing after its retries
+  drives the health machine to ``read_only``: the batch is *parked*
+  (not lost, not acked), new writes are rejected with
+  :class:`~repro.errors.EngineReadOnlyError`, readers keep answering
+  from the last published epoch, and a background probe with
+  exponential backoff retries the append — success re-admits writes.
+  A failing *checkpoint* is softer: ``degraded_durability`` (writes
+  still durably logged and acked; the WAL just grows) with an idle-time
+  probe that retries the checkpoint.
+* **unclassifiable** — anything else stays a sticky failure, exactly as
+  before; a mutator-role thread *dying* (writer or repair) moves the
+  engine to ``failed``, where reads raise too.
+
+See :mod:`repro.service.health` for the state machine and
+:class:`ServeStats` / :meth:`ServeEngine.durability_stats` for how the
+states and counters are exposed.
 """
 
 from __future__ import annotations
 
+import errno
 import queue
 import threading
+import time
 from dataclasses import dataclass
+from dataclasses import replace as _dc_replace
 from typing import Callable, Iterable, Union
 
 from repro.core.batch import DEFAULT_REBUILD_THRESHOLD
 from repro.core.counter import ShortestCycleCounter
 from repro.errors import (
+    BackpressureError,
+    DurabilityUnavailableError,
+    EngineReadOnlyError,
+    ReproError,
     SelfLoopError,
     ServiceFailedError,
     ServiceStoppedError,
     VertexError,
+    WorkerCrashError,
 )
 from repro.graph.digraph import DiGraph
+from repro.persist.deadletter import (
+    DEADLETTER_FILE,
+    DeadLetter,
+    DeadLetterLog,
+)
 from repro.persist.manager import (
     DEFAULT_CHECKPOINT_WAL_BYTES,
     DEFAULT_FULL_CHECKPOINT_EVERY,
     DurabilityManager,
+)
+from repro.service.health import (
+    DEGRADED_DURABILITY,
+    FAILED,
+    HEALTHY,
+    READ_ONLY,
 )
 from repro.service.overlay import DeferredOverlay
 from repro.service.snapshot import Snapshot
@@ -51,6 +105,10 @@ Op = tuple[str, int, int]
 #: Queue sentinel that tells the writer to exit after the ops before it.
 _STOP = object()
 
+#: Disk-pressure errnos treated as transient (retry, then degrade)
+#: rather than unclassifiable (sticky failure).
+_TRANSIENT_ERRNOS = frozenset({errno.ENOSPC, errno.EIO})
+
 
 @dataclass(frozen=True)
 class ServeStats:
@@ -58,7 +116,7 @@ class ServeStats:
 
     #: ops accepted by :meth:`ServeEngine.submit` so far
     ops_submitted: int = 0
-    #: ops consumed from the queue (applied or skipped as infeasible)
+    #: ops consumed from the queue (applied, skipped, or quarantined)
     ops_consumed: int = 0
     #: net edge mutations the batches applied to the graph
     edges_applied: int = 0
@@ -79,6 +137,20 @@ class ServeStats:
     deferrals: int = 0
     #: whether a background deferred repair is in flight right now
     repairing: bool = False
+    #: poison batches quarantined to the dead-letter log
+    quarantined: int = 0
+    #: ops dropped at admission under the ``"shed"`` policy
+    ops_shed: int = 0
+    #: ops refused at admission (``"reject"`` or ``"block"`` timeout)
+    ops_rejected: int = 0
+    #: health state (see :mod:`repro.service.health`)
+    health: str = HEALTHY
+    #: transient-fault retries performed (WAL appends + batch applies)
+    io_retries: int = 0
+    #: WAL append attempts that raised a transient errno
+    wal_append_failures: int = 0
+    #: checkpoint attempts that raised a transient errno
+    checkpoint_failures: int = 0
 
 
 class ServeEngine:
@@ -125,13 +197,7 @@ class ServeEngine:
         open skips WAL replay (default ``True``).
     defer_deletions:
         Hand deletion batches to a background repair thread instead of
-        repairing them on the writer (see the module docstring).  The
-        writer keeps draining and logging the queue; batches that
-        arrive while a repair is in flight are buffered and applied by
-        the repair thread in submission order, so the published epoch
-        sequence is identical to eager mode — readers simply keep the
-        last clean epoch a little longer.  :meth:`overlay` exposes the
-        staleness metadata during the window.
+        repairing them on the writer (see the module docstring).
     workers:
         Worker-process count for the expensive maintenance phases
         (parallel per-hub DECCNT repair and the rebuild fallback;
@@ -142,6 +208,28 @@ class ServeEngine:
         deferred batch, right after the affected hubs are tombstoned
         and before any label mutation.  Must not touch the engine's
         public API (it runs inside the mutation window).
+    max_queue_depth:
+        Bounded admission: with a depth cap, :meth:`submit` applies the
+        ``backpressure`` policy once ``ops_submitted - ops_consumed``
+        reaches it.  ``None`` (default) keeps the queue unbounded.
+    backpressure:
+        ``"block"`` (default; wait up to ``submit_timeout`` seconds for
+        the writer to drain below the cap, then raise
+        :class:`~repro.errors.BackpressureError`), ``"reject"`` (raise
+        immediately), or ``"shed"`` (drop the op, count it in
+        :attr:`ServeStats.ops_shed`, and return ``False``).
+    submit_timeout:
+        Admission wait bound for the ``"block"`` policy (``None`` waits
+        forever).
+    on_poison:
+        ``"quarantine"`` (default; see the module docstring) or
+        ``"fail"`` (deterministic batch errors stay sticky failures).
+    io_retries:
+        Bounded retries for transient faults (WAL appends and batch
+        applies) before escalating.
+    io_backoff_s / probe_backoff_s / probe_max_backoff_s:
+        Initial retry backoff, initial health-probe backoff, and the
+        exponential cap both climb to.
 
     A callback or batch failure is recorded (see :attr:`failure`) and
     re-raised by :meth:`flush` / :meth:`stop`; the engine keeps serving
@@ -171,9 +259,31 @@ class ServeEngine:
         defer_deletions: bool = False,
         workers: int | None = None,
         on_defer: Callable[[], None] | None = None,
+        max_queue_depth: int | None = None,
+        backpressure: str = "block",
+        submit_timeout: float | None = 30.0,
+        on_poison: str = "quarantine",
+        io_retries: int = 4,
+        io_backoff_s: float = 0.01,
+        probe_backoff_s: float = 0.05,
+        probe_max_backoff_s: float = 2.0,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be at least 1")
+        if backpressure not in ("block", "reject", "shed"):
+            raise ValueError(
+                f"unknown backpressure policy {backpressure!r} "
+                "(expected 'block', 'reject', or 'shed')"
+            )
+        if on_poison not in ("quarantine", "fail"):
+            raise ValueError(
+                f"unknown on_poison policy {on_poison!r} "
+                "(expected 'quarantine' or 'fail')"
+            )
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be at least 1")
+        if io_retries < 0:
+            raise ValueError("io_retries must be non-negative")
         self._durability: DurabilityManager | None = None
         self._recovery = None
         self._base_epoch = 0
@@ -227,6 +337,12 @@ class ServeEngine:
                 )
             if self._durability is not None:
                 self._durability.bootstrap(self._counter)
+        self._dead_letter: DeadLetterLog | None = None
+        if self._durability is not None:
+            self._dead_letter = DeadLetterLog(
+                self._durability.data_dir / DEADLETTER_FILE,
+                fsync=wal_fsync,
+            )
         self._batch_size = batch_size
         self._rebuild_threshold = rebuild_threshold
         self._on_invalid = on_invalid
@@ -235,6 +351,14 @@ class ServeEngine:
         self._workers = workers
         self._defer = defer_deletions
         self._on_defer = on_defer
+        self._max_queue_depth = max_queue_depth
+        self._backpressure = backpressure
+        self._submit_timeout = submit_timeout
+        self._on_poison = on_poison
+        self._io_retries = io_retries
+        self._io_backoff_s = io_backoff_s
+        self._probe_backoff_s = probe_backoff_s
+        self._probe_max_backoff_s = probe_max_backoff_s
         # Deferred-repair hand-off: _repair_thread/_pending are guarded
         # by _defer_lock; the durability manager is single-threaded by
         # contract, so in deferred mode the writer's log_batch and the
@@ -254,12 +378,26 @@ class ServeEngine:
         self._skipped = 0
         self._batches = 0
         self._rebuilds = 0
+        self._shed = 0
+        self._rejected = 0
+        self._io_retry_count = 0
+        self._wal_failures = 0
+        self._ckpt_failures = 0
+        self._quarantined: list[DeadLetter] = []
+        self._health = HEALTHY
+        #: probe interval while DEGRADED (writer thread only)
+        self._probe_wait = probe_backoff_s
         # The failure record is *sticky*: it is never cleared, only
         # marked reported, so a caller arriving after the first raise
         # still sees what went wrong instead of waiting on a queue that
         # nothing will ever drain.
         self._failure: BaseException | None = None
         self._failure_reported = False
+        #: the read-only transition's failure record, kept separately so
+        #: a successful heal can retire it without erasing real news
+        self._ro_failure: BaseException | None = None
+        #: the exception that killed a mutator thread (FAILED state)
+        self._writer_fatal: BaseException | None = None
         self._writer_exited = False
         self._writer: threading.Thread | None = None
         self._stopping = False
@@ -299,7 +437,7 @@ class ServeEngine:
         — the stop request remains queued and a later ``stop()`` joins
         the writer again.
         """
-        with self._lock:
+        with self._progress:
             if self._stopping:
                 writer = self._writer
             else:
@@ -307,6 +445,9 @@ class ServeEngine:
                 writer = self._writer
                 if writer is not None:
                     self._queue.put(_STOP)
+            # Wake blocked submitters and any writer parked on the
+            # stopping check so shutdown is prompt.
+            self._progress.notify_all()
         if writer is not None:
             writer.join(timeout)
             if writer.is_alive():
@@ -319,17 +460,18 @@ class ServeEngine:
         self._shutdown_durability()
         with self._progress:
             # A clean stop consumes everything accepted before the stop
-            # request; a shortfall here means the writer died and the
-            # remaining ops were lost — never report that as a clean
-            # shutdown, even once the underlying failure was reported.
+            # request; a shortfall here means ops were lost — a dead
+            # writer, or a batch abandoned while parked in read_only —
+            # and must never be reported as a clean shutdown, even once
+            # the underlying failure was reported.
             undrained = self._consumed < self._submitted
             self._raise_failure_locked(wrap_reported=undrained)
             if undrained:
                 raise ServiceFailedError(
-                    "serve writer thread died with "
+                    "serve writer exited with "
                     f"{self._submitted - self._consumed} submitted ops "
                     "unconsumed"
-                ) from self._failure
+                ) from (self._failure or self._writer_fatal)
 
     def _shutdown_durability(self) -> None:
         """Flush the WAL and (optionally) write a final checkpoint so a
@@ -341,6 +483,8 @@ class ServeEngine:
             if (
                 self._checkpoint_on_stop
                 and self._failure is None
+                and self._writer_fatal is None
+                and self._health in (HEALTHY, DEGRADED_DURABILITY)
                 and self._published is not None
             ):
                 dur.maybe_final_checkpoint(self._published)
@@ -352,6 +496,8 @@ class ServeEngine:
                 self._final_durability_stats = dur.stats()
             except OSError:  # pragma: no cover - vanished data dir
                 pass
+            if self._dead_letter is not None:
+                self._dead_letter.close()
             dur.close()
             self._durability = None
 
@@ -385,13 +531,34 @@ class ServeEngine:
     # ------------------------------------------------------------------
     # Client API
     # ------------------------------------------------------------------
-    def submit(self, op: str, tail: int, head: int) -> None:
-        """Queue one ``insert``/``delete`` op for the writer.
+    def _check_admission_locked(self) -> None:
+        """Typed rejection for a closed/unhealthy engine (lock held)."""
+        if self._stopping or self._writer is None:
+            raise ServiceStoppedError(
+                "serving engine is not accepting updates"
+            )
+        if self._health == FAILED:
+            raise ServiceFailedError(
+                "serving engine has failed; writes rejected"
+            ) from (self._failure or self._writer_fatal)
+        if self._health == READ_ONLY:
+            raise EngineReadOnlyError(
+                "serving engine is read-only: durable acknowledgement "
+                "is unavailable (a disk probe is retrying in the "
+                "background)"
+            ) from self._failure
+
+    def submit(self, op: str, tail: int, head: int) -> bool:
+        """Queue one ``insert``/``delete`` op for the writer; returns
+        whether the op was admitted (``False`` only under the
+        ``"shed"`` backpressure policy).
 
         Malformed ops (unknown name, out-of-range vertex, self loop) are
         rejected here, synchronously; *presence* conflicts are resolved
         by the writer under the engine's ``on_invalid`` policy, because
-        only the application order decides them.
+        only the application order decides them.  With a
+        ``max_queue_depth``, a full queue is handled per the
+        ``backpressure`` policy (see the constructor).
         """
         if op not in ("insert", "delete"):
             raise ValueError(f"unknown serve op {op!r}")
@@ -402,29 +569,66 @@ class ServeEngine:
             raise VertexError(head, n)
         if tail == head:
             raise SelfLoopError(tail)
-        with self._lock:
-            if self._stopping or self._writer is None:
-                raise ServiceStoppedError(
-                    "serving engine is not accepting updates"
-                )
+        with self._progress:
+            self._check_admission_locked()
+            maxd = self._max_queue_depth
+            if maxd is not None:
+                depth = self._submitted - self._consumed
+                if depth >= maxd:
+                    if self._backpressure == "reject":
+                        self._rejected += 1
+                        raise BackpressureError(depth, maxd)
+                    if self._backpressure == "shed":
+                        self._shed += 1
+                        return False
+                    # "block": wait for drain — or for a state in which
+                    # waiting is pointless (stop, read_only, failed).
+                    self._progress.wait_for(
+                        lambda: (
+                            self._stopping
+                            or self._health in (READ_ONLY, FAILED)
+                            or self._submitted - self._consumed < maxd
+                        ),
+                        self._submit_timeout,
+                    )
+                    self._check_admission_locked()
+                    depth = self._submitted - self._consumed
+                    if depth >= maxd:
+                        self._rejected += 1
+                        raise BackpressureError(
+                            depth, maxd, timed_out=True
+                        )
             self._submitted += 1
             # Enqueue under the same lock as the _stopping check (put
             # never blocks on a SimpleQueue): otherwise an accepted op
             # could land *behind* stop()'s _STOP sentinel and be
             # silently dropped, wedging flush() forever.
             self._queue.put((op, tail, head))
+        return True
 
     def submit_many(self, ops: Iterable[Op]) -> int:
-        """Queue a sequence of ops; returns how many were accepted."""
+        """Queue a sequence of ops; returns how many were admitted
+        (shed ops are skipped; admission errors propagate)."""
         count = 0
         for op, tail, head in ops:
-            self.submit(op, tail, head)
-            count += 1
+            if self.submit(op, tail, head):
+                count += 1
         return count
 
     def snapshot(self) -> Snapshot:
         """The latest published snapshot (an atomic attribute read —
-        safe from any thread, never blocks on the writer)."""
+        safe from any thread, never blocks on the writer).
+
+        Reads stay available in every health state except ``failed``,
+        where the engine's mutator died and the sticky failure is
+        raised instead.
+        """
+        if self._health == FAILED:
+            with self._progress:
+                cause = self._failure or self._writer_fatal
+            raise ServiceFailedError(
+                "serving engine has failed; reads unavailable"
+            ) from cause
         snap = self._published
         if snap is None:
             raise ServiceStoppedError("engine not started")
@@ -437,7 +641,10 @@ class ServeEngine:
         Useful mainly with ``defer_deletions=True``: queries delegate to
         the same snapshot :meth:`snapshot` returns, and
         :attr:`DeferredOverlay.stale` reports whether a repair window is
-        open behind it.  Safe from any thread; never blocks.
+        open behind it.  Safe from any thread; never blocks.  Raises
+        :class:`~repro.errors.ServiceFailedError` in the ``failed``
+        state (e.g. the repair thread died with tombstones pending —
+        the overlay's staleness metadata could never converge).
         """
         snap = self.snapshot()
         index = self._counter.index
@@ -452,10 +659,13 @@ class ServeEngine:
         its epoch published; returns the then-current snapshot.
 
         Raises the writer's recorded failure, if any; a
-        :class:`ServiceFailedError` when the writer thread is dead with
-        submitted ops unconsumed (fail fast — nothing will ever drain
-        them); and ``TimeoutError`` if a live writer does not drain the
-        queue in ``timeout`` seconds.
+        :class:`ServiceFailedError` when the engine's mutator thread is
+        dead with submitted ops unconsumed (fail fast — nothing will
+        ever drain them); an
+        :class:`~repro.errors.EngineReadOnlyError` when the engine is
+        parked in ``read_only`` with ops awaiting durable
+        acknowledgement; and ``TimeoutError`` if a live writer does not
+        drain the queue in ``timeout`` seconds.
         """
         with self._progress:
             target = self._submitted
@@ -467,17 +677,34 @@ class ServeEngine:
                         and not self._failure_reported)
                     or writer is None
                     or self._writer_exited
+                    or self._health in (READ_ONLY, FAILED)
                 ),
                 timeout,
             )
+            if self._consumed < target and self._health == READ_ONLY:
+                # The typed rejection subsumes the sticky read-only
+                # record: mark it reported so the caller sees ONE
+                # consistent error here (and a later healthy flush is
+                # not poisoned by the healed outage).
+                if self._failure is self._ro_failure:
+                    self._failure_reported = True
+                raise EngineReadOnlyError(
+                    "serving engine is read-only with "
+                    f"{target - self._consumed} ops awaiting "
+                    "durable acknowledgement"
+                ) from self._ro_failure
             self._raise_failure_locked()
             if self._consumed < target:
-                if writer is None or self._writer_exited:
+                if (
+                    writer is None
+                    or self._writer_exited
+                    or self._health == FAILED
+                ):
                     raise ServiceFailedError(
                         "serve writer thread is dead with "
                         f"{target - self._consumed} submitted ops "
                         "unconsumed"
-                    ) from self._failure
+                    ) from (self._failure or self._writer_fatal)
                 raise TimeoutError(
                     f"serve queue did not drain within {timeout}s"
                 )
@@ -496,17 +723,42 @@ class ServeEngine:
         return self._failure
 
     @property
+    def health(self) -> str:
+        """Current health state (see :mod:`repro.service.health`)."""
+        return self._health
+
+    @property
     def recovery(self):
         """The :class:`~repro.persist.RecoveryResult` this engine was
         opened from, or ``None`` (fresh directory / no ``data_dir``)."""
         return self._recovery
 
+    @property
+    def dead_letter_path(self):
+        """Path of the dead-letter log for durable engines, else
+        ``None`` (the file itself exists only once a batch was
+        quarantined)."""
+        if self._dead_letter is not None:
+            return self._dead_letter.path
+        return None
+
+    def quarantined(self) -> tuple[DeadLetter, ...]:
+        """The batches quarantined so far (in-memory view; durable
+        engines also persist each to the dead-letter log)."""
+        with self._lock:
+            return tuple(self._quarantined)
+
     def durability_stats(self):
-        """WAL/checkpoint counters, or ``None`` without a ``data_dir``
-        (after :meth:`stop`, the final pre-close stats)."""
+        """WAL/checkpoint counters annotated with the engine's health
+        state, or ``None`` without a ``data_dir`` (after :meth:`stop`,
+        the final pre-close stats)."""
         if self._durability is not None:
-            return self._durability.stats()
-        return self._final_durability_stats
+            stats = self._durability.stats()
+        else:
+            stats = self._final_durability_stats
+        if stats is None:
+            return None
+        return _dc_replace(stats, health=self._health)
 
     def stats(self) -> ServeStats:
         """Current counters (consistent under the engine lock)."""
@@ -526,34 +778,79 @@ class ServeEngine:
                 ),
                 deferrals=self._deferrals,
                 repairing=self._repair_thread is not None,
+                quarantined=len(self._quarantined),
+                ops_shed=self._shed,
+                ops_rejected=self._rejected,
+                health=self._health,
+                io_retries=self._io_retry_count,
+                wal_append_failures=self._wal_failures,
+                checkpoint_failures=self._ckpt_failures,
             )
+
+    # ------------------------------------------------------------------
+    # Health transitions
+    # ------------------------------------------------------------------
+    def _set_health(self, state: str) -> None:
+        with self._progress:
+            self._health = state
+            self._progress.notify_all()
+
+    def _enter_read_only(self, cause: BaseException) -> None:
+        """WAL appends exhausted their retries: reject writes, keep
+        reads, and leave a typed record for flush()/stop()."""
+        err = DurabilityUnavailableError(
+            f"WAL append kept failing ({cause}); engine is read-only "
+            "until a background probe reaches the disk again"
+        )
+        err.__cause__ = cause
+        with self._progress:
+            self._health = READ_ONLY
+            self._ro_failure = err
+            if self._failure is None or self._failure_reported:
+                self._failure = err
+                self._failure_reported = False
+            self._progress.notify_all()
+
+    def _exit_read_only(self) -> None:
+        """A parked append finally succeeded: re-admit writes.  The
+        read-only record is retired (marked reported) if still fresh —
+        nothing was lost, so it must not poison a later healthy flush."""
+        with self._progress:
+            self._health = HEALTHY
+            if self._failure is self._ro_failure:
+                self._failure_reported = True
+            self._ro_failure = None
+            self._progress.notify_all()
+
+    def _fail_engine(self, exc: BaseException) -> None:
+        """A mutator-role thread died: terminal state, reads raise.
+
+        Like a writer-loop fatal, the exception goes into
+        ``_writer_fatal`` rather than the sticky slot: callers get a
+        typed :class:`ServiceFailedError` chaining it, never the raw
+        thread-killing exception re-raised on their own stack."""
+        with self._progress:
+            self._health = FAILED
+            self._writer_fatal = exc
+            self._progress.notify_all()
 
     # ------------------------------------------------------------------
     # Writer thread
     # ------------------------------------------------------------------
     def _run(self) -> None:
         try:
-            while True:
-                item = self._queue.get()
-                if item is _STOP:
-                    break
-                ops = [item]
-                stop_after = False
-                while len(ops) < self._batch_size:
-                    try:
-                        nxt = self._queue.get_nowait()
-                    except queue.Empty:
-                        break
-                    if nxt is _STOP:
-                        stop_after = True
-                        break
-                    ops.append(nxt)
-                if self._defer:
-                    self._dispatch_deferred(ops)
-                else:
-                    self._apply_and_publish(ops)
-                if stop_after:
-                    break
+            self._writer_loop()
+        except BaseException as exc:  # noqa: BLE001 - thread supervisor
+            # The writer died with an unclassifiable error: terminal.
+            # Deliberately NOT recorded into the sticky failure slot —
+            # flush()/stop() report the stranded queue as a
+            # ServiceFailedError chaining whatever was recorded before
+            # (or this fatal, via _writer_fatal).
+            with self._progress:
+                self._health = FAILED
+                self._writer_fatal = exc
+                self._progress.notify_all()
+            raise
         finally:
             # A live background repair still owns buffered batches; the
             # writer's exit must not strand them (stop() joins only the
@@ -569,6 +866,79 @@ class ServeEngine:
             with self._progress:
                 self._writer_exited = True
                 self._progress.notify_all()
+
+    def _writer_loop(self) -> None:
+        while True:
+            item = self._next_item()
+            if item is _STOP:
+                break
+            if self._health == FAILED:
+                # The repair thread died: later batches must not be
+                # applied over the stranded (logged but unapplied)
+                # prefix.  Leave the queue undrained; stop()/flush()
+                # report the loss.
+                break
+            ops = [item]
+            stop_after = False
+            while len(ops) < self._batch_size:
+                try:
+                    nxt = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if nxt is _STOP:
+                    stop_after = True
+                    break
+                ops.append(nxt)
+            if self._defer:
+                self._dispatch_deferred(ops)
+            else:
+                self._apply_and_publish(ops)
+            if stop_after:
+                break
+
+    def _next_item(self) -> object:
+        """Blocking queue read; while DEGRADED, wake periodically to
+        probe the failing checkpoint from the idle writer thread."""
+        while True:
+            if self._health != DEGRADED_DURABILITY:
+                return self._queue.get()
+            try:
+                return self._queue.get(timeout=self._probe_wait)
+            except queue.Empty:
+                self._probe_checkpoint()
+
+    def _probe_checkpoint(self) -> None:
+        """Retry the failing checkpoint (writer thread, between
+        batches, no repair in flight — the only window in which the
+        live graph equals the published snapshot's capture state)."""
+        dur = self._durability
+        snap = self._published
+        if dur is None or snap is None:  # pragma: no cover - defensive
+            self._set_health(HEALTHY)
+            return
+        with self._defer_lock:
+            if self._repair_thread is not None:
+                # The repair thread owns the mutator window; its own
+                # note_applied will heal the state on success.
+                return
+        try:
+            with self._dur_lock:
+                dur.checkpoint_now(snap)
+        except OSError as exc:
+            if exc.errno in _TRANSIENT_ERRNOS:
+                with self._progress:
+                    self._ckpt_failures += 1
+                self._probe_wait = min(
+                    self._probe_wait * 2, self._probe_max_backoff_s
+                )
+                return
+            self._record_failure(exc)
+            return
+        except BaseException as exc:  # noqa: BLE001 - via flush()
+            self._record_failure(exc)
+            return
+        self._probe_wait = self._probe_backoff_s
+        self._set_health(HEALTHY)
 
     def _record_failure(
         self, exc: BaseException, ops: list[Op] | None = None
@@ -592,22 +962,80 @@ class ServeEngine:
         Log-before-publish: the batch's ops and exact apply_batch
         framing hit the disk (and, under fsync="always", the platter)
         before the index is touched, so every epoch a reader can ever
-        observe is reconstructible from the data dir.  A failed append
-        means no durability for this batch — it is dropped, not
-        applied, and the failure surfaces through the sticky record.
+        observe is reconstructible from the data dir.  Transient disk
+        errors (``ENOSPC``/``EIO``) are retried with bounded backoff;
+        exhausted retries park the batch and move the engine to
+        ``read_only`` (see :meth:`_park_until_durable`).  Any other
+        failure means no durability for this batch — it is dropped,
+        not applied, and surfaces through the sticky record.
         """
         dur = self._durability
         if dur is None:
             return None, True
-        try:
-            with self._dur_lock:
-                seq = dur.log_batch(
-                    ops, self._on_invalid, self._rebuild_threshold
-                )
-        except BaseException as exc:  # noqa: BLE001 - via flush()
-            self._record_failure(exc, ops)
-            return None, False
-        return seq, True
+        attempts = 0
+        backoff = self._io_backoff_s
+        while True:
+            try:
+                with self._dur_lock:
+                    seq = dur.log_batch(
+                        ops, self._on_invalid, self._rebuild_threshold
+                    )
+            except OSError as exc:
+                if exc.errno not in _TRANSIENT_ERRNOS:
+                    self._record_failure(exc, ops)
+                    return None, False
+                with self._progress:
+                    self._wal_failures += 1
+                attempts += 1
+                if attempts <= self._io_retries:
+                    with self._progress:
+                        self._io_retry_count += 1
+                    time.sleep(backoff)
+                    backoff = min(
+                        backoff * 2, self._probe_max_backoff_s
+                    )
+                    continue
+                return self._park_until_durable(dur, ops, exc)
+            except BaseException as exc:  # noqa: BLE001 - via flush()
+                self._record_failure(exc, ops)
+                return None, False
+            return seq, True
+
+    def _park_until_durable(
+        self, dur: DurabilityManager, ops: list[Op], cause: BaseException
+    ) -> tuple[int | None, bool]:
+        """Read-only outage: keep the batch parked (not lost, not
+        acked) and probe the disk with exponential backoff until an
+        append lands or the engine stops.  The WAL rolls back to a
+        record boundary on every failed append, so the sequence number
+        is reissued cleanly on each probe."""
+        self._enter_read_only(cause)
+        wait = self._probe_backoff_s
+        while True:
+            with self._lock:
+                if self._stopping:
+                    # Abandoned: deliberately NOT counted consumed, so
+                    # stop() reports the loss instead of a clean stop.
+                    return None, False
+            time.sleep(wait)
+            wait = min(wait * 2, self._probe_max_backoff_s)
+            try:
+                with self._dur_lock:
+                    seq = dur.log_batch(
+                        ops, self._on_invalid, self._rebuild_threshold
+                    )
+            except OSError as exc:
+                if exc.errno in _TRANSIENT_ERRNOS:
+                    with self._progress:
+                        self._wal_failures += 1
+                    continue
+                self._record_failure(exc, ops)
+                return None, False
+            except BaseException as exc:  # noqa: BLE001 - via flush()
+                self._record_failure(exc, ops)
+                return None, False
+            self._exit_read_only()
+            return seq, True
 
     def _apply_and_publish(self, ops: list[Op]) -> None:
         seq, ok = self._log_batch(ops)
@@ -635,7 +1063,7 @@ class ServeEngine:
             if any(op == "delete" for op, _, _ in ops):
                 self._deferrals += 1
                 thread = threading.Thread(
-                    target=self._repair_worker,
+                    target=self._repair_entry,
                     args=(ops, seq),
                     name="repro-serve-repair",
                     daemon=True,
@@ -645,6 +1073,21 @@ class ServeEngine:
                 return
         self._apply_logged(ops, seq)
 
+    def _repair_entry(self, ops: list[Op], seq: int | None) -> None:
+        """Supervisor wrapper for the repair thread: per-batch failures
+        are absorbed inside :meth:`_repair_worker`, but the *thread*
+        dying (an escaping BaseException) is terminal — the buffered
+        batches it owned can never be applied in order, so the engine
+        moves to ``failed`` and flush()/stop() fail fast."""
+        try:
+            self._repair_worker(ops, seq)
+        except BaseException as exc:  # noqa: BLE001 - thread supervisor
+            with self._defer_lock:
+                self._pending.clear()
+                self._repair_thread = None
+            self._fail_engine(exc)
+            raise
+
     def _repair_worker(self, ops: list[Op], seq: int | None) -> None:
         """Background repair thread: applies its seed batch and then
         drains whatever the writer buffered meanwhile, in order, before
@@ -652,7 +1095,7 @@ class ServeEngine:
         while True:
             try:
                 self._apply_logged(ops, seq, defer=True)
-            except BaseException as exc:  # noqa: BLE001 - backstop
+            except Exception as exc:  # noqa: BLE001 - backstop
                 self._record_failure(exc, ops)
             with self._defer_lock:
                 if not self._pending:
@@ -660,53 +1103,134 @@ class ServeEngine:
                     return
                 ops, seq = self._pending.pop(0)
 
+    # ------------------------------------------------------------------
+    # Batch application (fault-classified)
+    # ------------------------------------------------------------------
+    def _abort_and_record(
+        self, ops: list[Op], seq: int | None, exc: BaseException
+    ) -> None:
+        """The sticky path: mark the logged record aborted so recovery
+        skips it, then record the failure (the batch is consumed)."""
+        dur = self._durability
+        if dur is not None and seq is not None:
+            # apply_batch is atomic-on-raise, so the live state
+            # excludes this batch; mark the logged record aborted so
+            # recovery skips it too.  (Losing the marker is safe:
+            # the same deterministic exception fires on replay.)
+            try:
+                with self._dur_lock:
+                    dur.log_abort(seq)
+            except BaseException:  # noqa: BLE001 - crash-equivalent
+                pass
+        self._record_failure(exc, ops)
+
+    def _quarantine(
+        self, ops: list[Op], seq: int | None, exc: BaseException
+    ) -> None:
+        """Poison-batch quarantine: WAL-abort the record, append the
+        batch to the dead-letter log, count it consumed, and let the
+        writer resume the stream — one bad batch must not take the
+        service down."""
+        dur = self._durability
+        if dur is not None and seq is not None:
+            try:
+                with self._dur_lock:
+                    dur.log_abort(seq)
+            except BaseException:  # noqa: BLE001 - crash-equivalent
+                pass
+        letter = DeadLetter(
+            seq=seq or 0,
+            ops=tuple(ops),
+            on_invalid=self._on_invalid,
+            rebuild_threshold=self._rebuild_threshold,
+            error=repr(exc),
+        )
+        if self._dead_letter is not None:
+            # Losing the durable copy is like losing the abort marker:
+            # tolerable — the in-memory record below still serves this
+            # process, and recovery skips the batch either way.
+            try:
+                with self._dur_lock:
+                    self._dead_letter.append(letter)
+            except BaseException:  # noqa: BLE001 - crash-equivalent
+                pass
+        with self._progress:
+            self._quarantined.append(letter)
+            self._consumed += len(ops)
+            self._progress.notify_all()
+
     def _apply_logged(
         self, ops: list[Op], seq: int | None, defer: bool = False
     ) -> None:
         dur = self._durability
-        on_plan = None
-        if defer:
-            # Tombstone exactly the hubs whose fingerprints the repair
-            # is about to invalidate, for exactly the mutation window:
-            # set when the repair plan is known (before any label or
-            # graph mutation), cleared when apply_batch returns (the
-            # labels are clean again — repaired, or swapped by the
-            # rebuild fallback).  Tombstones are in-memory only, so the
-            # WAL/recovery path never sees them.
-            index = self._counter.index
-            store_in, store_out = index.store_in, index.store_out
+        attempts = 0
+        backoff = self._io_backoff_s
+        while True:
+            failure: BaseException | None = None
+            transient = poison = False
+            on_plan = None
+            if defer:
+                # Tombstone exactly the hubs whose fingerprints the
+                # repair is about to invalidate, for exactly the
+                # mutation window: set when the repair plan is known
+                # (before any label or graph mutation), cleared when
+                # apply_batch returns (the labels are clean again —
+                # repaired, or swapped by the rebuild fallback).
+                # Tombstones are in-memory only, so the WAL/recovery
+                # path never sees them.
+                index = self._counter.index
+                store_in, store_out = index.store_in, index.store_out
 
-            def on_plan(del_in: set[int], del_out: set[int]) -> None:
-                store_in.tombstone_hubs(del_in)
-                store_out.tombstone_hubs(del_out)
-                if self._on_defer is not None:
-                    self._on_defer()
+                def on_plan(del_in: set[int], del_out: set[int]) -> None:
+                    store_in.tombstone_hubs(del_in)
+                    store_out.tombstone_hubs(del_out)
+                    if self._on_defer is not None:
+                        self._on_defer()
 
-        try:
             try:
-                stats = self._counter.apply_batch(
-                    ops,
-                    rebuild_threshold=self._rebuild_threshold,
-                    on_invalid=self._on_invalid,
-                    workers=self._workers,
-                    on_repair_plan=on_plan,
-                )
-            finally:
-                if defer:
-                    store_in.clear_tombstones()
-                    store_out.clear_tombstones()
-        except BaseException as exc:  # noqa: BLE001 - reported via flush()
-            if dur is not None:
-                # apply_batch is atomic-on-raise, so the live state
-                # excludes this batch; mark the logged record aborted so
-                # recovery skips it too.  (Losing the marker is safe:
-                # the same deterministic exception fires on replay.)
                 try:
-                    with self._dur_lock:
-                        dur.log_abort(seq)
-                except BaseException:  # noqa: BLE001 - crash-equivalent
-                    pass
-            self._record_failure(exc, ops)
+                    stats = self._counter.apply_batch(
+                        ops,
+                        rebuild_threshold=self._rebuild_threshold,
+                        on_invalid=self._on_invalid,
+                        workers=self._workers,
+                        on_repair_plan=on_plan,
+                    )
+                finally:
+                    if defer:
+                        store_in.clear_tombstones()
+                        store_out.clear_tombstones()
+            except WorkerCrashError as exc:
+                failure, transient = exc, True
+            except OSError as exc:
+                failure = exc
+                transient = exc.errno in _TRANSIENT_ERRNOS
+            except ReproError as exc:
+                # Deterministic by construction: apply_batch raising a
+                # library error is a property of the batch against this
+                # graph state, not of the environment — it would raise
+                # again on retry and on recovery replay.
+                failure, poison = exc, True
+            except BaseException as exc:  # noqa: BLE001 - via flush()
+                failure = exc
+            if failure is None:
+                break
+            if transient:
+                attempts += 1
+                if attempts <= self._io_retries:
+                    with self._progress:
+                        self._io_retry_count += 1
+                    time.sleep(backoff)
+                    backoff = min(
+                        backoff * 2, self._probe_max_backoff_s
+                    )
+                    continue
+                self._abort_and_record(ops, seq, failure)
+                return
+            if poison and self._on_poison == "quarantine":
+                self._quarantine(ops, seq, failure)
+                return
+            self._abort_and_record(ops, seq, failure)
             return
         try:
             prev = self._published
@@ -744,6 +1268,22 @@ class ServeEngine:
             # alive), so the window argument holds unchanged.
             try:
                 with self._dur_lock:
-                    dur.note_applied(seq, snap)
+                    checkpointed = dur.note_applied(seq, snap)
+            except OSError as exc:
+                if exc.errno in _TRANSIENT_ERRNOS:
+                    # The batch is logged, applied, published, and
+                    # acked — only the checkpoint failed.  Degrade
+                    # (recovery just replays a longer WAL) and let the
+                    # idle probe / the next note_applied climb back.
+                    with self._progress:
+                        self._ckpt_failures += 1
+                        if self._health == HEALTHY:
+                            self._health = DEGRADED_DURABILITY
+                        self._progress.notify_all()
+                else:
+                    self._record_failure(exc)
             except BaseException as exc:  # noqa: BLE001 - via flush()
                 self._record_failure(exc)
+            else:
+                if checkpointed and self._health == DEGRADED_DURABILITY:
+                    self._set_health(HEALTHY)

@@ -1,0 +1,40 @@
+"""Shared chaos-suite helpers: small graphs and health polling."""
+
+import random
+import time
+
+from repro.graph.digraph import DiGraph
+
+
+def make_graph(seed=0, n=10, m=24):
+    rng = random.Random(seed)
+    g = DiGraph(n)
+    while g.m < m:
+        a, b = rng.randrange(n), rng.randrange(n)
+        if a != b and not g.has_edge(a, b):
+            g.add_edge(a, b)
+    return g
+
+
+def assert_same_answers(counter, reference):
+    """Both counters answer every ``sccnt`` query identically (the
+    serving-level correctness contract; label *bytes* are only
+    guaranteed identical under identical batch framing)."""
+    assert counter.graph == reference.graph
+    for v in range(reference.graph.n):
+        assert counter.count(v) == reference.count(v), f"sccnt({v})"
+
+
+def wait_for(predicate, timeout=10.0, interval=0.005):
+    """Poll ``predicate`` until true or ``timeout``; returns success.
+
+    Health transitions happen on the engine's writer thread, so tests
+    observe them asynchronously; ten seconds is orders of magnitude
+    above any backoff schedule the suite configures.
+    """
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()

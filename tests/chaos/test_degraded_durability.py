@@ -1,0 +1,150 @@
+"""Degraded durability states under injected disk faults.
+
+* A failing **checkpoint** degrades gracefully: batches are still
+  logged, applied, published, and acked (recovery just replays a longer
+  WAL); the engine reports ``degraded_durability`` and an idle-writer
+  probe climbs back to ``healthy`` once the disk recovers.
+* A failing **WAL append** is retried with bounded backoff; when the
+  retries exhaust, the engine parks the batch and moves to
+  ``read_only``: writes are rejected with a typed error, reads keep
+  answering from the last published epoch, and a background probe
+  re-admits writes when an append finally lands.
+"""
+
+import errno
+
+import pytest
+
+from repro.errors import EngineReadOnlyError
+from repro.faults import FaultInjector
+from repro.persist import recover
+from repro.service import ServeEngine
+from repro.service.driver import serial_replay
+from repro.workloads.updates import mixed_update_stream
+from tests.chaos.conftest import (
+    assert_same_answers,
+    make_graph,
+    wait_for,
+)
+
+pytestmark = pytest.mark.chaos
+
+#: Tight backoff schedule so outages and heals resolve in milliseconds.
+FAST = dict(
+    io_retries=2, io_backoff_s=0.002,
+    probe_backoff_s=0.005, probe_max_backoff_s=0.05,
+)
+
+
+def make_engine(tmp_path, **kwargs):
+    params = dict(
+        batch_size=4, data_dir=str(tmp_path),
+        checkpoint_on_stop=False, **FAST,
+    )
+    params.update(kwargs)
+    return ServeEngine(make_graph(seed=11), **params)
+
+
+class TestDegradedCheckpoint:
+    def test_checkpoint_outage_degrades_then_heals(self, tmp_path):
+        # checkpoint_wal_bytes=1: every acked batch tries a checkpoint.
+        engine = make_engine(tmp_path, checkpoint_wal_bytes=1)
+        inj = FaultInjector()
+        rule = inj.fail("ckpt.*", err=errno.ENOSPC)
+        with engine:
+            ops = mixed_update_stream(engine.counter.graph, 6, 2)
+            with inj.installed():
+                engine.submit_many(ops)
+                snap = engine.flush()  # acks don't need the checkpoint
+                assert snap.ops_applied == len(ops)
+                assert wait_for(
+                    lambda: engine.health == "degraded_durability"
+                )
+                assert engine.stats().checkpoint_failures > 0
+                # Reads keep answering while degraded.
+                assert engine.snapshot().epoch == snap.epoch
+                # Heal the disk: the idle writer's probe retries the
+                # checkpoint and the engine climbs back to healthy.
+                inj.heal(rule)
+                assert wait_for(lambda: engine.health == "healthy")
+            assert engine.failure is None
+        assert inj.fired("ckpt.*") > 0
+        # Everything acked while degraded is recoverable.
+        result = recover(tmp_path)
+        reference = serial_replay(make_graph(seed=11), ops)
+        assert_same_answers(result.counter, reference)
+
+    def test_degraded_is_reported_in_stats(self, tmp_path):
+        engine = make_engine(tmp_path, checkpoint_wal_bytes=1)
+        inj = FaultInjector()
+        inj.fail("ckpt.*", err=errno.EIO)
+        with engine:
+            with inj.installed():
+                engine.submit_many(
+                    mixed_update_stream(engine.counter.graph, 4, 0)
+                )
+                engine.flush()
+                assert wait_for(
+                    lambda: engine.stats().health
+                    == "degraded_durability"
+                )
+                dur = engine.durability_stats()
+                assert dur.health == "degraded_durability"
+            # Leave degraded at exit: stop() must still work (it skips
+            # the final checkpoint only in read_only/failed states).
+
+
+class TestReadOnly:
+    def test_wal_outage_parks_writes_but_serves_reads(self, tmp_path):
+        engine = make_engine(tmp_path)
+        inj = FaultInjector()
+        rule = inj.fail("wal.write", err=errno.ENOSPC)
+        with engine:
+            ops = mixed_update_stream(engine.counter.graph, 8, 2)
+            warm = engine.flush()  # epoch 0 published
+            with inj.installed():
+                engine.submit(*ops[0])
+                assert wait_for(lambda: engine.health == "read_only")
+                stats = engine.stats()
+                assert stats.wal_append_failures > 0
+                assert stats.io_retries > 0
+                # Writes: typed rejection naming the outage.
+                with pytest.raises(EngineReadOnlyError):
+                    engine.submit(*ops[1])
+                # flush with ops parked: typed, prompt, no hang.
+                with pytest.raises(EngineReadOnlyError) as exc_info:
+                    engine.flush(timeout=10.0)
+                assert "awaiting durable" in str(exc_info.value)
+                # Reads: last published epoch still answers.
+                assert engine.snapshot().epoch == warm.epoch
+                # Heal: the parked batch's probe lands its append, the
+                # engine re-admits writes, and nothing was lost.
+                inj.heal(rule)
+                assert wait_for(lambda: engine.health == "healthy")
+                engine.submit_many(ops[1:])
+                snap = engine.flush()
+            assert snap.ops_applied == len(ops)
+        # The healed outage must not poison the clean run's recovery,
+        # and the parked batch must have landed exactly once.
+        result = recover(tmp_path)
+        reference = serial_replay(make_graph(seed=11), ops)
+        assert_same_answers(result.counter, reference)
+
+    def test_transient_blip_is_absorbed_by_retries(self, tmp_path):
+        # Fewer failures than io_retries: the append succeeds on a
+        # retry, the engine never leaves healthy, nothing surfaces.
+        engine = make_engine(tmp_path)
+        inj = FaultInjector()
+        inj.fail("wal.write", err=errno.EIO, times=1)
+        with engine:
+            ops = mixed_update_stream(engine.counter.graph, 4, 1)
+            with inj.installed():
+                engine.submit_many(ops)
+                snap = engine.flush()
+            assert snap.ops_applied == len(ops)
+            assert engine.health == "healthy"
+            assert engine.failure is None
+            stats = engine.stats()
+            assert stats.io_retries >= 1
+            assert stats.wal_append_failures >= 1
+        assert inj.fired("wal.write") == 1

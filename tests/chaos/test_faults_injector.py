@@ -1,0 +1,121 @@
+"""FaultInjector semantics: the chaos suite trusts these exactly."""
+
+import errno
+import json
+import threading
+
+import pytest
+
+from repro.faults import FaultInjector, SimulatedCrash
+from repro.persist import io_event
+
+pytestmark = pytest.mark.chaos
+
+
+class TestRules:
+    def test_transient_error_exhausts(self):
+        inj = FaultInjector()
+        inj.fail("wal.write", err=errno.ENOSPC, times=2)
+        with inj.installed():
+            for _ in range(2):
+                with pytest.raises(OSError) as exc_info:
+                    io_event("wal.write")
+                assert exc_info.value.errno == errno.ENOSPC
+            io_event("wal.write")  # rule exhausted: passes
+        assert inj.fired("wal.write") == 2
+
+    def test_persistent_error_until_heal(self):
+        inj = FaultInjector()
+        rule = inj.fail("ckpt.*", err=errno.EIO)
+        with inj.installed():
+            for _ in range(3):
+                with pytest.raises(OSError):
+                    io_event("ckpt.write")
+            io_event("wal.write")  # non-matching tag untouched
+            inj.heal(rule)
+            io_event("ckpt.write")
+        assert inj.fired() == 3
+
+    def test_crash_is_sticky(self):
+        inj = FaultInjector()
+        inj.crash_at(2)
+        with inj.installed():
+            io_event("wal.write")
+            with pytest.raises(SimulatedCrash):
+                io_event("wal.fsync")
+            # Everything after the death raises too: the on-disk bytes
+            # stay frozen at the crash point.
+            with pytest.raises(SimulatedCrash):
+                io_event("ckpt.write")
+        assert inj.crashed
+
+    def test_delay_applies_and_scan_continues(self):
+        inj = FaultInjector()
+        inj.delay("wal.*", 0.0)
+        inj.fail("wal.write", err=errno.EIO, times=1)
+        with inj.installed():
+            with pytest.raises(OSError):
+                io_event("wal.write")  # slow disk can also fail
+        outcomes = [e.outcome for e in inj.events]
+        assert outcomes == ["EIO"]
+
+    def test_clear_removes_all_rules(self):
+        inj = FaultInjector()
+        inj.fail("*", err=errno.EIO)
+        inj.clear()
+        with inj.installed():
+            io_event("wal.write")
+        assert inj.fired() == 0 and len(inj.events) == 1
+
+
+class TestLog:
+    def test_event_log_records_ordinals_and_outcomes(self):
+        inj = FaultInjector()
+        inj.fail("wal.fsync", err=errno.ENOSPC, times=1)
+        with inj.installed():
+            io_event("wal.write")
+            with pytest.raises(OSError):
+                io_event("wal.fsync")
+        assert [(e.n, e.tag, e.outcome) for e in inj.events] == [
+            (1, "wal.write", "pass"),
+            (2, "wal.fsync", "ENOSPC"),
+        ]
+
+    def test_dump_log_is_json_lines(self, tmp_path):
+        inj = FaultInjector()
+        with inj.installed():
+            io_event("wal.write")
+        path = inj.dump_log(tmp_path / "chaos" / "events.jsonl")
+        rows = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+        ]
+        assert rows[0]["tag"] == "wal.write"
+        assert rows[0]["outcome"] == "pass"
+
+    def test_scope_uninstalls_on_exit(self):
+        inj = FaultInjector()
+        with inj.installed():
+            io_event("wal.write")
+        io_event("wal.write")  # not recorded: hook removed
+        assert len(inj.events) == 1
+
+    def test_concurrent_announcers_are_serialized(self):
+        inj = FaultInjector()
+        n, threads = 200, []
+
+        def announce():
+            for _ in range(n):
+                io_event("wal.write")
+
+        with inj.installed():
+            threads = [
+                threading.Thread(target=announce) for _ in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        events = inj.events
+        assert len(events) == 4 * n
+        assert sorted(e.n for e in events) == list(range(1, 4 * n + 1))

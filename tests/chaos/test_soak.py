@@ -1,0 +1,188 @@
+"""Chaos soak: randomized fault scripts across engine generations.
+
+Each round opens a durable engine on the same data dir under a freshly
+scripted :class:`FaultInjector` — transient ``ENOSPC``/``EIO`` blips,
+persistent outages, and a sticky crash at a random I/O ordinal — drives
+a mixed update stream at it, and tears it down however the faults
+allow.  After every round the directory must recover, deterministically
+(two recoveries land bit-identically).  The final round runs clean and
+the restart oracle must hold: a recovery sees exactly the state the
+last clean process served.
+
+The no-checkpoint variant keeps the whole WAL from genesis (bootstrap
+checkpoint only), so the stronger oracle applies: recovery is
+bit-identical to :func:`replay_reference` over the surviving records —
+the same contract the crash-point sweep proves exhaustively, here under
+randomized *fault* schedules (not just clean crashes).
+
+Set ``CHAOS_LOG_DIR`` to archive each round's fault-injection event log
+as JSON lines (the nightly CI chaos job uploads it as an artifact).
+"""
+
+import errno
+import os
+import random
+
+import pytest
+
+from repro.errors import RecoveryError, ReproError
+from repro.faults import FaultInjector, SimulatedCrash
+from repro.persist import read_wal, recover, replay_reference
+from repro.service import ServeEngine
+from repro.workloads.updates import mixed_update_stream
+from tests.chaos.conftest import assert_same_answers, make_graph
+
+pytestmark = [
+    pytest.mark.chaos,
+    pytest.mark.slow,
+    pytest.mark.filterwarnings(
+        "ignore::pytest.PytestUnhandledThreadExceptionWarning"
+    ),
+]
+
+ROUNDS = int(os.environ.get("CHAOS_SOAK_ROUNDS", "5"))
+GRAPH_SEED = 31
+
+#: What a faulted session may legitimately surface to its driver.
+TOLERATED = (ReproError, SimulatedCrash, OSError, TimeoutError)
+
+FAST = dict(
+    io_retries=1, io_backoff_s=0.002,
+    probe_backoff_s=0.005, probe_max_backoff_s=0.05,
+)
+
+
+def script_faults(inj: FaultInjector, rng: random.Random) -> None:
+    """A random fault schedule: transient blips always, sometimes a
+    persistent outage, sometimes a sticky crash."""
+    if rng.random() < 0.7:
+        inj.fail(
+            "wal.*", err=rng.choice((errno.ENOSPC, errno.EIO)),
+            times=rng.randrange(1, 3),
+        )
+    if rng.random() < 0.5:
+        inj.fail("ckpt.*", err=errno.EIO, times=rng.randrange(1, 4))
+    if rng.random() < 0.3:
+        inj.fail("wal.write", err=errno.ENOSPC)  # persistent outage
+    if rng.random() < 0.6:
+        inj.crash_at(rng.randrange(2, 50))
+
+
+def chaos_round(data_dir, rng, inj, *, on_invalid, engine_kwargs):
+    """One faulted engine generation; tolerated failures are absorbed
+    (that is the point: the *directory* must stay recoverable)."""
+    engine = None
+    try:
+        engine = ServeEngine(
+            make_graph(seed=GRAPH_SEED), data_dir=str(data_dir),
+            batch_size=4, on_invalid=on_invalid,
+            checkpoint_on_stop=False, **FAST, **engine_kwargs,
+        )
+        engine.start()
+        # A stale graph copy makes some ops infeasible against the
+        # recovered state: "skip" rounds skip them, "raise" rounds
+        # poison whole batches into quarantine.
+        ops = mixed_update_stream(
+            make_graph(seed=GRAPH_SEED), 16,
+            seed=rng.randrange(2**20),
+        )
+        for op in ops:
+            try:
+                engine.submit(*op)
+            except TOLERATED:
+                break
+        engine.flush(timeout=30.0)
+    except TOLERATED:
+        pass
+    finally:
+        if engine is not None:
+            try:
+                engine.stop(timeout=30.0)
+            except TOLERATED:
+                pass
+
+
+def archive(inj: FaultInjector, variant: str, round_no: int) -> None:
+    log_dir = os.environ.get("CHAOS_LOG_DIR")
+    if log_dir:
+        inj.dump_log(
+            os.path.join(log_dir, f"soak-{variant}.jsonl")
+        )
+
+
+def soak(data_dir, variant: str, engine_kwargs) -> None:
+    rng = random.Random(0xC4A05)
+    recovered_seq = None  # last_seq once anything ever recovered
+    for round_no in range(ROUNDS):
+        inj = FaultInjector()
+        script_faults(inj, rng)
+        on_invalid = "raise" if rng.random() < 0.4 else "skip"
+        with inj.installed():
+            chaos_round(
+                data_dir, rng, inj,
+                on_invalid=on_invalid, engine_kwargs=engine_kwargs,
+            )
+        archive(inj, variant, round_no)
+        # Invariant 1: whatever the faults did, the directory recovers
+        # — and deterministically.  (A crash during the very first
+        # bootstrap may leave nothing recoverable — legal exactly
+        # until the first successful recovery.)
+        try:
+            once = recover(data_dir)
+        except RecoveryError:
+            assert recovered_seq is None, (
+                f"round {round_no}: previously acked state vanished"
+            )
+            continue
+        twice = recover(data_dir)
+        assert (
+            once.counter.index.to_bytes()
+            == twice.counter.index.to_bytes()
+        ), f"round {round_no}: recovery is not deterministic"
+        assert once.last_seq == twice.last_seq
+        # Invariant 2: the durable history only ever grows.
+        assert once.last_seq >= (recovered_seq or 0)
+        recovered_seq = once.last_seq
+
+    # Final clean generation: no faults, a few more ops, clean stop.
+    engine = ServeEngine(
+        make_graph(seed=GRAPH_SEED), data_dir=str(data_dir),
+        batch_size=4, checkpoint_on_stop=False, **FAST, **engine_kwargs,
+    )
+    with engine:
+        ops = mixed_update_stream(engine.counter.graph, 8, seed=1)
+        engine.submit_many(ops)
+        engine.flush()
+    assert engine.failure is None
+    live = engine.counter
+    # Invariant 3: the restart oracle — recovery lands on exactly the
+    # state the last clean process served.
+    result = recover(data_dir)
+    assert_same_answers(result.counter, live)
+    return result
+
+
+class TestSoak:
+    def test_soak_with_checkpoints(self, tmp_path):
+        soak(tmp_path, "ckpt", dict(checkpoint_wal_bytes=256))
+
+    def test_soak_without_checkpoints_is_bit_identical_to_replay(
+        self, tmp_path
+    ):
+        # Suppress post-bootstrap checkpoints so the WAL survives from
+        # genesis: recovery must be BIT-identical to the framed replay
+        # of the surviving records (quarantined/aborted ones skipped).
+        result = soak(
+            tmp_path, "nockpt",
+            dict(checkpoint_wal_bytes=1 << 30),
+        )
+        scan = read_wal(tmp_path / "wal")
+        reference = replay_reference(
+            make_graph(seed=GRAPH_SEED), scan.records,
+            aborted=scan.aborted,
+        )
+        assert (
+            result.counter.index.to_bytes()
+            == reference.index.to_bytes()
+        )
+        assert result.counter.graph == reference.graph

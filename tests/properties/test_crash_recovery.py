@@ -32,8 +32,8 @@ from repro.graph.digraph import DiGraph
 from repro.persist import (
     DurabilityManager,
     SimulatedCrash,
+    fault_scope,
     recover,
-    set_fault_hook,
 )
 from repro.persist.wal import BATCH, WalRecord
 
@@ -153,27 +153,24 @@ def crash_run(tmp_path, tag, graph, plan, crash_at):
         if events[0] == crash_at:
             raise SimulatedCrash(f"at event {events[0]}")
 
-    set_fault_hook(hook)
     harness = None
     crashed = False
-    try:
-        harness = WriterHarness(data_dir, graph, plan)
-        harness.run()
-    except SimulatedCrash:
-        crashed = True
-    finally:
-        set_fault_hook(None)
+    with fault_scope(hook):
+        try:
+            harness = WriterHarness(data_dir, graph, plan)
+            harness.run()
+        except SimulatedCrash:
+            crashed = True
     return data_dir, harness, crashed
 
 
 def count_events(tmp_path, graph, plan) -> int:
     events = [0]
-    set_fault_hook(lambda _tag: events.__setitem__(0, events[0] + 1))
-    try:
+    with fault_scope(
+        lambda _tag: events.__setitem__(0, events[0] + 1)
+    ):
         harness = WriterHarness(tmp_path / "count", graph, plan)
         harness.run()
-    finally:
-        set_fault_hook(None)
     return events[0]
 
 

@@ -141,7 +141,11 @@ class TestServeEngine:
             assert engine.stats().ops_submitted == 0
 
     def test_raise_policy_failure_surfaces_at_flush(self, chain):
-        engine = ServeEngine(chain, on_invalid="raise").start()
+        # on_poison="fail" opts out of quarantine: deterministic batch
+        # errors stay sticky failures surfaced by flush().
+        engine = ServeEngine(
+            chain, on_invalid="raise", on_poison="fail"
+        ).start()
         engine.submit("delete", 3, 0)  # infeasible -> batch raises
         with pytest.raises(Exception):
             engine.flush(timeout=60)

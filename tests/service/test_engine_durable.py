@@ -60,7 +60,8 @@ class TestDurableEngine:
         existing = next(iter(graph.edges()))
         engine = ServeEngine(
             graph, batch_size=4, data_dir=str(tmp_path),
-            on_invalid="raise", checkpoint_on_stop=False,
+            on_invalid="raise", on_poison="fail",
+            checkpoint_on_stop=False,
         )
         engine.start()
         live_before = engine.counter.index.to_bytes()

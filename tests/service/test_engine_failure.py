@@ -64,7 +64,9 @@ class TestStickyFailure:
         """A reported failure must stay observable: with the queue fully
         consumed, a second flush over the same window must not pretend
         the earlier batch succeeded when the writer has since died."""
-        engine = ServeEngine(chain, on_invalid="raise").start()
+        engine = ServeEngine(
+            chain, on_invalid="raise", on_poison="fail"
+        ).start()
         engine.submit("delete", 3, 0)  # infeasible -> batch raises
         with pytest.raises(EdgeNotFoundError):
             engine.flush(timeout=60)
@@ -103,7 +105,9 @@ class TestStickyFailure:
         """The fix must not break the recovery contract: once a failure
         has been reported, a healthy writer keeps serving and later
         flushes of clean batches succeed."""
-        engine = ServeEngine(chain, on_invalid="raise").start()
+        engine = ServeEngine(
+            chain, on_invalid="raise", on_poison="fail"
+        ).start()
         engine.submit("delete", 3, 0)
         with pytest.raises(EdgeNotFoundError):
             engine.flush(timeout=60)
@@ -116,7 +120,9 @@ class TestStickyFailure:
         """A second, distinct batch failure after the first was reported
         must surface on the next flush (not be swallowed by the sticky
         record of the already-reported one)."""
-        engine = ServeEngine(chain, on_invalid="raise").start()
+        engine = ServeEngine(
+            chain, on_invalid="raise", on_poison="fail"
+        ).start()
         engine.submit("delete", 3, 0)
         with pytest.raises(EdgeNotFoundError):
             engine.flush(timeout=60)

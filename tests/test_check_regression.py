@@ -9,7 +9,12 @@ sys.path.insert(
     0, str(Path(__file__).resolve().parent.parent / "benchmarks")
 )
 
-from check_regression import classify, compare_trees, main  # noqa: E402
+from check_regression import (  # noqa: E402
+    classify,
+    compare_trees,
+    fresh_only_metrics,
+    main,
+)
 
 BASELINE = {
     "schema_version": 1,
@@ -56,7 +61,9 @@ def perturb(scale_throughput=1.0, scale_latency=1.0, scale_ratio=1.0):
 class TestClassify:
     def test_metric_keys(self):
         assert classify("speedup_vs_legacy") == (+1, "ratio")
-        assert classify("read_ratio_vs_idle") == (+1, "ratio")
+        # Reader-vs-writer scheduling on a contended host shifts this
+        # with no code change: machine-dependent, loose tolerance.
+        assert classify("read_ratio_vs_idle") == (+1, "absolute")
         assert classify("ops_per_sec") == (+1, "absolute")
         assert classify("p99_us") == (-1, "absolute")
         assert classify("recovery_warm_ms") == (-1, "absolute")
@@ -79,12 +86,12 @@ class TestClassify:
 
 class TestCompareTrees:
     def test_unchanged_run_passes(self):
-        diffs = compare_trees(BASELINE, perturb(), 0.35, 0.65)
+        diffs = compare_trees(BASELINE, perturb(), 0.55, 1.5)
         assert diffs and not any(d.regressed for d in diffs)
 
     def test_synthetic_throughput_slowdown_flagged(self):
         fresh = perturb(scale_throughput=0.25)  # 4x slower
-        diffs = compare_trees(BASELINE, fresh, 0.35, 0.65)
+        diffs = compare_trees(BASELINE, fresh, 0.55, 1.5)
         failed = {d.path for d in diffs if d.regressed}
         assert "aggregate.packed_ops_per_sec" in failed
         assert "datasets.G04.packed.ops_per_sec" in failed
@@ -93,7 +100,7 @@ class TestCompareTrees:
         fresh = perturb(scale_latency=3.0)
         failed = {
             d.path
-            for d in compare_trees(BASELINE, fresh, 0.35, 0.65)
+            for d in compare_trees(BASELINE, fresh, 0.55, 1.5)
             if d.regressed
         }
         assert "datasets.G04.packed.p50_us" in failed
@@ -107,39 +114,39 @@ class TestCompareTrees:
         fresh["datasets"]["G04"]["packed"]["p50_us"] = 30.0
         base = json.loads(json.dumps(BASELINE))
         base["datasets"]["G04"]["packed"]["p50_us"] = 6.0  # 5x worse
-        diffs = compare_trees(base, fresh, 0.35, 0.65)
+        diffs = compare_trees(base, fresh, 0.55, 1.5)
         p50 = next(
             d for d in diffs if d.path == "datasets.G04.packed.p50_us"
         )
-        assert p50.worse_by > 0.65 and not p50.regressed
+        assert p50.worse_by > 1.5 and not p50.regressed
 
     def test_ratio_regression_uses_tight_tolerance(self):
         fresh = perturb(scale_ratio=0.5)  # halved speedup
         failed = {
             d.path
-            for d in compare_trees(BASELINE, fresh, 0.35, 0.65)
+            for d in compare_trees(BASELINE, fresh, 0.55, 1.5)
             if d.regressed
         }
         assert "aggregate.speedup_vs_legacy" in failed
 
     def test_machine_noise_within_abs_tolerance_passes(self):
-        # 40% slower absolute numbers: plausible runner variance, and
-        # within the loose default absolute tolerance.
+        # ~1.7x slower absolute numbers: measured host-contention
+        # variance on a shared 1-CPU VM, within the loose default.
         fresh = perturb(scale_throughput=0.6, scale_latency=1.4)
-        diffs = compare_trees(BASELINE, fresh, 0.35, 0.65)
+        diffs = compare_trees(BASELINE, fresh, 0.55, 1.5)
         assert not any(d.regressed for d in diffs)
 
     def test_improvements_never_flagged(self):
         fresh = perturb(
             scale_throughput=5.0, scale_latency=0.1, scale_ratio=2.0
         )
-        diffs = compare_trees(BASELINE, fresh, 0.35, 0.65)
+        diffs = compare_trees(BASELINE, fresh, 0.55, 1.5)
         assert all(d.worse_by <= 0 for d in diffs)
 
     def test_bookkeeping_not_judged(self):
         fresh = perturb()
         fresh["datasets"]["G04"]["n"] = 7  # wildly different, ignored
-        diffs = compare_trees(BASELINE, fresh, 0.35, 0.65)
+        diffs = compare_trees(BASELINE, fresh, 0.55, 1.5)
         assert all(".n" != d.path[-2:] for d in diffs)
 
 
@@ -165,9 +172,11 @@ class TestMain:
     def test_tolerance_flag_is_respected(self, tmp_path):
         base = write(tmp_path, "base", BASELINE)
         fresh = write(tmp_path, "fresh", perturb(scale_ratio=0.5))
+        # A halved speedup is worse_by = 1.0: over the 0.55 default,
+        # under an explicitly widened tolerance.
         assert main(
             ["--baseline-dir", base, "--fresh-dir", fresh,
-             "--tolerance", "0.6"]
+             "--tolerance", "1.1"]
         ) == 0
 
     def test_missing_files_is_config_error(self, tmp_path):
@@ -184,3 +193,52 @@ class TestMain:
         assert main(
             ["--baseline-dir", base, "--fresh-dir", fresh]
         ) == 2
+
+
+class TestNewMetricsUngated:
+    def test_fresh_only_metrics_found(self):
+        fresh = perturb()
+        fresh["aggregate"]["recovery_mttr_ms"] = 42.0
+        fresh["datasets"]["G04"]["n_new"] = 9  # bookkeeping: not judged
+        news = fresh_only_metrics(BASELINE, fresh)
+        assert news == [("aggregate.recovery_mttr_ms", 42.0)]
+
+    def test_new_metric_reported_but_never_fails(self, tmp_path, capsys):
+        base = write(tmp_path, "base", BASELINE)
+        fresh_tree = perturb()
+        # A terrible-looking brand-new metric must not gate the run:
+        # there is no baseline leaf to judge it against.
+        fresh_tree["aggregate"]["read_availability_ratio"] = 0.0001
+        fresh = write(tmp_path, "fresh", fresh_tree)
+        assert main(
+            ["--baseline-dir", base, "--fresh-dir", fresh]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "new metric — ungated" in out
+        assert "read_availability_ratio" in out
+        assert "1 new metrics ungated" in out
+
+    def test_new_bench_file_announced_not_skipped(self, tmp_path, capsys):
+        base = write(tmp_path, "base", BASELINE)
+        fresh = write(tmp_path, "fresh", perturb())
+        (Path(fresh) / "BENCH_chaos.json").write_text(
+            json.dumps({"recovery_mttr_ms": 12.5})
+        )
+        assert main(
+            ["--baseline-dir", base, "--fresh-dir", fresh]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "BENCH_chaos.json: new benchmark file — ungated" in out
+
+    def test_ungated_only_run_is_not_config_error(self, tmp_path):
+        # Baseline and fresh pair up but share no judged leaves; the
+        # fresh side's metrics are all new.  That is a real (young)
+        # benchmark, not a misconfiguration.
+        base = write(tmp_path, "base", {"schema_version": 1})
+        fresh = write(
+            tmp_path, "fresh",
+            {"schema_version": 1, "aggregate": {"ops_per_sec": 10.0}},
+        )
+        assert main(
+            ["--baseline-dir", base, "--fresh-dir", fresh]
+        ) == 0

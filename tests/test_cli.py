@@ -236,3 +236,87 @@ class TestOperationalErrorHandling:
         monkeypatch.setitem(cli._COMMANDS, "serve", boom)
         assert main(["serve", fig2_file]) == 1
         assert "error: serve writer thread died" in capsys.readouterr().err
+
+
+class TestSelfHealingCli:
+    def test_serve_bounded_admission_flags(self, fig2_file, capsys):
+        assert main(
+            ["serve", fig2_file, "--readers", "1", "--ops", "32",
+             "--batch-size", "2", "--max-queue-depth", "4",
+             "--backpressure", "shed"]
+        ) == 0
+        out = capsys.readouterr().out
+        # The shed count is workload-timing dependent; the summary line
+        # appears whenever anything was shed/rejected/quarantined, and
+        # a fully-admitted run is also a pass.
+        assert "queries/s aggregate" in out
+
+    def test_backpressure_error_exits_one_with_message(
+        self, fig2_file, capsys, monkeypatch
+    ):
+        from repro import cli
+        from repro.errors import BackpressureError
+
+        def boom(args):
+            raise BackpressureError(8, 8, timed_out=True)
+
+        monkeypatch.setitem(cli._COMMANDS, "serve", boom)
+        assert main(["serve", fig2_file]) == 1
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: ")
+        assert "Traceback" not in captured.err
+
+    def test_read_only_rejection_exits_one_with_message(
+        self, fig2_file, capsys, monkeypatch
+    ):
+        from repro import cli
+        from repro.errors import EngineReadOnlyError
+
+        def boom(args):
+            raise EngineReadOnlyError(
+                "serving engine is read-only: durable acknowledgement "
+                "is unavailable"
+            )
+
+        monkeypatch.setitem(cli._COMMANDS, "serve", boom)
+        assert main(["serve", fig2_file]) == 1
+        captured = capsys.readouterr()
+        assert "error: serving engine is read-only" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_recover_dead_letter_empty(self, fig2_file, tmp_path, capsys):
+        data_dir = str(tmp_path / "ddir")
+        assert main(
+            ["serve", fig2_file, "--readers", "1", "--ops", "4",
+             "--batch-size", "2", "--data-dir", data_dir]
+        ) == 0
+        capsys.readouterr()
+        assert main(["recover", data_dir, "--dead-letter"]) == 0
+        assert "no dead letters in" in capsys.readouterr().out
+
+    def test_recover_dead_letter_lists_and_drains(self, tmp_path, capsys):
+        # Write a dead letter directly (the CLI serve path only
+        # quarantines on infeasible raise-policy batches).
+        from repro.persist import DeadLetter, DeadLetterLog
+        from repro.persist.deadletter import DEADLETTER_FILE
+
+        data_dir = tmp_path / "ddir"
+        data_dir.mkdir()
+        log = DeadLetterLog(data_dir / DEADLETTER_FILE)
+        log.append(DeadLetter(
+            seq=7, ops=(("insert", 0, 1),), on_invalid="raise",
+            rebuild_threshold=0.5, error="EdgeExistsError(0, 1)",
+        ))
+        log.close()
+        assert main(["recover", str(data_dir), "--dead-letter"]) == 0
+        out = capsys.readouterr().out
+        assert "1 quarantined batches" in out
+        assert "insert(0,1)" in out
+        assert "EdgeExistsError" in out
+        assert main(
+            ["recover", str(data_dir), "--dead-letter", "--drain"]
+        ) == 0
+        assert "drained" in capsys.readouterr().out
+        assert not (data_dir / DEADLETTER_FILE).exists()
+        assert main(["recover", str(data_dir), "--dead-letter"]) == 0
+        assert "no dead letters in" in capsys.readouterr().out
