@@ -90,3 +90,60 @@ def test_fig10_claim_csc_faster_on_high_cluster(
     import pytest
 
     pytest.skip("no high-degree clusters on this graph")
+
+
+# ---------------------------------------------------------------------------
+# Bulk (vectorized) query path
+# ---------------------------------------------------------------------------
+
+BULK_BATCH = 1000
+
+
+@pytest.fixture(scope="session")
+def bulk_workload(clusters, dataset_graph):
+    """Hot-set batches sampled with replacement from the Figure-10
+    cluster workload — the shape serving readers produce."""
+    import random
+
+    vertices = [
+        v for cluster in clusters.clusters.values() for v in cluster
+    ]
+    if not vertices:
+        pytest.skip("no cluster vertices on this graph")
+    rng = random.Random(1)
+    hot_vs = [rng.choice(vertices) for _ in range(BULK_BATCH)]
+    pair_pop = [
+        (rng.choice(vertices), rng.choice(vertices)) for _ in range(256)
+    ]
+    hot_pairs = [rng.choice(pair_pop) for _ in range(BULK_BATCH)]
+    return hot_vs, hot_pairs
+
+
+def _require_numpy():
+    from repro.core.bulk import numpy_available
+
+    if not numpy_available():
+        pytest.skip("bulk fast path needs NumPy")
+
+
+def test_fig10_csc_bulk_sccnt(benchmark, csc_index, bulk_workload,
+                              dataset_name):
+    _require_numpy()
+    hot_vs, _ = bulk_workload
+    # Never time a divergent kernel.
+    assert csc_index.sccnt_many(hot_vs) == [
+        csc_index.sccnt(v) for v in hot_vs
+    ]
+    benchmark(lambda: csc_index.sccnt_many(hot_vs))
+    benchmark.extra_info.update(dataset=dataset_name, queries=BULK_BATCH)
+
+
+def test_fig10_csc_bulk_spcnt(benchmark, csc_index, bulk_workload,
+                              dataset_name):
+    _require_numpy()
+    _, hot_pairs = bulk_workload
+    assert csc_index.spcnt_many(hot_pairs) == [
+        csc_index.spcnt(x, y) for x, y in hot_pairs
+    ]
+    benchmark(lambda: csc_index.spcnt_many(hot_pairs))
+    benchmark.extra_info.update(dataset=dataset_name, queries=BULK_BATCH)

@@ -6,7 +6,9 @@ Commands
 * ``build <edgelist> <index> [--workers N]`` — build a CSC index
   (optionally with the multi-process wave builder) and persist it;
 * ``query <index> <vertex> [vertex ...]`` — SCCnt queries over a saved
-  index;
+  index; ``--batch FILE`` reads a whole query batch (one vertex per
+  line for SCCnt, two for SPCnt pairs) and answers it through the
+  vectorized bulk kernels;
 * ``profile <edgelist>`` — whole-graph cycle profile (girth, length
   distribution, top vertices);
 * ``batch-update <edgelist>`` — replay a mixed update stream through the
@@ -63,7 +65,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("query", help="SCCnt queries over a saved index")
     p.add_argument("index")
-    p.add_argument("vertices", nargs="+", type=int)
+    p.add_argument("vertices", nargs="*", type=int)
+    p.add_argument("--batch", default=None, metavar="FILE",
+                   help="answer a batch file via the bulk kernels: one "
+                        "vertex id per line = SCCnt, two ids per line = "
+                        "SPCnt pairs (uniform within the file; blank "
+                        "lines and #-comments ignored)")
 
     p = sub.add_parser("profile", help="whole-graph cycle profile")
     p.add_argument("edgelist")
@@ -201,6 +208,16 @@ def _cmd_build(args) -> int:
 
 def _cmd_query(args) -> int:
     counter = ShortestCycleCounter.load(args.index)
+    if args.batch is not None:
+        if args.vertices:
+            print("error: give either positional vertices or --batch, "
+                  "not both", file=sys.stderr)
+            return 2
+        return _query_batch(counter, args.batch)
+    if not args.vertices:
+        print("error: no vertices given (and no --batch file)",
+              file=sys.stderr)
+        return 2
     rows = []
     for v in args.vertices:
         if not 0 <= v < counter.graph.n:
@@ -212,6 +229,62 @@ def _cmd_query(args) -> int:
             [v, result.count, result.length if result.has_cycle else "-"]
         )
     print(format_table(["vertex", "sccnt", "length"], rows))
+    return 0
+
+
+def _query_batch(counter: ShortestCycleCounter, path: str) -> int:
+    """Answer a batch file through the bulk kernels (1 id per line =
+    SCCnt, 2 ids = SPCnt pairs; arity must be uniform)."""
+    from repro.errors import BatchVertexError
+
+    rows_in: list[list[int]] = []
+    try:
+        with open(path, encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, 1):
+                tokens = line.split("#", 1)[0].split()
+                if not tokens:
+                    continue
+                if len(tokens) > 2:
+                    print(f"error: {path}:{lineno}: expected 1 or 2 "
+                          f"ids per line, got {len(tokens)}",
+                          file=sys.stderr)
+                    return 2
+                try:
+                    rows_in.append([int(t) for t in tokens])
+                except ValueError:
+                    print(f"error: {path}:{lineno}: non-integer id",
+                          file=sys.stderr)
+                    return 2
+    except OSError as exc:
+        print(f"error: cannot read batch file: {exc}", file=sys.stderr)
+        return 2
+    if not rows_in:
+        print(f"error: batch file {path} holds no queries",
+              file=sys.stderr)
+        return 2
+    arities = {len(r) for r in rows_in}
+    if len(arities) != 1:
+        print(f"error: {path} mixes SCCnt (1 id) and SPCnt (2 id) "
+              "lines; one arity per file", file=sys.stderr)
+        return 2
+    try:
+        if arities == {1}:
+            results = counter.count_many([r[0] for r in rows_in])
+            rows = [
+                [r[0], c.count, c.length if c.has_cycle else "-"]
+                for r, c in zip(rows_in, results)
+            ]
+            print(format_table(["vertex", "sccnt", "length"], rows))
+        else:
+            results = counter.spcnt_many([(r[0], r[1]) for r in rows_in])
+            rows = [
+                [r[0], r[1], c.count, c.dist if c.reachable else "-"]
+                for r, c in zip(rows_in, results)
+            ]
+            print(format_table(["x", "y", "spcnt", "dist"], rows))
+    except BatchVertexError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 

@@ -1,0 +1,614 @@
+"""Vectorized bulk-query kernels over the packed label store.
+
+The packed ``array('Q')`` layout from :mod:`repro.labeling.labelstore`
+is one cast away from NumPy ``uint64`` views: concatenating the
+per-vertex words into one flat column plus an ``offsets`` prefix-sum
+gives the flat-parallel-array shape the C++ hub-labeling exemplars use,
+and the 23/17/24-bit fields fall out with a shift and a mask.  On top
+of that view :func:`sccnt_many` and :func:`spcnt_many` evaluate
+thousands of queries per call with *no Python-level per-pair loop*:
+
+- duplicate queries are answered once (``np.unique`` — SCCnt/SPCnt are
+  pure functions of their ids, and batched serving traffic repeats hot
+  vertices);
+- the iterate side of each merge-join is scanned in distance-sorted
+  chunks across *all* live queries at once (a vectorized wavefront),
+  with per-query early exit on the same ``d > best`` bound the scalar
+  kernels use — chunks double geometrically so stragglers finish in
+  O(log) rounds;
+- each chunk probes the other side through a per-batch dense
+  ``(vertex, hub) -> row`` matrix (one O(1) gather per probe) or,
+  above a size cap, a binary search on the per-epoch global sorted
+  ``(vertex << VERTEX_BITS) | hub`` key column — hubs are 23-bit, so
+  the composite key is exact in ``uint64`` and sorted by construction.
+
+Exactness: vectorized counts are the raw 24-bit fields, which saturate
+at ``COUNT_SATURATED`` (the exact value then lives in the store's
+overflow dict and may exceed ``uint64``).  Any query whose best
+distance is witnessed by a saturated entry — and any query with more
+best-distance terms than the uint64-safe bound — is re-answered by the
+scalar kernel, which consults the overflow tables.  The bulk results
+are therefore bit-identical to a scalar loop by construction.
+
+NumPy is an *optional* dependency: when it is absent (or
+``REPRO_NO_NUMPY`` is set) the same entry points validate, then fall
+back to the scalar kernels, so behavior — including the typed
+whole-batch :class:`~repro.errors.BatchVertexError` validation and the
+:class:`~repro.errors.StaleLabelError` tombstone check — is identical
+either way.
+
+``workers > 1`` fans a batch out across the PR 4 forkserver pool: the
+frozen stores cross the pipe in the RPLS per-vertex memcpy format
+(``LabelStore.to_bytes`` — one ``memcpy`` per vertex, no per-entry
+pickling) and each worker answers its contiguous chunk with these same
+kernels.
+"""
+
+from __future__ import annotations
+
+import os
+from operator import index as _as_int
+from typing import TYPE_CHECKING, Sequence
+
+from repro.errors import BatchVertexError, StaleLabelError
+from repro.labeling.labelstore import COUNT_SATURATED, LabelStore
+from repro.labeling.packing import COUNT_BITS, DISTANCE_BITS, VERTEX_BITS
+from repro.types import NO_CYCLE, NO_PATH, CycleCount, PathCount
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.core.csc import CSCIndex
+
+try:  # pragma: no cover - exercised by the no-numpy CI leg
+    if os.environ.get("REPRO_NO_NUMPY"):
+        raise ImportError("numpy disabled via REPRO_NO_NUMPY")
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+UNREACHED = 1 << 60  # mirrors labelstore.UNREACHED (probe-miss sentinel)
+
+_DIST_MASK = (1 << DISTANCE_BITS) - 1
+_COUNT_MASK = (1 << COUNT_BITS) - 1
+
+# Non-saturated counts are <= 2^24 - 2, so a meet-count product is
+# < 2^48 and a sum of up to 2^15 products stays < 2^63: safely exact in
+# uint64.  Queries with more best-distance terms fall back to scalar.
+_SAFE_TERMS = 1 << 15
+
+# Ceiling on (unique probe vertices) x (store vertices) for the dense
+# probe matrix (int32 entries; 2^23 entries = 32 MiB).  Batches over
+# that fall back to binary search on the global probe-key column.
+_PROBE_MATRIX_CAP = 1 << 23
+
+# Iterate-side rows consumed per query in the first wavefront round.
+# Most queries settle in one or two rounds (the distance-sorted prefix
+# contains the meet hubs), so a small first chunk keeps the touched-row
+# total close to the scalar early-exit scan; the chunk then doubles per
+# round (capped) so stragglers — e.g. unreachable pairs, which must
+# scan their whole segment — finish in O(log) rounds instead of paying
+# per-round overhead linearly.
+_CHUNK = 8
+_CHUNK_MAX = 256
+
+#: SPCnt(x, x) — the empty path (shared: PathCount is immutable).
+_PATH_SELF = PathCount(1, 0)
+
+
+def numpy_available() -> bool:
+    """True when the vectorized backend is active (NumPy importable and
+    not disabled via ``REPRO_NO_NUMPY``)."""
+    return _np is not None
+
+
+# ---------------------------------------------------------------------------
+# Column projection of a LabelStore (lazily cached on the store)
+# ---------------------------------------------------------------------------
+
+
+class StoreColumns:
+    """Flat NumPy projection of one :class:`LabelStore`.
+
+    Label-order columns (``hubs`` sorted within each vertex segment)
+    plus two lazily derived views: a global sorted probe-key column for
+    ``searchsorted`` hub lookups, and a distance-sorted per-segment
+    permutation for the early-exit wavefront scan.
+
+    Content-immutable once built: the words are an eager copy, so a
+    projection built on a live store stays valid for the frozen
+    snapshots that store spawned (``LabelStore.snapshot`` shares it)
+    while the live store drops its own reference on the next mutation.
+    """
+
+    __slots__ = ("offsets", "hubs", "dists", "counts", "sat",
+                 "_canon", "_flags", "_probe_keys", "_bydist")
+
+    @property
+    def probe_keys(self):
+        """Global sorted ``(vertex << VERTEX_BITS) | hub`` key column in
+        label order — one binary search resolves any (vertex, hub) pair
+        to its flat row."""
+        keys = self._probe_keys
+        if keys is None:
+            np = _np
+            seg = np.repeat(
+                np.arange(len(self.offsets) - 1, dtype=np.uint64),
+                np.diff(self.offsets),
+            )
+            keys = (seg << np.uint64(VERTEX_BITS)) | self.hubs
+            self._probe_keys = keys
+        return keys
+
+    @property
+    def bydist(self):
+        """``(hubs, dists, counts, sat)`` re-ordered distance-ascending
+        within each vertex segment (segment boundaries unchanged) — the
+        iterate-side layout for the early-exit wavefront."""
+        view = self._bydist
+        if view is None:
+            np = _np
+            seg = np.repeat(
+                np.arange(len(self.offsets) - 1, dtype=np.int64),
+                np.diff(self.offsets),
+            )
+            order = np.lexsort((self.dists, seg))
+            view = (self.hubs[order], self.dists[order],
+                    self.counts[order], self.sat[order])
+            self._bydist = view
+        return view
+
+    @property
+    def flags(self):
+        """Canonical-flag column, decoded lazily from the per-vertex
+        Python-int bitsets captured at build time."""
+        f = self._flags
+        if f is None:
+            np = _np
+            f = np.zeros(len(self.hubs), dtype=bool)
+            offsets = self.offsets
+            for v, bits in enumerate(self._canon):
+                if bits:
+                    lo = int(offsets[v])
+                    k = int(offsets[v + 1]) - lo
+                    nbytes = max((k + 7) // 8, (bits.bit_length() + 7) // 8)
+                    raw = np.frombuffer(
+                        bits.to_bytes(nbytes, "little"), dtype=np.uint8
+                    )
+                    f[lo:lo + k] = np.unpackbits(
+                        raw, bitorder="little", count=k
+                    ).view(bool)
+            self._flags = f
+        return f
+
+
+def store_columns(store: LabelStore) -> StoreColumns:
+    """Return the store's cached column projection, building it on first
+    use.  Mutating methods invalidate the cache; frozen snapshots share
+    the projection of the store they were taken from."""
+    cols = store._cols
+    if cols is None:
+        cols = store._cols = _build_columns(store)
+    return cols
+
+
+def _build_columns(store: LabelStore) -> StoreColumns:
+    np = _np
+    packed = store.packed
+    n = len(packed)
+    lens = np.fromiter((len(a) for a in packed), dtype=np.int64, count=n)
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(lens, out=offsets[1:])
+    words = np.empty(int(offsets[-1]), dtype=np.uint64)
+    at = 0
+    for arr in packed:
+        k = len(arr)
+        if k:
+            # array('Q') is native-endian 64-bit: a straight buffer cast.
+            words[at:at + k] = np.frombuffer(arr, dtype=np.uint64)
+            at += k
+    cols = StoreColumns()
+    cols.offsets = offsets
+    cols.hubs = words >> np.uint64(DISTANCE_BITS + COUNT_BITS)
+    cols.dists = (words >> np.uint64(COUNT_BITS)) & np.uint64(_DIST_MASK)
+    cols.counts = words & np.uint64(_COUNT_MASK)
+    cols.sat = cols.counts == np.uint64(COUNT_SATURATED)
+    cols._canon = list(store.canon)  # ints are immutable: cheap capture
+    cols._flags = None
+    cols._probe_keys = None
+    cols._bydist = None
+    return cols
+
+
+# ---------------------------------------------------------------------------
+# Validation (shared by the NumPy and fallback paths)
+# ---------------------------------------------------------------------------
+
+
+def _check_stale(index: CSCIndex) -> None:
+    if index.store_in._stale or index.store_out._stale:
+        raise StaleLabelError(
+            "labels have deferred-repair tombstones; query a clean "
+            "snapshot until the background repair completes"
+        )
+
+
+def _coerce_vertices(vertices: Sequence[int], n: int) -> list[int]:
+    # operator.index mirrors list-subscript coercion (rejects floats,
+    # accepts NumPy integers); the range check is whole-batch so a bad
+    # id can never surface as a mid-batch IndexError from a gather.
+    vs = [_as_int(v) for v in vertices]
+    bad = [(i, v) for i, v in enumerate(vs) if not 0 <= v < n]
+    if bad:
+        raise BatchVertexError(bad, n)
+    return vs
+
+
+def _coerce_pairs(
+    pairs: Sequence[tuple[int, int]], n: int
+) -> tuple[list[int], list[int]]:
+    xs: list[int] = []
+    ys: list[int] = []
+    for x, y in pairs:
+        xs.append(_as_int(x))
+        ys.append(_as_int(y))
+    bad = [
+        (i, v)
+        for i, xy in enumerate(zip(xs, ys))
+        for v in xy
+        if not 0 <= v < n
+    ]
+    if bad:
+        raise BatchVertexError(bad, n)
+    return xs, ys
+
+
+def _as_id_array(vertices: Sequence[int], n: int):
+    """Vectorized variant of :func:`_coerce_vertices` returning an int64
+    array; falls back to the element-wise path for exotic inputs so the
+    error behavior (TypeError for floats, BatchVertexError naming every
+    offender) is identical."""
+    np = _np
+    try:
+        arr = np.asarray(vertices)
+    except Exception:
+        return np.asarray(_coerce_vertices(vertices, n), dtype=np.int64)
+    if arr.ndim != 1 or arr.dtype.kind not in "iu":
+        return np.asarray(_coerce_vertices(vertices, n), dtype=np.int64)
+    arr = arr.astype(np.int64, copy=False)
+    bad = np.nonzero((arr < 0) | (arr >= n))[0]
+    if len(bad):
+        raise BatchVertexError([(int(i), int(arr[i])) for i in bad], n)
+    return arr
+
+
+# ---------------------------------------------------------------------------
+# Wavefront join engine
+# ---------------------------------------------------------------------------
+
+
+def _segment_gather(begin, end):
+    """Flat row positions and query ids for per-query segments.
+
+    ``begin``/``end`` are int64 arrays (one segment per query, slices
+    into a column).  Returns ``(pos, qid)`` where ``pos[j]`` is the flat
+    column row of the j-th gathered entry and ``qid`` is nondecreasing.
+    """
+    np = _np
+    lens = end - begin
+    total = int(lens.sum())
+    qid = np.repeat(np.arange(len(begin), dtype=np.int64), lens)
+    starts = np.cumsum(lens) - lens
+    pos = np.repeat(begin - starts, lens) + np.arange(total, dtype=np.int64)
+    return pos, qid
+
+
+def _probe(pcols: StoreColumns, keys):
+    """Rows of ``pcols`` whose probe key equals ``keys[i]`` (or -1)."""
+    np = _np
+    pkeys = pcols.probe_keys
+    if not len(pkeys) or not len(keys):
+        return np.full(len(keys), -1, dtype=np.int64)
+    at = np.searchsorted(pkeys, keys)
+    hit = pkeys[np.minimum(at, len(pkeys) - 1)] == keys
+    return np.where(hit, at, -1)
+
+
+def _wave_join(icols: StoreColumns, pcols: StoreColumns, iv, pv,
+               shift: int, px=None):
+    """Early-exit merge-join of one batch of (iterate, probe) vertex
+    pairs: scans ``icols``'s segments of ``iv`` distance-ascending in
+    chunks, probing ``pcols``'s segments of ``pv`` by hub, pruning each
+    query once its next iterate distance can no longer reach its best.
+
+    ``shift`` is added to every joined distance (0 for SCCnt, 1 for
+    SPCnt's couple edge).  ``px`` (SPCnt) names a per-query hub to skip
+    on the iterate side — the couple hub, contributed separately via a
+    direct probe at derived distance 0.
+
+    Returns ``(best, total, redo)`` per query; ``redo`` flags queries
+    whose best distance involves a saturated count or too many terms
+    for uint64-exact summation (the caller re-answers those through the
+    scalar kernel and its overflow tables).
+    """
+    np = _np
+    nq = len(iv)
+    ihubs, idists, icounts, isat = icols.bydist
+    off = icols.offsets
+    begin = off[iv]
+    seg_len = off[iv + 1] - begin
+    cursor = np.zeros(nq, dtype=np.int64)
+    unreached = np.uint64(UNREACHED)
+    sh = np.uint64(shift)
+    best = np.full(nq, unreached, dtype=np.uint64)
+
+    # Probe-side lookup: a dense (unique probe vertex, hub) -> flat-row
+    # matrix makes each probe one O(1) gather instead of a binary
+    # search; batches whose matrix would not fit fall back to
+    # searchsorted over the global probe-key column.
+    n_p = len(pcols.offsets) - 1
+    upv, pvd = np.unique(pv, return_inverse=True)
+    matrix = None
+    pv64 = None
+    if len(upv) * n_p <= _PROBE_MATRIX_CAP:
+        ppos, pseg = _segment_gather(
+            pcols.offsets[upv], pcols.offsets[upv + 1])
+        matrix = np.full((len(upv), n_p), -1, dtype=np.int32)
+        matrix[pseg, pcols.hubs[ppos]] = ppos
+    else:
+        pv64 = pv.astype(np.uint64) << np.uint64(VERTEX_BITS)
+
+    acc_q: list = []
+    acc_d: list = []
+    acc_c: list = []
+    acc_s: list = []
+
+    if px is not None:
+        # Couple-hub probe: Lin(y) carrying hub x_in, derived distance 0.
+        iv64 = iv.astype(np.uint64) << np.uint64(VERTEX_BITS)
+        rows = _probe(icols, iv64 | px)
+        hit = np.nonzero(rows >= 0)[0]
+        if len(hit):
+            r = rows[hit]
+            d0 = icols.dists[r]
+            best[hit] = d0
+            acc_q.append(hit)
+            acc_d.append(d0)
+            acc_c.append(icols.counts[r])
+            acc_s.append(icols.sat[r])
+
+    live = np.nonzero(seg_len > 0)[0]
+    chunk = _CHUNK
+    while len(live):
+        lb = begin[live] + cursor[live]
+        take = np.minimum(seg_len[live] - cursor[live], chunk)
+        chunk = min(chunk * 2, _CHUNK_MAX)
+        rpos, rq_local = _segment_gather(lb, lb + take)
+        rq = live[rq_local]
+        d_it = idists[rpos]
+        hub_it = ihubs[rpos]
+        if matrix is not None:
+            rows = matrix[pvd[rq], hub_it]
+        else:
+            rows = _probe(pcols, pv64[rq] | hub_it)
+        # One mask: real intersection, still able to reach the query's
+        # current best (the scalar early-exit bound), not the couple hub.
+        ok = (rows >= 0) & (d_it + sh <= best[rq])
+        if px is not None:
+            ok &= hub_it != px[rq]
+        hit = np.nonzero(ok)[0]
+        if len(hit):
+            r = rows[hit]
+            hq = rq[hit]
+            d = d_it[hit] + sh + pcols.dists[r]
+            np.minimum.at(best, hq, d)
+            acc_q.append(hq)
+            acc_d.append(d)
+            acc_c.append(icounts[rpos[hit]] * pcols.counts[r])
+            acc_s.append(isat[rpos[hit]] | pcols.sat[r])
+        cursor[live] += take
+        cand = live[cursor[live] < seg_len[live]]
+        if len(cand):
+            nxt = idists[begin[cand] + cursor[cand]]
+            live = cand[nxt + sh <= best[cand]]
+        else:
+            live = cand
+
+    total = np.zeros(nq, dtype=np.uint64)
+    if acc_q:
+        qa = np.concatenate(acc_q)
+        da = np.concatenate(acc_d)
+        ca = np.concatenate(acc_c)
+        sa = np.concatenate(acc_s)
+        at_best = da == best[qa]
+        qa = qa[at_best]
+        np.add.at(total, qa, ca[at_best])
+        nterms = np.bincount(qa, minlength=nq)
+        has_sat = np.zeros(nq, dtype=bool)
+        has_sat[qa[sa[at_best]]] = True
+    else:
+        nterms = np.zeros(nq, dtype=np.int64)
+        has_sat = np.zeros(nq, dtype=bool)
+    redo = has_sat | (nterms > _SAFE_TERMS)
+    return best, total, redo
+
+
+# ---------------------------------------------------------------------------
+# Bulk SCCnt
+# ---------------------------------------------------------------------------
+
+
+def sccnt_many(
+    index: CSCIndex,
+    vertices: Sequence[int],
+    *,
+    workers: int | None = None,
+) -> list[CycleCount]:
+    """Count shortest cycles through each vertex of a batch.
+
+    Bit-identical to ``[index.sccnt(v) for v in vertices]``, evaluated
+    through the vectorized backend when NumPy is available.  Raises
+    :class:`BatchVertexError` naming every out-of-range id before any
+    query runs, and :class:`StaleLabelError` when the store carries
+    deferred-repair tombstones (exactly like the scalar path).
+    """
+    _check_stale(index)
+    n = len(index.store_in)
+    if _np is None:
+        vs = _coerce_vertices(vertices, n)
+        if workers is not None and workers > 1 and vs:
+            return _pooled_query(index, "sccnt", vs, workers)
+        sccnt = index.sccnt
+        return [sccnt(v) for v in vs]
+    arr = _as_id_array(vertices, n)
+    if not len(arr):
+        return []
+    if workers is not None and workers > 1:
+        return _pooled_query(index, "sccnt", arr.tolist(), workers)
+    return _sccnt_many_np(index, arr)
+
+
+def _sccnt_many_np(index: CSCIndex, arr) -> list[CycleCount]:
+    np = _np
+    uq, inv = np.unique(arr, return_inverse=True)
+    best, total, redo = _wave_join(
+        store_columns(index.store_in),
+        store_columns(index.store_out),
+        uq, uq, 0,
+    )
+    # Materialize per unique vertex: prefill the NO_CYCLE misses, build
+    # tuples only for the hits, rerun saturated/overflow queries through
+    # the exact scalar kernel.
+    res_u: list[CycleCount] = [NO_CYCLE] * len(uq)
+    hits = np.nonzero((total != 0) & (best != np.uint64(UNREACHED))
+                      & ~redo)[0]
+    counts = total[hits].tolist()
+    lengths = ((best[hits] + np.uint64(1)) >> np.uint64(1)).tolist()
+    new = tuple.__new__
+    for k, j in enumerate(hits.tolist()):
+        res_u[j] = new(CycleCount, (counts[k], lengths[k]))
+    if redo.any():
+        sccnt = index.sccnt
+        for j in np.nonzero(redo)[0].tolist():
+            res_u[j] = sccnt(int(uq[j]))
+    return [res_u[j] for j in inv.tolist()]
+
+
+# ---------------------------------------------------------------------------
+# Bulk SPCnt
+# ---------------------------------------------------------------------------
+
+
+def spcnt_many(
+    index: CSCIndex,
+    pairs: Sequence[tuple[int, int]],
+    *,
+    workers: int | None = None,
+) -> list[PathCount]:
+    """Count shortest x→y paths for each pair of a batch.
+
+    Bit-identical to ``[index.spcnt(x, y) for x, y in pairs]``; same
+    validation and staleness contract as :func:`sccnt_many`.
+    """
+    _check_stale(index)
+    n = len(index.store_in)
+    if _np is None:
+        xs, ys = _coerce_pairs(pairs, n)
+        if workers is not None and workers > 1 and xs:
+            return _pooled_query(index, "spcnt", list(zip(xs, ys)), workers)
+        spcnt = index.spcnt
+        return [spcnt(x, y) for x, y in zip(xs, ys)]
+    np = _np
+    try:
+        arr = np.asarray(pairs)
+        ok = arr.ndim == 2 and arr.shape[1] == 2 and arr.dtype.kind in "iu"
+    except Exception:
+        ok = False
+    if ok:
+        arr = arr.astype(np.int64, copy=False)
+        bad_rows = np.nonzero((arr < 0) | (arr >= n))
+        if len(bad_rows[0]):
+            raise BatchVertexError(
+                [(int(i), int(arr[i, j]))
+                 for i, j in zip(bad_rows[0], bad_rows[1])], n)
+        x, y = arr[:, 0], arr[:, 1]
+    else:
+        xs, ys = _coerce_pairs(pairs, n)
+        x = np.asarray(xs, dtype=np.int64)
+        y = np.asarray(ys, dtype=np.int64)
+    if not len(x):
+        return []
+    if workers is not None and workers > 1:
+        return _pooled_query(
+            index, "spcnt", list(zip(x.tolist(), y.tolist())), workers)
+    return _spcnt_many_np(index, x, y)
+
+
+def _spcnt_many_np(index: CSCIndex, x, y) -> list[PathCount]:
+    np = _np
+    # Dedup on the composite pair key (both ids fit VERTEX_BITS).
+    pk = (x << VERTEX_BITS) | y
+    upk, inv = np.unique(pk, return_inverse=True)
+    ux = upk >> VERTEX_BITS
+    uy = upk & ((1 << VERTEX_BITS) - 1)
+    px = np.asarray(index.pos, dtype=np.uint64)[ux]
+    best, total, redo = _wave_join(
+        store_columns(index.store_in),
+        store_columns(index.store_out),
+        uy, ux, 1, px=px,
+    )
+    same = ux == uy
+    res_u: list[PathCount] = [NO_PATH] * len(ux)
+    hits = np.nonzero((total != 0) & (best != np.uint64(UNREACHED))
+                      & ~redo & ~same)[0]
+    counts = total[hits].tolist()
+    dists = (best[hits] >> np.uint64(1)).tolist()
+    new = tuple.__new__
+    for k, j in enumerate(hits.tolist()):
+        res_u[j] = new(PathCount, (counts[k], dists[k]))
+    for j in np.nonzero(same)[0].tolist():
+        res_u[j] = _PATH_SELF  # the empty path, as in scalar spcnt
+    redo &= ~same
+    if redo.any():
+        spcnt = index.spcnt
+        for j in np.nonzero(redo)[0].tolist():
+            res_u[j] = spcnt(int(ux[j]), int(uy[j]))
+    return [res_u[j] for j in inv.tolist()]
+
+
+# ---------------------------------------------------------------------------
+# Pool fan-out (zero-copy snapshot transport)
+# ---------------------------------------------------------------------------
+
+
+def _pooled_query(index: CSCIndex, kind: str, items: list, workers: int):
+    """Fan a validated batch out across the long-lived build pool.
+
+    The frozen label stores cross the worker pipes once, in the RPLS
+    per-vertex memcpy format (no per-entry pickling); each worker builds
+    a query-only index replica and answers its contiguous chunk with the
+    same bulk kernels, so results are bit-identical to in-process
+    evaluation and reassemble in submission order.
+    """
+    from repro.build.parallel import _POOL_LOCK, _chunk, _get_pool
+
+    blob_in = index.store_in.to_bytes()
+    blob_out = index.store_out.to_bytes()
+    order = list(index.order)
+    with _POOL_LOCK:
+        pool = _get_pool(workers)
+        chunks = _chunk(items, pool.size)
+        pool.broadcast(("qinit", order, blob_in, blob_out))
+        for i in range(pool.size):
+            while pool._recv(i)[0] != "ready":
+                pass
+        busy = []
+        for i, chunk in enumerate(chunks):
+            if chunk:
+                pool._send(i, ("query", kind, chunk))
+                busy.append(i)
+        parts = {i: pool._recv(i) for i in busy}
+    results: list = []
+    for i in busy:
+        tag, payload = parts[i]
+        assert tag == "result", tag
+        results.extend(payload)
+    return results

@@ -329,6 +329,35 @@ class CSCIndex:
             return NO_PATH
         return PathCount(total, best // 2)
 
+    def sccnt_many(
+        self,
+        vertices: Sequence[int],
+        *,
+        workers: int | None = None,
+    ) -> list[CycleCount]:
+        """Batched :meth:`sccnt` — bit-identical to the scalar loop,
+        evaluated through the vectorized NumPy backend when available
+        (scalar fallback otherwise).  Validates the whole batch up front
+        (:class:`~repro.errors.BatchVertexError` names every offending
+        index; no partial results) and refuses tombstoned stores with
+        :class:`~repro.errors.StaleLabelError` like the scalar path.
+        ``workers > 1`` fans the batch out across the build pool, the
+        frozen stores crossing the pipes as RPLS per-vertex bytes.
+        """
+        from repro.core.bulk import sccnt_many
+        return sccnt_many(self, vertices, workers=workers)
+
+    def spcnt_many(
+        self,
+        pairs: Sequence[tuple[int, int]],
+        *,
+        workers: int | None = None,
+    ) -> list[PathCount]:
+        """Batched :meth:`spcnt` over ``(x, y)`` pairs — same contract
+        as :meth:`sccnt_many`."""
+        from repro.core.bulk import spcnt_many
+        return spcnt_many(self, pairs, workers=workers)
+
     def cycle_gb_distance(self, v: int) -> int:
         """Raw ``Gb`` distance of ``SPCnt(v_out, v_in)`` (``UNREACHED`` when
         no cycle exists) — exposed for tests and diagnostics."""

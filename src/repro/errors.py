@@ -25,6 +25,30 @@ class VertexError(GraphError):
         self.n = n
 
 
+class BatchVertexError(VertexError):
+    """One or more vertex ids in a bulk query batch are out of range.
+
+    Raised by ``sccnt_many`` / ``spcnt_many`` *before any query is
+    evaluated* — a bulk call never produces partial results and never
+    surfaces a mid-batch ``IndexError`` from a vectorized gather.
+    ``bad`` names every offending ``(batch_index, vertex)`` pair.
+    Subclasses :class:`VertexError` (with ``vertex`` set to the first
+    offender) so existing single-query handlers keep working.
+    """
+
+    def __init__(self, bad: list[tuple[int, int]], n: int) -> None:
+        bad = list(bad)
+        detail = ", ".join(f"[{i}]={v}" for i, v in bad)
+        GraphError.__init__(
+            self,
+            f"{len(bad)} invalid vertex id(s) in bulk query batch "
+            f"(n={n}): {detail}",
+        )
+        self.bad = bad
+        self.vertex = bad[0][1] if bad else -1
+        self.n = n
+
+
 class EdgeExistsError(GraphError):
     """Attempted to insert an edge that is already present."""
 

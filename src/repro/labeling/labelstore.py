@@ -121,7 +121,7 @@ class LabelStore:
     """One direction's label table (all vertices) in packed form."""
 
     __slots__ = ("packed", "canon", "big", "_maps", "_bydist", "_dists",
-                 "_frozen", "_epoch", "_owner", "_stale")
+                 "_frozen", "_epoch", "_owner", "_stale", "_cols")
 
     def __init__(self, n: int = 0) -> None:
         self.packed: list[array] = [array("Q") for _ in range(n)]
@@ -143,6 +143,10 @@ class LabelStore:
         # run yet).  In-memory only — never serialized; a store rebuilt
         # from bytes is by construction clean.
         self._stale: frozenset[int] = frozenset()
+        # Lazily built flat-column NumPy projection for the bulk-query
+        # kernels (repro.core.bulk.StoreColumns).  Content-immutable once
+        # built, so snapshots share it; any label mutation drops it.
+        self._cols = None
 
     # ------------------------------------------------------------------
     # Construction / conversion
@@ -228,6 +232,11 @@ class LabelStore:
             snap._bydist = list(self._bydist)
         snap._frozen = True
         snap._stale = self._stale
+        # The column projection describes exactly the captured state (it
+        # is an eager copy of the packed words), so the snapshot can keep
+        # serving from it; the live store drops its own reference on the
+        # next mutation.
+        snap._cols = self._cols
         if not self._frozen:
             # Invalidate all per-vertex ownership: everything is shared
             # with the new snapshot until the writer touches it again.
@@ -245,6 +254,9 @@ class LabelStore:
                 "label store snapshot is frozen; apply updates to the "
                 "live store it was taken from"
             )
+        # Invalidate before the ownership early-return: the caller is
+        # about to mutate v whether or not a copy-on-write is needed.
+        self._cols = None
         owner = self._owner
         if owner is None or owner[v] == self._epoch:
             return
@@ -268,6 +280,7 @@ class LabelStore:
                 "label store snapshot is frozen; apply updates to the "
                 "live store it was taken from"
             )
+        self._cols = None
         if self._owner is not None:
             self._owner[v] = self._epoch
 
@@ -569,6 +582,7 @@ class LabelStore:
                 "live store it was taken from"
             )
         v = len(self.packed)
+        self._cols = None
         self.packed.append(array("Q"))
         self.canon.append(0)
         self.big.append(None)

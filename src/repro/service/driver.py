@@ -113,6 +113,7 @@ def drive_mixed(
     batch_size: int = 16,
     query_vertices: Sequence[int] | None = None,
     strategy: str | None = None,
+    bulk_batch: int | None = None,
     **engine_kwargs,
 ) -> DriveResult:
     """Run ``ops`` through a serving engine while ``readers`` threads
@@ -121,11 +122,16 @@ def drive_mixed(
     Reader threads pin a snapshot, answer a burst of ``sccnt`` queries
     against it, and re-fetch — observing that epochs never go backwards.
     Only queries answered before the writer finishes draining count
-    toward the reported throughput.  ``source`` may be a *not-yet-
-    started* :class:`ServeEngine` (so callers can open a durable engine
-    first and generate ``ops`` against its possibly-recovered graph);
-    extra keyword arguments pass through when the engine is built here.
+    toward the reported throughput.  With ``bulk_batch`` set, each
+    burst is one :meth:`Snapshot.count_many` call over that many
+    vertices (the vectorized read path) instead of ``_BURST`` scalar
+    calls.  ``source`` may be a *not-yet-started* :class:`ServeEngine`
+    (so callers can open a durable engine first and generate ``ops``
+    against its possibly-recovered graph); extra keyword arguments pass
+    through when the engine is built here.
     """
+    if bulk_batch is not None and bulk_batch < 1:
+        raise ValueError("bulk_batch must be at least 1")
     if readers < 1:
         raise ValueError("readers must be at least 1")
     if isinstance(source, ServeEngine):
@@ -172,11 +178,18 @@ def drive_mixed(
                     )
                 last_epoch = snap.epoch
                 epochs.add(snap.epoch)
-                count = snap.count
-                for _ in range(_BURST):
-                    count(vs[j % k])
-                    j += 1
-                local += _BURST
+                if bulk_batch is None:
+                    count = snap.count
+                    for _ in range(_BURST):
+                        count(vs[j % k])
+                        j += 1
+                    local += _BURST
+                else:
+                    snap.count_many(
+                        [vs[(j + t) % k] for t in range(bulk_batch)]
+                    )
+                    j += bulk_batch
+                    local += bulk_batch
                 if not drained.is_set():
                     at_drain = local
         except BaseException as exc:  # noqa: BLE001 - surfaced in result

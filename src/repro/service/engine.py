@@ -63,7 +63,7 @@ import threading
 import time
 from dataclasses import dataclass
 from dataclasses import replace as _dc_replace
-from typing import Callable, Iterable, Union
+from typing import Callable, Iterable, Sequence, Union
 
 from repro.core.batch import DEFAULT_REBUILD_THRESHOLD
 from repro.core.counter import ShortestCycleCounter
@@ -633,6 +633,17 @@ class ServeEngine:
         if snap is None:
             raise ServiceStoppedError("engine not started")
         return snap
+
+    def count_many(self, vertices: Sequence[int]):
+        """Batched ``SCCnt`` against the latest published snapshot —
+        one atomic snapshot fetch, then the vectorized bulk kernel
+        (:meth:`Snapshot.count_many`).  Safe from any thread."""
+        return self.snapshot().count_many(vertices)
+
+    def spcnt_many(self, pairs: Sequence[tuple[int, int]]):
+        """Batched ``SPCnt`` against the latest published snapshot
+        (:meth:`Snapshot.spcnt_many`).  Safe from any thread."""
+        return self.snapshot().spcnt_many(pairs)
 
     def overlay(self) -> DeferredOverlay:
         """The latest clean snapshot wrapped with deferred-repair

@@ -84,6 +84,12 @@ class DeferredOverlay:
         """``SPCnt(x, y)`` at :attr:`epoch`."""
         return self.snapshot.spcnt(x, y)
 
+    def spcnt_many(
+        self, pairs: Sequence[tuple[int, int]]
+    ) -> list[PathCount]:
+        """Batch form of :meth:`spcnt`."""
+        return self.snapshot.spcnt_many(pairs)
+
     def top_suspicious(self, k: int = 10) -> list[tuple[int, CycleCount]]:
         """The paper's fraud pre-screen, at :attr:`epoch`."""
         return self.snapshot.top_suspicious(k)

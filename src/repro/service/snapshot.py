@@ -80,14 +80,23 @@ class Snapshot:
         return self.index.sccnt(v)
 
     def count_many(self, vertices: Sequence[int]) -> list[CycleCount]:
-        """Batch form of :meth:`count`."""
-        return [self.count(v) for v in vertices]
+        """Batch form of :meth:`count` (vectorized when NumPy is
+        available; raises :class:`~repro.errors.BatchVertexError` — a
+        :class:`VertexError` — naming every out-of-range id)."""
+        return self.index.sccnt_many(vertices)
 
     def spcnt(self, x: int, y: int) -> PathCount:
         """``SPCnt(x, y)`` at the captured state."""
         self._check(x)
         self._check(y)
         return self.index.spcnt(x, y)
+
+    def spcnt_many(
+        self, pairs: Sequence[tuple[int, int]]
+    ) -> list[PathCount]:
+        """Batch form of :meth:`spcnt` (same contract as
+        :meth:`count_many`)."""
+        return self.index.spcnt_many(pairs)
 
     def top_suspicious(self, k: int = 10) -> list[tuple[int, CycleCount]]:
         """The ``k`` most-cycled vertices at the captured state (same

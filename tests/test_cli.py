@@ -320,3 +320,86 @@ class TestSelfHealingCli:
         assert not (data_dir / DEADLETTER_FILE).exists()
         assert main(["recover", str(data_dir), "--dead-letter"]) == 0
         assert "no dead letters in" in capsys.readouterr().out
+
+
+class TestBatchQuery:
+    @pytest.fixture
+    def index_path(self, fig2_file, tmp_path):
+        path = str(tmp_path / "fig2.idx")
+        main(["build", fig2_file, path])
+        return path
+
+    def _batch(self, tmp_path, text):
+        path = tmp_path / "batch.txt"
+        path.write_text(text)
+        return str(path)
+
+    def test_sccnt_batch(self, index_path, tmp_path, capsys):
+        batch = self._batch(
+            tmp_path, "# cycles per vertex\n6\n\n3  # trailing comment\n6\n"
+        )
+        capsys.readouterr()
+        assert main(["query", index_path, "--batch", batch]) == 0
+        out = capsys.readouterr().out
+        lines = [ln.split() for ln in out.splitlines() if ln.strip()]
+        assert lines[0][:3] == ["vertex", "sccnt", "length"]
+        # v7 (0-indexed 6): 3 cycles of length 6, listed twice
+        assert [ln for ln in lines if ln[:3] == ["6", "3", "6"]]
+
+    def test_spcnt_batch(self, index_path, tmp_path, capsys):
+        batch = self._batch(tmp_path, "6 3\n3 3\n")
+        capsys.readouterr()
+        assert main(["query", index_path, "--batch", batch]) == 0
+        out = capsys.readouterr().out
+        lines = [ln.split() for ln in out.splitlines() if ln.strip()]
+        assert lines[0][:4] == ["x", "y", "spcnt", "dist"]
+        # the self-pair is the empty path
+        assert ["3", "3", "1", "0"] in [ln[:4] for ln in lines]
+
+    def test_batch_matches_scalar_queries(self, index_path, capsys,
+                                          tmp_path):
+        batch = self._batch(tmp_path, "6\n3\n")
+        capsys.readouterr()
+        main(["query", index_path, "--batch", batch])
+        bulk_out = capsys.readouterr().out
+        main(["query", index_path, "6", "3"])
+        assert capsys.readouterr().out == bulk_out
+
+    def test_invalid_ids_list_every_offender(self, index_path, tmp_path,
+                                             capsys):
+        batch = self._batch(tmp_path, "0\n99\n-3\n")
+        assert main(["query", index_path, "--batch", batch]) == 2
+        err = capsys.readouterr().err
+        assert "invalid vertex id(s)" in err
+        assert "[1]=99" in err and "[2]=-3" in err
+
+    def test_mixed_arity_rejected(self, index_path, tmp_path, capsys):
+        batch = self._batch(tmp_path, "6\n3 4\n")
+        assert main(["query", index_path, "--batch", batch]) == 2
+        assert "mix" in capsys.readouterr().err
+
+    def test_batch_and_positional_conflict(self, index_path, tmp_path,
+                                           capsys):
+        batch = self._batch(tmp_path, "6\n")
+        assert main(["query", index_path, "6", "--batch", batch]) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_no_vertices_no_batch(self, index_path, capsys):
+        assert main(["query", index_path]) == 2
+        assert "no vertices" in capsys.readouterr().err
+
+    def test_missing_batch_file(self, index_path, tmp_path, capsys):
+        assert main(
+            ["query", index_path, "--batch", str(tmp_path / "nope.txt")]
+        ) == 2
+        assert "cannot read batch file" in capsys.readouterr().err
+
+    def test_empty_batch_file(self, index_path, tmp_path, capsys):
+        batch = self._batch(tmp_path, "# nothing here\n\n")
+        assert main(["query", index_path, "--batch", batch]) == 2
+        assert "no queries" in capsys.readouterr().err
+
+    def test_non_integer_id(self, index_path, tmp_path, capsys):
+        batch = self._batch(tmp_path, "6\nx\n")
+        assert main(["query", index_path, "--batch", batch]) == 2
+        assert "non-integer" in capsys.readouterr().err
