@@ -1,0 +1,33 @@
+"""Graph analytics plus the repo's own invariant checkers.
+
+Two very different things live here on purpose:
+
+* :mod:`repro.analysis.profile` — whole-graph shortest-cycle analytics
+  built on one CSC index build (the original ``repro.analysis``
+  module; its public names are re-exported unchanged).
+* the ``repro analyze`` static-analysis pass (:mod:`~.runner`,
+  :mod:`~.rules`, :mod:`~.lockorder`, :mod:`~.layout`,
+  :mod:`~.findings`) and the runtime lock-order detector
+  (:mod:`~.lockdep`) — machine checks for the serving stack's
+  invariants: lock discipline, copy-on-write ownership, bit-layout
+  agreement, the typed error taxonomy, and the durable-I/O fault seam.
+
+The analyzer halves are imported lazily so that querying a graph never
+pays for (or depends on) the checker machinery.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.profile import (
+    CycleProfile,
+    cycle_length_distribution,
+    girth,
+    profile_graph,
+)
+
+__all__ = [
+    "CycleProfile",
+    "profile_graph",
+    "girth",
+    "cycle_length_distribution",
+]

@@ -46,7 +46,7 @@ def _dfs_exact(
     for u in graph.out_neighbors(current):
         if u == vq:
             if remaining == 1:
-                found.append(path + [vq])
+                found.append([*path, vq])
             continue
         if remaining > 1 and u not in on_path:
             path.append(u)

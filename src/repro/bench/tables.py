@@ -3,7 +3,7 @@ of numbers in a terminal; plots are out of scope offline)."""
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 __all__ = ["format_table", "format_value"]
 

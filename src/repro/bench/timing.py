@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import time
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 __all__ = ["time_call", "time_per_item"]
 

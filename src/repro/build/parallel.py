@@ -66,7 +66,7 @@ from repro.build.worker import (
     tables_to_rpls,
     worker_main,
 )
-from repro.errors import BuildError, WorkerCrashError
+from repro.errors import ConfigurationError, BuildError, WorkerCrashError
 from repro.labeling.labelstore import UNREACHED
 
 __all__ = [
@@ -98,7 +98,7 @@ def resolve_workers(workers: int | None = None) -> int:
                 f"{ENV_WORKERS} must be an integer, got {raw!r}"
             ) from None
     if workers < 1:
-        raise ValueError(f"worker count must be positive, got {workers}")
+        raise ConfigurationError(f"worker count must be positive, got {workers}")
     return workers
 
 

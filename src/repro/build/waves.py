@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import ConfigurationError
+
 __all__ = ["WavePlan", "plan_waves"]
 
 #: Geometric growth factor for successive wave sizes.
@@ -61,23 +63,23 @@ def plan_waves(
     graphs.
     """
     if n < 0:
-        raise ValueError(f"hub count must be non-negative, got {n}")
+        raise ConfigurationError(f"hub count must be non-negative, got {n}")
     if workers < 1:
-        raise ValueError(f"worker count must be positive, got {workers}")
+        raise ConfigurationError(f"worker count must be positive, got {workers}")
     if serial_prefix is None:
         serial_prefix = max(8, 2 * workers)
     if serial_prefix < 0:
-        raise ValueError(
+        raise ConfigurationError(
             f"serial prefix must be non-negative, got {serial_prefix}"
         )
     if wave_base is None:
         wave_base = max(16, 4 * workers)
     if wave_base < 1:
-        raise ValueError(f"wave size must be positive, got {wave_base}")
+        raise ConfigurationError(f"wave size must be positive, got {wave_base}")
     if wave_max is None:
         wave_max = max(wave_base, 64 * workers)
     if wave_max < wave_base:
-        raise ValueError(
+        raise ConfigurationError(
             f"wave_max {wave_max} smaller than first wave {wave_base}"
         )
     serial_prefix = min(serial_prefix, n)

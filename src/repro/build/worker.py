@@ -74,6 +74,8 @@ from collections import deque
 
 from repro.labeling.labelstore import UNREACHED, LabelStore
 
+from repro.errors import ConfigurationError
+
 __all__ = [
     "HubDelta",
     "SIDE_KERNELS",
@@ -299,7 +301,7 @@ def kernel_for(kind: str):
     try:
         return _KERNELS[kind]
     except KeyError:
-        raise ValueError(
+        raise ConfigurationError(
             f"unknown index kind {kind!r}; expected one of "
             f"{sorted(_KERNELS)}"
         ) from None
@@ -334,7 +336,7 @@ def extend_tables_from_rpls(blob: bytes, tables: list[list[Entry]]) -> int:
     rank."""
     store = LabelStore.from_bytes(blob)
     if len(store) != len(tables):
-        raise ValueError(
+        raise ConfigurationError(
             f"prefix delta has {len(store)} vertices, tables have "
             f"{len(tables)}"
         )
@@ -444,7 +446,7 @@ def worker_main(conn) -> None:
                     os._exit(3)
                 raise RuntimeError("injected worker failure")
             else:
-                raise ValueError(f"unknown build-worker message {tag!r}")
+                raise ConfigurationError(f"unknown build-worker message {tag!r}")
     except BaseException:  # noqa: BLE001 - shipped to the master
         try:
             conn.send(("error", traceback.format_exc()))

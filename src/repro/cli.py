@@ -29,7 +29,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.analysis import profile_graph
 from repro.bench.tables import format_table
@@ -172,6 +172,21 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("experiments", help="regenerate paper artifacts")
     p.add_argument("ids", nargs="*", help="subset (e.g. table2 fig9)")
     p.add_argument("--profile", default="small", dest="exp_profile")
+
+    p = sub.add_parser(
+        "analyze",
+        help="run the repo's invariant checkers (REP001-REP005)",
+    )
+    p.add_argument("paths", nargs="*",
+                   help="files/directories to scan (default: the "
+                   "installed repro package)")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   dest="fmt", help="report format (default: text)")
+    p.add_argument("--suppressions", default=None,
+                   help="suppression file (default: the checked-in "
+                   "analysis-suppressions.txt)")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalogue and exit")
     return parser
 
 
@@ -619,6 +634,18 @@ def _cmd_experiments(args) -> int:
     return 0
 
 
+def _cmd_analyze(args) -> int:
+    from repro.analysis.runner import RULES, analyze
+
+    if args.list_rules:
+        for rule, desc in RULES.items():
+            print(f"{rule}  {desc}")
+        return 0
+    report = analyze(args.paths or None, suppressions=args.suppressions)
+    print(report.to_json() if args.fmt == "json" else report.to_text())
+    return report.exit_code
+
+
 _COMMANDS = {
     "stats": _cmd_stats,
     "build": _cmd_build,
@@ -629,6 +656,7 @@ _COMMANDS = {
     "recover": _cmd_recover,
     "datasets": _cmd_datasets,
     "experiments": _cmd_experiments,
+    "analyze": _cmd_analyze,
 }
 
 

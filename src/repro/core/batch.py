@@ -64,7 +64,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 
 from repro.core.csc import CSCIndex
 from repro.core.maintenance import (
@@ -74,6 +74,7 @@ from repro.core.maintenance import (
     insert_edge,
 )
 from repro.errors import (
+    ConfigurationError,
     EdgeExistsError,
     EdgeNotFoundError,
     SelfLoopError,
@@ -155,7 +156,7 @@ def normalize_batch(
     reported under ``on_invalid="skip"``.
     """
     if on_invalid not in ("raise", "skip"):
-        raise ValueError(
+        raise ConfigurationError(
             f"on_invalid must be 'raise' or 'skip', got {on_invalid!r}"
         )
     n = graph.n
@@ -165,7 +166,7 @@ def normalize_batch(
     for op, a, b in ops:
         submitted += 1
         if op not in ("insert", "delete"):
-            raise ValueError(f"unknown batch op {op!r}")
+            raise ConfigurationError(f"unknown batch op {op!r}")
         if not 0 <= a < n:
             raise VertexError(a, n)
         if not 0 <= b < n:

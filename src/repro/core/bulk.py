@@ -48,7 +48,8 @@ from __future__ import annotations
 
 import os
 from operator import index as _as_int
-from typing import TYPE_CHECKING, Sequence
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from repro.errors import BatchVertexError, StaleLabelError
 from repro.labeling.labelstore import COUNT_SATURATED, LabelStore
@@ -186,7 +187,7 @@ def store_columns(store: LabelStore) -> StoreColumns:
     the projection of the store they were taken from."""
     cols = store._cols
     if cols is None:
-        cols = store._cols = _build_columns(store)
+        cols = store.cache_columns(_build_columns(store))
     return cols
 
 

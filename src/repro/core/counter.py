@@ -17,7 +17,8 @@ CycleCount(count=1, length=4)
 from __future__ import annotations
 
 from pathlib import Path
-from typing import TYPE_CHECKING, Callable, Iterable, Sequence, Union
+from collections.abc import Callable, Iterable, Sequence
+from typing import TYPE_CHECKING
 
 from repro.core.batch import (
     DEFAULT_REBUILD_THRESHOLD,
@@ -34,6 +35,8 @@ from repro.core.maintenance import (
 from repro.graph.digraph import DiGraph
 from repro.graph.io import graph_from_bytes, graph_to_bytes
 from repro.types import CycleCount, PathCount
+
+from repro.errors import ConfigurationError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.service.snapshot import Snapshot
@@ -57,12 +60,12 @@ class ShortestCycleCounter:
 
     def __init__(self, index: CSCIndex, strategy: str = "redundancy") -> None:
         if strategy not in STRATEGIES:
-            raise ValueError(
+            raise ConfigurationError(
                 f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
             )
         self._index = index
         self._strategy = strategy
-        self._updates: list[Union[UpdateStats, BatchStats]] = []
+        self._updates: list[UpdateStats | BatchStats] = []
 
     # ------------------------------------------------------------------
     @classmethod
@@ -73,7 +76,7 @@ class ShortestCycleCounter:
         strategy: str = "redundancy",
         copy_graph: bool = True,
         workers: int | None = None,
-    ) -> "ShortestCycleCounter":
+    ) -> ShortestCycleCounter:
         """Build a counter over ``graph``.
 
         ``strategy`` selects the maintenance mode for subsequent insertions
@@ -116,7 +119,7 @@ class ShortestCycleCounter:
         :meth:`count_many`)."""
         return self._index.spcnt_many(pairs, workers=workers)
 
-    def snapshot(self, epoch: int = 0, ops_applied: int = 0) -> "Snapshot":
+    def snapshot(self, epoch: int = 0, ops_applied: int = 0) -> Snapshot:
         """An immutable, epoch-stamped view of the current state.
 
         The returned :class:`repro.service.Snapshot` answers
@@ -159,7 +162,7 @@ class ShortestCycleCounter:
         rebuild_threshold: float = DEFAULT_REBUILD_THRESHOLD,
         on_invalid: str = "raise",
         workers: int | None = None,
-        on_repair_plan: "Callable[[set[int], set[int]], None] | None" = None,
+        on_repair_plan: Callable[[set[int], set[int]], None] | None = None,
     ) -> BatchStats:
         """Apply a mixed batch of ``("insert"|"delete", tail, head)`` ops
         with one repair pass per distinct affected hub (BATCH-INCCNT/
@@ -262,7 +265,7 @@ class ShortestCycleCounter:
         return self._strategy
 
     @property
-    def update_log(self) -> list[Union[UpdateStats, BatchStats]]:
+    def update_log(self) -> list[UpdateStats | BatchStats]:
         """Stats of every update applied through this counter
         (:class:`UpdateStats` for single edges, :class:`BatchStats` for
         batches)."""
@@ -310,20 +313,20 @@ class ShortestCycleCounter:
     @classmethod
     def from_bytes(
         cls, blob: bytes, strategy: str = "redundancy"
-    ) -> "ShortestCycleCounter":
+    ) -> ShortestCycleCounter:
         """Inverse of :meth:`to_bytes`."""
         graph_len = int.from_bytes(blob[:8], "little")
         graph = graph_from_bytes(blob[8 : 8 + graph_len])
         index = CSCIndex.from_bytes(blob[8 + graph_len :], graph)
         return cls(index, strategy)
 
-    def save(self, path: Union[str, Path]) -> None:
+    def save(self, path: str | Path) -> None:
         """Persist graph + index to one file."""
         Path(path).write_bytes(self.to_bytes())
 
     @classmethod
     def load(
-        cls, path: Union[str, Path], strategy: str = "redundancy"
-    ) -> "ShortestCycleCounter":
+        cls, path: str | Path, strategy: str = "redundancy"
+    ) -> ShortestCycleCounter:
         """Inverse of :meth:`save`."""
         return cls.from_bytes(Path(path).read_bytes(), strategy)

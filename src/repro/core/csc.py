@@ -42,7 +42,7 @@ from __future__ import annotations
 
 from bisect import bisect_left
 from collections import deque
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.errors import SerializationError, StaleLabelError
 from repro.graph.digraph import DiGraph
@@ -157,7 +157,7 @@ class CSCIndex:
         graph: DiGraph,
         order: Sequence[int] | None = None,
         workers: int | None = None,
-    ) -> "CSCIndex":
+    ) -> CSCIndex:
         """Build the CSC index (Algorithm 3 with couple-vertex skipping).
 
         ``order`` is an original-graph vertex permutation (highest rank
@@ -193,7 +193,7 @@ class CSCIndex:
             _backward_bfs(graph, v, p, pos, label_in, label_out, dist, cnt)
         return cls(graph, order_list, pos, label_in, label_out)
 
-    def copy(self, copy_graph: bool = True) -> "CSCIndex":
+    def copy(self, copy_graph: bool = True) -> CSCIndex:
         """Independent copy of the index (and, by default, its graph) —
         used by experiments that replay the same update batch under both
         maintenance strategies."""
@@ -205,7 +205,7 @@ class CSCIndex:
             self.store_out.copy(),
         )
 
-    def snapshot(self) -> "CSCIndex":
+    def snapshot(self) -> CSCIndex:
         """A frozen, query-only view of the current labels.
 
         Built from :meth:`LabelStore.snapshot` on both sides — O(n)
@@ -574,7 +574,7 @@ class CSCIndex:
         }
         return lin, lout
 
-    def adopt_labels(self, other: "CSCIndex") -> None:
+    def adopt_labels(self, other: CSCIndex) -> None:
         """Take over another index's label stores (the batch engine's
         rebuild fallback) and drop caches tied to the old labels."""
         self.store_in = other.store_in
@@ -603,7 +603,7 @@ class CSCIndex:
         )
 
     @classmethod
-    def from_bytes(cls, blob: bytes, graph: DiGraph) -> "CSCIndex":
+    def from_bytes(cls, blob: bytes, graph: DiGraph) -> CSCIndex:
         """Rebuild an index from :meth:`to_bytes` output plus its graph."""
         if len(blob) < 9 or blob[:4] != _INDEX_MAGIC:
             raise SerializationError("not a packed CSC index blob")

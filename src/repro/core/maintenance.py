@@ -59,6 +59,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro.core.csc import CSCIndex
+from repro.errors import ConfigurationError
 from repro.graph.traversal import INF, bfs_distances
 from repro.labeling.labelstore import UNREACHED, LabelStore
 
@@ -98,7 +99,7 @@ class UpdateStats:
 
 def _check_strategy(strategy: str) -> None:
     if strategy not in STRATEGIES:
-        raise ValueError(
+        raise ConfigurationError(
             f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
         )
 

@@ -68,7 +68,7 @@ PARALLEL_REPAIR_MIN_SIDES = 4
 
 
 def repair_hubs_parallel(
-    index: "CSCIndex",
+    index: CSCIndex,
     del_in: set[int],
     del_out: set[int],
     workers: int,

@@ -12,6 +12,26 @@ class ReproError(Exception):
     """Base class for all errors raised by this package."""
 
 
+class ConfigurationError(ReproError, ValueError):
+    """An argument or configuration value is invalid.
+
+    Doubly inherits :class:`ValueError` so call sites that predate the
+    typed taxonomy (``except ValueError`` guards, tests asserting
+    ``pytest.raises(ValueError)``) keep working, while new code can
+    catch the whole library family through :class:`ReproError`.
+    """
+
+
+class LockOrderError(ReproError):
+    """The runtime lock-order detector observed an acquisition that
+    inverts the canonical lock order (or would close a cycle in the
+    global acquisition graph) — i.e. a potential deadlock.
+
+    Raised by :mod:`repro.analysis.lockdep` when instrumentation is
+    enabled (``REPRO_LOCKDEP=1``); never raised in production builds.
+    """
+
+
 class GraphError(ReproError):
     """Base class for errors about the structure of a graph."""
 

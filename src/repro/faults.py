@@ -35,15 +35,15 @@ the recovery bit-identity oracle needs.
 from __future__ import annotations
 
 import json
-import threading
 import time
 from dataclasses import dataclass, field
 from fnmatch import fnmatchcase
 from pathlib import Path
-from typing import Iterator, Optional, Union
+from collections.abc import Iterator
 
 from contextlib import contextmanager
 
+from repro.analysis import lockdep
 from repro.persist.faults import SimulatedCrash, fault_scope
 
 __all__ = ["FaultInjector", "FaultRule", "SimulatedCrash"]
@@ -62,9 +62,9 @@ class FaultRule:
     #: sleep seconds for ``"delay"`` rules
     seconds: float = 0.0
     #: remaining firings; ``None`` means persistent (never exhausts)
-    remaining: Optional[int] = None
+    remaining: int | None = None
     #: global event ordinal a ``"crash"`` rule arms at (1-based)
-    at_event: Optional[int] = None
+    at_event: int | None = None
     #: how many times this rule has fired
     fired: int = 0
 
@@ -95,7 +95,10 @@ class FaultInjector:
     """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        # The injector's lock is a leaf: it is taken inside io_event
+        # announcements issued under the engine's _dur_lock, so it
+        # carries a rank above every engine lock under lockdep.
+        self._lock = lockdep.make_lock("FaultInjector._lock", rank=100)
         self._rules: list[FaultRule] = []
         self._events: list[FaultEvent] = []
         self._count = 0
@@ -105,7 +108,7 @@ class FaultInjector:
     # Scripting
     # ------------------------------------------------------------------
     def fail(
-        self, pattern: str, *, err: int, times: Optional[int] = None
+        self, pattern: str, *, err: int, times: int | None = None
     ) -> FaultRule:
         """Make matching events raise ``OSError(err)``.
 
@@ -120,7 +123,7 @@ class FaultInjector:
         return rule
 
     def delay(
-        self, pattern: str, seconds: float, *, times: Optional[int] = None
+        self, pattern: str, seconds: float, *, times: int | None = None
     ) -> FaultRule:
         """Sleep ``seconds`` before matching events (slow-disk model)."""
         rule = FaultRule(
@@ -181,7 +184,7 @@ class FaultInjector:
                 if e.outcome != "pass" and fnmatchcase(e.tag, pattern)
             )
 
-    def dump_log(self, path: Union[str, Path]) -> Path:
+    def dump_log(self, path: str | Path) -> Path:
         """Append the event log as JSON lines (the CI chaos artifact)."""
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -201,7 +204,7 @@ class FaultInjector:
     # ------------------------------------------------------------------
     # The hook
     # ------------------------------------------------------------------
-    def installed(self) -> Iterator["FaultInjector"]:
+    def installed(self) -> Iterator[FaultInjector]:
         """Context manager installing this injector into the global
         ``io_event`` seam (scoped + thread-safe; see ``fault_scope``)."""
 
@@ -215,7 +218,7 @@ class FaultInjector:
     def __call__(self, tag: str) -> None:
         """The ``io_event`` hook: match rules, record, maybe raise."""
         sleep_for = 0.0
-        raise_err: Optional[int] = None
+        raise_err: int | None = None
         crash = False
         with self._lock:
             self._count += 1

@@ -16,7 +16,7 @@ Three profiles control scale:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from collections.abc import Callable
 
 from repro.graph.digraph import DiGraph
 from repro.graph import generators

@@ -13,9 +13,10 @@ in-neighbors (iteration-fast, which dominates BFS cost) plus a set of packed
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+from collections.abc import Iterable, Iterator, Sequence
 
 from repro.errors import (
+    ConfigurationError,
     EdgeExistsError,
     EdgeNotFoundError,
     SelfLoopError,
@@ -48,7 +49,7 @@ class DiGraph:
 
     def __init__(self, n: int) -> None:
         if n < 0:
-            raise ValueError(f"vertex count must be non-negative, got {n}")
+            raise ConfigurationError(f"vertex count must be non-negative, got {n}")
         self._n = n
         self._m = 0
         self._out: list[list[int]] = [[] for _ in range(n)]
@@ -59,7 +60,7 @@ class DiGraph:
     # Construction helpers
     # ------------------------------------------------------------------
     @classmethod
-    def from_edges(cls, n: int, edges: Iterable[tuple[int, int]]) -> "DiGraph":
+    def from_edges(cls, n: int, edges: Iterable[tuple[int, int]]) -> DiGraph:
         """Build a graph from an edge iterable, rejecting duplicates."""
         g = cls(n)
         for tail, head in edges:
@@ -69,7 +70,7 @@ class DiGraph:
     @classmethod
     def from_edges_dedup(
         cls, n: int, edges: Iterable[tuple[int, int]]
-    ) -> "DiGraph":
+    ) -> DiGraph:
         """Build a graph from an edge iterable, silently dropping duplicate
         edges and self loops (useful for noisy synthetic generators)."""
         g = cls(n)
@@ -78,7 +79,7 @@ class DiGraph:
                 g.add_edge(tail, head)
         return g
 
-    def copy(self) -> "DiGraph":
+    def copy(self) -> DiGraph:
         """Return an independent copy of this graph."""
         g = DiGraph.__new__(DiGraph)
         g._n = self._n
@@ -211,7 +212,7 @@ class DiGraph:
     # ------------------------------------------------------------------
     # Derived graphs
     # ------------------------------------------------------------------
-    def reverse(self) -> "DiGraph":
+    def reverse(self) -> DiGraph:
         """Return the reverse graph (all edge orientations flipped)."""
         g = DiGraph.__new__(DiGraph)
         g._n = self._n

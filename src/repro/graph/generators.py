@@ -17,6 +17,8 @@ import random
 
 from repro.graph.digraph import DiGraph
 
+from repro.errors import ConfigurationError
+
 __all__ = [
     "gnm_random",
     "out_regular",
@@ -31,10 +33,10 @@ def gnm_random(n: int, m: int, seed: int = 0) -> DiGraph:
     """Uniform simple directed ``G(n, m)``: ``m`` distinct directed non-loop
     edges chosen uniformly at random."""
     if n < 2 and m > 0:
-        raise ValueError("need at least 2 vertices to place edges")
+        raise ConfigurationError("need at least 2 vertices to place edges")
     max_edges = n * (n - 1)
     if m > max_edges:
-        raise ValueError(f"m={m} exceeds the {max_edges} possible edges")
+        raise ConfigurationError(f"m={m} exceeds the {max_edges} possible edges")
     rng = random.Random(seed)
     g = DiGraph(n)
     while g.m < m:
@@ -49,7 +51,7 @@ def out_regular(n: int, out_degree: int, seed: int = 0) -> DiGraph:
     """Peer-to-peer style graph: every vertex opens ``out_degree`` connections
     to uniformly random distinct peers (Gnutella's topology model [27])."""
     if out_degree >= n:
-        raise ValueError("out_degree must be smaller than n")
+        raise ConfigurationError("out_degree must be smaller than n")
     rng = random.Random(seed)
     g = DiGraph(n)
     for v in range(n):
@@ -123,7 +125,7 @@ def rmat(
     """
     d = 1.0 - a - b - c
     if d < 0:
-        raise ValueError("quadrant probabilities exceed 1")
+        raise ConfigurationError("quadrant probabilities exceed 1")
     levels = max(1, (n - 1).bit_length())
     size = 1 << levels
     rng = random.Random(seed)
@@ -162,7 +164,7 @@ def small_world(
     ``rewire_prob``.  Produces the small-world regime the paper credits for
     cheap updates (Section VI-C)."""
     if k >= n:
-        raise ValueError("k must be smaller than n")
+        raise ConfigurationError("k must be smaller than n")
     rng = random.Random(seed)
     g = DiGraph(n)
     for v in range(n):

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import struct
 from pathlib import Path
-from typing import Iterable, Union
+from collections.abc import Iterable
 
 from repro.errors import SerializationError
 from repro.graph.digraph import DiGraph
@@ -28,7 +28,7 @@ _VERSION = 1
 
 
 def read_edge_list(
-    path: Union[str, Path],
+    path: str | Path,
     n: int | None = None,
     dedup: bool = True,
 ) -> DiGraph:
@@ -66,7 +66,7 @@ def read_edge_list(
 
 def write_edge_list(
     graph: DiGraph,
-    path: Union[str, Path],
+    path: str | Path,
     header: Iterable[str] = (),
 ) -> None:
     """Write a SNAP-style edge list, with optional ``#`` header lines."""
@@ -107,11 +107,11 @@ def graph_from_bytes(blob: bytes) -> DiGraph:
     return g
 
 
-def save_graph(graph: DiGraph, path: Union[str, Path]) -> None:
+def save_graph(graph: DiGraph, path: str | Path) -> None:
     """Write the binary form of ``graph`` to ``path``."""
     Path(path).write_bytes(graph_to_bytes(graph))
 
 
-def load_graph(path: Union[str, Path]) -> DiGraph:
+def load_graph(path: str | Path) -> DiGraph:
     """Read a graph previously written by :func:`save_graph`."""
     return graph_from_bytes(Path(path).read_bytes())

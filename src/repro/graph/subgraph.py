@@ -14,6 +14,8 @@ from dataclasses import dataclass
 from repro.baselines.naive import enumerate_shortest_cycles
 from repro.graph.digraph import DiGraph
 
+from repro.errors import ConfigurationError
+
 __all__ = ["Subgraph", "induced_subgraph", "ego_subgraph", "cycle_subgraph"]
 
 
@@ -66,7 +68,7 @@ def ego_subgraph(graph: DiGraph, center: int, radius: int = 1) -> Subgraph:
     """Vertices within ``radius`` hops of ``center`` in *either* direction,
     plus all edges among them."""
     if radius < 0:
-        raise ValueError("radius must be non-negative")
+        raise ConfigurationError("radius must be non-negative")
     level = {center: 0}
     queue: deque[int] = deque((center,))
     while queue:

@@ -8,7 +8,7 @@ shortest-path counter used as a test oracle and by the naive baselines.
 from __future__ import annotations
 
 from collections import deque
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.graph.digraph import DiGraph
 

@@ -30,7 +30,7 @@ from __future__ import annotations
 from collections import deque
 
 from repro.core.maintenance import STRATEGIES, UpdateStats
-from repro.errors import EdgeNotFoundError
+from repro.errors import ConfigurationError, EdgeNotFoundError
 from repro.graph.traversal import INF, bfs_distances
 from repro.labeling.hpspc import HPSPCIndex, UNREACHED
 from repro.labeling.labelstore import HUB_SHIFT, LabelStore, join_min_dist
@@ -76,7 +76,7 @@ def insert_edge(
 ) -> UpdateStats:
     """Insert edge ``(a, b)`` and incrementally maintain the HP-SPC index."""
     if strategy not in STRATEGIES:
-        raise ValueError(
+        raise ConfigurationError(
             f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
         )
     index.graph.add_edge(a, b)

@@ -27,7 +27,7 @@ hub maps.  ``label_in`` / ``label_out`` expose the classic tuple-list view.
 from __future__ import annotations
 
 from collections import deque
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.graph.digraph import DiGraph
 from repro.labeling.labelstore import (
@@ -98,7 +98,7 @@ class HPSPCIndex:
         graph: DiGraph,
         order: Sequence[int] | None = None,
         workers: int | None = None,
-    ) -> "HPSPCIndex":
+    ) -> HPSPCIndex:
         """Build the index with pruned counting BFS per hub.
 
         ``order`` defaults to the paper's degree-descending order; pass an
@@ -203,7 +203,7 @@ class HPSPCIndex:
         )
 
     @classmethod
-    def from_bytes(cls, blob: bytes, graph: DiGraph) -> "HPSPCIndex":
+    def from_bytes(cls, blob: bytes, graph: DiGraph) -> HPSPCIndex:
         """Rebuild an index from :meth:`to_bytes` output plus its graph."""
         (order, label_in), consumed = labels_from_bytes_prefix(blob)
         order2, label_out = labels_from_bytes(blob[consumed:])

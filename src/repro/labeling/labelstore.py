@@ -70,7 +70,7 @@ from __future__ import annotations
 import sys
 from array import array
 from bisect import bisect_left
-from typing import Iterable, Iterator, Sequence
+from collections.abc import Iterable, Iterator, Sequence
 
 from repro.errors import FrozenSnapshotError, SerializationError
 from repro.labeling.packing import (
@@ -152,7 +152,7 @@ class LabelStore:
     # Construction / conversion
     # ------------------------------------------------------------------
     @classmethod
-    def from_lists(cls, tables: Sequence[Sequence[Entry]]) -> "LabelStore":
+    def from_lists(cls, tables: Sequence[Sequence[Entry]]) -> LabelStore:
         """Pack a list-of-tuple-lists label table (the seed representation).
 
         Builds the join maps in the same pass, so a freshly built index
@@ -187,7 +187,7 @@ class LabelStore:
         """The seed tuple-list representation (for legacy kernels/tests)."""
         return [self.entries(v) for v in range(len(self.packed))]
 
-    def copy(self) -> "LabelStore":
+    def copy(self) -> LabelStore:
         """Independent deep copy (join maps rebuilt lazily; the copy of a
         frozen snapshot is a normal mutable store)."""
         clone = LabelStore(0)
@@ -204,7 +204,7 @@ class LabelStore:
         """Whether this store is an immutable snapshot."""
         return self._frozen
 
-    def snapshot(self) -> "LabelStore":
+    def snapshot(self) -> LabelStore:
         """An immutable snapshot of the current state.
 
         The snapshot shares every per-vertex structure (packed array,
@@ -283,6 +283,19 @@ class LabelStore:
         self._cols = None
         if self._owner is not None:
             self._owner[v] = self._epoch
+
+    def cache_columns(self, cols):
+        """Install the bulk-query column projection for this store.
+
+        The projection (:class:`repro.core.bulk.StoreColumns`) is a
+        *cache* derived from the current packed words, not label state,
+        so installing one is permitted on frozen snapshots — that is
+        where bulk queries run.  Every mutating path drops it through
+        :meth:`_own`/:meth:`_claim`; this is the only sanctioned way to
+        set it from outside the store.
+        """
+        self._cols = cols
+        return cols
 
     # ------------------------------------------------------------------
     # Deferred-repair tombstones
@@ -680,7 +693,7 @@ class LabelStore:
         return b"".join(chunks)
 
     @classmethod
-    def from_bytes(cls, blob: bytes) -> "LabelStore":
+    def from_bytes(cls, blob: bytes) -> LabelStore:
         """Inverse of :meth:`to_bytes` (join maps stay lazy)."""
         store, consumed = cls.from_bytes_prefix(blob)
         if consumed != len(blob):
@@ -688,7 +701,7 @@ class LabelStore:
         return store
 
     @classmethod
-    def from_bytes_prefix(cls, blob: bytes) -> tuple["LabelStore", int]:
+    def from_bytes_prefix(cls, blob: bytes) -> tuple[LabelStore, int]:
         """Decode one self-describing store blob from the front of
         ``blob``; returns ``(store, bytes_consumed)``."""
         view = memoryview(blob)
@@ -762,7 +775,7 @@ class LabelStore:
         return off
 
     # ------------------------------------------------------------------
-    def eq_entries(self, other: "LabelStore") -> bool:
+    def eq_entries(self, other: LabelStore) -> bool:
         """Exact logical equality (entries, flags, exact counts)."""
         if len(self.packed) != len(other.packed):
             return False

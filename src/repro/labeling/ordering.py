@@ -10,7 +10,7 @@ represented as a list ``order`` (highest rank first) plus the inverse
 from __future__ import annotations
 
 import random
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.errors import OrderingError
 from repro.graph.digraph import DiGraph

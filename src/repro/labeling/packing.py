@@ -14,7 +14,7 @@ matching what a fixed-width C++ implementation would silently do.
 from __future__ import annotations
 
 import struct
-from typing import Iterable
+from collections.abc import Iterable
 
 from repro.errors import PackingOverflowError, SerializationError
 

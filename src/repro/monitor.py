@@ -21,13 +21,15 @@ publishes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 
 from repro.core.batch import DEFAULT_REBUILD_THRESHOLD
 from repro.core.counter import ShortestCycleCounter
 from repro.core.maintenance import UpdateStats
 from repro.graph.digraph import DiGraph
 from repro.types import CycleCount
+
+from repro.errors import ConfigurationError
 
 __all__ = ["Alert", "CycleMonitor"]
 
@@ -73,7 +75,7 @@ class CycleMonitor:
         on_alert: Callable[[Alert], None] | None = None,
     ) -> None:
         if threshold < 1:
-            raise ValueError("threshold must be at least 1")
+            raise ConfigurationError("threshold must be at least 1")
         if isinstance(graph, ShortestCycleCounter):
             # Adopt an existing counter (serving mode: the engine owns the
             # updates; this monitor only evaluates published epochs).
@@ -161,10 +163,10 @@ class CycleMonitor:
                 elif op == "delete":
                     self.delete(tail, head)
                 else:
-                    raise ValueError(f"unknown stream op {op!r}")
+                    raise ConfigurationError(f"unknown stream op {op!r}")
             return self._alerts[seen:]
         if batch_size < 1:
-            raise ValueError("batch_size must be at least 1")
+            raise ConfigurationError("batch_size must be at least 1")
         chunk: list[tuple[str, int, int]] = []
         for event in events:
             chunk.append(event)

@@ -37,7 +37,7 @@ import struct
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Sequence, Union
+from collections.abc import Sequence
 
 from repro.errors import PersistenceError
 from repro.graph.digraph import DiGraph
@@ -139,7 +139,7 @@ def _apply_delta_payload(
 class CheckpointStore:
     """Reader/writer over one ``checkpoints/`` directory."""
 
-    def __init__(self, ckpt_dir: Union[str, Path]) -> None:
+    def __init__(self, ckpt_dir: str | Path) -> None:
         self._dir = Path(ckpt_dir)
         self._dir.mkdir(parents=True, exist_ok=True)
         self.checkpoints_written = 0
@@ -334,7 +334,7 @@ class CheckpointStore:
             store_out=index.store_out,
             chain_length=len(chain),
         )
-        for meta, payload in chain[1:]:
+        for _meta, payload in chain[1:]:
             _apply_delta_payload(payload, state)
         return state
 

@@ -28,9 +28,8 @@ import struct
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Union
 
-from repro.errors import PersistenceError
+from repro.errors import ConfigurationError, PersistenceError
 from repro.persist.faults import io_event
 from repro.persist.wal import _FRAME, _OP, _OPCODES, _OPNAMES, write_all
 
@@ -114,7 +113,7 @@ def _decode(payload: bytes) -> DeadLetter | None:
     )
 
 
-def read_dead_letters(path: Union[str, Path]) -> list[DeadLetter]:
+def read_dead_letters(path: str | Path) -> list[DeadLetter]:
     """Decode the readable record prefix of a dead-letter log.
 
     A missing file is an empty log.  A torn or corrupt tail ends the
@@ -158,9 +157,9 @@ class DeadLetterLog:
     """Appender over one dead-letter file (single mutator at a time —
     the engine serializes quarantine writes on its durability lock)."""
 
-    def __init__(self, path: Union[str, Path], fsync: str = "always") -> None:
+    def __init__(self, path: str | Path, fsync: str = "always") -> None:
         if fsync not in ("always", "off"):
-            raise ValueError(f"unknown fsync policy {fsync!r}")
+            raise ConfigurationError(f"unknown fsync policy {fsync!r}")
         self._path = Path(path)
         self._fsync = fsync
         self._fd: int | None = None

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
-from typing import Callable, Iterator, Optional
+from collections.abc import Callable, Iterator
 
 __all__ = ["SimulatedCrash", "fault_scope", "io_event", "set_fault_hook"]
 
@@ -39,10 +39,10 @@ class SimulatedCrash(BaseException):
 
 
 _lock = threading.Lock()
-_hook: Optional[Callable[[str], None]] = None
+_hook: Callable[[str], None] | None = None
 
 
-def set_fault_hook(hook: Optional[Callable[[str], None]]) -> None:
+def set_fault_hook(hook: Callable[[str], None] | None) -> None:
     """Install (or clear, with ``None``) the global I/O event hook.
 
     Installation is serialized under a module lock; prefer
@@ -56,8 +56,8 @@ def set_fault_hook(hook: Optional[Callable[[str], None]]) -> None:
 
 @contextmanager
 def fault_scope(
-    hook: Optional[Callable[[str], None]],
-) -> Iterator[Optional[Callable[[str], None]]]:
+    hook: Callable[[str], None] | None,
+) -> Iterator[Callable[[str], None] | None]:
     """Install ``hook`` for the duration of the ``with`` block.
 
     The previously installed hook (usually ``None``) is saved under the

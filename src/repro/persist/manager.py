@@ -27,7 +27,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING, Sequence, Union
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from repro.errors import RecoveryError
 from repro.persist.checkpoint import CheckpointStore
@@ -70,7 +71,7 @@ class DurabilityStats:
     health: str = "healthy"
 
 
-def _dirty_vertices(prev: "LabelStore", cur: "LabelStore") -> list[int]:
+def _dirty_vertices(prev: LabelStore, cur: LabelStore) -> list[int]:
     """Vertices whose label structures changed between two snapshots of
     the same live store — pure identity/value compares, O(n)."""
     prev_packed, cur_packed = prev.packed, cur.packed
@@ -89,7 +90,7 @@ class DurabilityManager:
 
     def __init__(
         self,
-        data_dir: Union[str, Path],
+        data_dir: str | Path,
         *,
         fsync: str = "always",
         checkpoint_wal_bytes: int = DEFAULT_CHECKPOINT_WAL_BYTES,
@@ -113,7 +114,7 @@ class DurabilityManager:
         self._prev_ckpt_seq = 0
         self._last_applied_seq = 0
         # Previous checkpoint's snapshot, kept for the delta diff.
-        self._parent_snapshot: "Snapshot" | None = None
+        self._parent_snapshot: Snapshot | None = None
         self._parent_order: list[int] | None = None
         self._strategy = "redundancy"
         self._closed = False
@@ -124,13 +125,13 @@ class DurabilityManager:
     @classmethod
     def open(
         cls,
-        data_dir: Union[str, Path],
+        data_dir: str | Path,
         *,
         fsync: str = "always",
         checkpoint_wal_bytes: int = DEFAULT_CHECKPOINT_WAL_BYTES,
         full_checkpoint_every: int = DEFAULT_FULL_CHECKPOINT_EVERY,
         strategy: str | None = None,
-    ) -> tuple["DurabilityManager", RecoveryResult | None]:
+    ) -> tuple[DurabilityManager, RecoveryResult | None]:
         """Open ``data_dir``, recovering any existing state.
 
         Returns ``(manager, recovered)`` where ``recovered`` is ``None``
@@ -182,7 +183,7 @@ class DurabilityManager:
             manager._strategy = recovered.counter.strategy
         return manager, recovered
 
-    def bootstrap(self, counter: "ShortestCycleCounter") -> None:
+    def bootstrap(self, counter: ShortestCycleCounter) -> None:
         """Write the initial full checkpoint (epoch 0) for a fresh
         directory, so recovery always has a base to replay from."""
         self._strategy = counter.strategy
@@ -247,7 +248,7 @@ class DurabilityManager:
         kept its pre-batch state; recovery will skip the batch)."""
         self._bytes_since_ckpt += self._wal.append_abort(seq)
 
-    def note_applied(self, seq: int, snapshot: "Snapshot") -> bool:
+    def note_applied(self, seq: int, snapshot: Snapshot) -> bool:
         """Called after batch ``seq`` was applied *and* its epoch
         published; checkpoints when the WAL has grown enough.  Returns
         whether a checkpoint was written."""
@@ -257,7 +258,7 @@ class DurabilityManager:
         self.checkpoint_now(snapshot)
         return True
 
-    def checkpoint_now(self, snapshot: "Snapshot") -> None:
+    def checkpoint_now(self, snapshot: Snapshot) -> None:
         """Write a checkpoint of ``snapshot`` (writer thread only: the
         live graph must still equal the snapshot's capture state, which
         holds exactly between batches)."""
@@ -318,7 +319,7 @@ class DurabilityManager:
         self._ckpts.prune(prune_seq)
         self._bytes_since_ckpt = 0
 
-    def maybe_final_checkpoint(self, snapshot: "Snapshot") -> bool:
+    def maybe_final_checkpoint(self, snapshot: Snapshot) -> bool:
         """Checkpoint on clean shutdown, but only when the WAL advanced
         past the last checkpoint (restart then skips replay entirely)."""
         if self._last_applied_seq <= self._last_ckpt_seq:

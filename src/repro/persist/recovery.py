@@ -22,7 +22,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Union
 
 from repro.core.counter import ShortestCycleCounter
 from repro.core.csc import CSCIndex
@@ -100,7 +99,7 @@ def _replay(counter: ShortestCycleCounter, scan: WalScan):
 
 
 def recover(
-    data_dir: Union[str, Path], strategy: str | None = None
+    data_dir: str | Path, strategy: str | None = None
 ) -> RecoveryResult:
     """Reconstruct the last acknowledged state from ``data_dir``.
 

@@ -49,9 +49,9 @@ import struct
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Union
+from collections.abc import Iterable
 
-from repro.errors import PersistenceError
+from repro.errors import ConfigurationError, PersistenceError
 from repro.persist.faults import io_event
 
 __all__ = [
@@ -198,7 +198,7 @@ def _decode_payload(payload: bytes) -> WalRecord | None:
     )
 
 
-def scan_segment(path: Union[str, Path]) -> tuple[list[WalRecord], int, int]:
+def scan_segment(path: str | Path) -> tuple[list[WalRecord], int, int]:
     """Decode one segment file.
 
     Returns ``(records, valid_bytes, total_bytes)``: the longest valid
@@ -236,7 +236,7 @@ def scan_segment(path: Union[str, Path]) -> tuple[list[WalRecord], int, int]:
     return records, off, len(blob)
 
 
-def read_wal(wal_dir: Union[str, Path], after_seq: int = 0) -> WalScan:
+def read_wal(wal_dir: str | Path, after_seq: int = 0) -> WalScan:
     """Scan every segment of ``wal_dir`` in order.
 
     Records with ``seq <= after_seq`` (already folded into a checkpoint)
@@ -303,10 +303,10 @@ class WriteAheadLog:
     """
 
     def __init__(
-        self, wal_dir: Union[str, Path], fsync: str = "always"
+        self, wal_dir: str | Path, fsync: str = "always"
     ) -> None:
         if fsync not in ("always", "off"):
-            raise ValueError(f"unknown fsync policy {fsync!r}")
+            raise ConfigurationError(f"unknown fsync policy {fsync!r}")
         self._dir = Path(wal_dir)
         self._dir.mkdir(parents=True, exist_ok=True)
         self._fsync = fsync

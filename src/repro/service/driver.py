@@ -13,10 +13,10 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Sequence, Union
+from collections.abc import Sequence
 
 from repro.core.counter import ShortestCycleCounter
-from repro.errors import BackpressureError, EngineReadOnlyError
+from repro.errors import ConfigurationError, BackpressureError, EngineReadOnlyError
 from repro.graph.digraph import DiGraph
 from repro.service.engine import Op, ServeEngine, ServeStats
 from repro.service.snapshot import Snapshot
@@ -106,7 +106,7 @@ def serial_replay(
 
 
 def drive_mixed(
-    source: Union[DiGraph, ShortestCycleCounter, ServeEngine],
+    source: DiGraph | ShortestCycleCounter | ServeEngine,
     ops: Sequence[Op],
     *,
     readers: int = 2,
@@ -131,12 +131,12 @@ def drive_mixed(
     through when the engine is built here.
     """
     if bulk_batch is not None and bulk_batch < 1:
-        raise ValueError("bulk_batch must be at least 1")
+        raise ConfigurationError("bulk_batch must be at least 1")
     if readers < 1:
-        raise ValueError("readers must be at least 1")
+        raise ConfigurationError("readers must be at least 1")
     if isinstance(source, ServeEngine):
         if engine_kwargs:
-            raise ValueError(
+            raise ConfigurationError(
                 "engine kwargs "
                 f"{sorted(engine_kwargs)} cannot be applied to an "
                 "already-constructed ServeEngine source; configure the "
@@ -155,7 +155,7 @@ def drive_mixed(
         query_vertices = range(n)
     vs = list(query_vertices)
     if not vs:
-        raise ValueError("no query vertices")
+        raise ConfigurationError("no query vertices")
 
     result = DriveResult(ops=len(ops))
     stop = threading.Event()

@@ -63,11 +63,13 @@ import threading
 import time
 from dataclasses import dataclass
 from dataclasses import replace as _dc_replace
-from typing import Callable, Iterable, Sequence, Union
+from collections.abc import Callable, Iterable, Sequence
 
+from repro.analysis import lockdep
 from repro.core.batch import DEFAULT_REBUILD_THRESHOLD
 from repro.core.counter import ShortestCycleCounter
 from repro.errors import (
+    ConfigurationError,
     BackpressureError,
     DurabilityUnavailableError,
     EngineReadOnlyError,
@@ -243,7 +245,7 @@ class ServeEngine:
 
     def __init__(
         self,
-        source: Union[DiGraph, ShortestCycleCounter, None] = None,
+        source: DiGraph | ShortestCycleCounter | None = None,
         *,
         strategy: str | None = None,
         batch_size: int = 64,
@@ -269,21 +271,21 @@ class ServeEngine:
         probe_max_backoff_s: float = 2.0,
     ) -> None:
         if batch_size < 1:
-            raise ValueError("batch_size must be at least 1")
+            raise ConfigurationError("batch_size must be at least 1")
         if backpressure not in ("block", "reject", "shed"):
-            raise ValueError(
+            raise ConfigurationError(
                 f"unknown backpressure policy {backpressure!r} "
                 "(expected 'block', 'reject', or 'shed')"
             )
         if on_poison not in ("quarantine", "fail"):
-            raise ValueError(
+            raise ConfigurationError(
                 f"unknown on_poison policy {on_poison!r} "
                 "(expected 'quarantine' or 'fail')"
             )
         if max_queue_depth is not None and max_queue_depth < 1:
-            raise ValueError("max_queue_depth must be at least 1")
+            raise ConfigurationError("max_queue_depth must be at least 1")
         if io_retries < 0:
-            raise ValueError("io_retries must be non-negative")
+            raise ConfigurationError("io_retries must be non-negative")
         self._durability: DurabilityManager | None = None
         self._recovery = None
         self._base_epoch = 0
@@ -310,7 +312,7 @@ class ServeEngine:
                     strategy is not None
                     and strategy != recovered.counter.strategy
                 ):
-                    raise ValueError(
+                    raise ConfigurationError(
                         f"data_dir {data_dir!r} was written with "
                         f"strategy {recovered.counter.strategy!r}; "
                         f"cannot resume it as {strategy!r}"
@@ -319,7 +321,7 @@ class ServeEngine:
                 self._base_epoch = recovered.epoch
                 self._base_ops = recovered.ops_applied
             elif source is None:
-                raise ValueError(
+                raise ConfigurationError(
                     f"data_dir {data_dir!r} holds no recoverable state "
                     "and no source graph/counter was given"
                 )
@@ -331,7 +333,7 @@ class ServeEngine:
                     source, strategy=strategy or "redundancy"
                 )
             else:
-                raise ValueError(
+                raise ConfigurationError(
                     "source must be a DiGraph or ShortestCycleCounter "
                     "(or data_dir must hold recoverable state)"
                 )
@@ -363,14 +365,19 @@ class ServeEngine:
         # by _defer_lock; the durability manager is single-threaded by
         # contract, so in deferred mode the writer's log_batch and the
         # repair thread's log_abort/note_applied serialize on _dur_lock.
-        self._defer_lock = threading.Lock()
-        self._dur_lock = threading.Lock()
+        # Canonical acquisition order (REP001, enforced statically by
+        # `repro analyze` and at runtime under REPRO_LOCKDEP=1):
+        # _defer_lock -> _dur_lock -> _lock/_progress, ascending rank.
+        self._defer_lock = lockdep.make_lock(
+            "ServeEngine._defer_lock", rank=10)
+        self._dur_lock = lockdep.make_lock(
+            "ServeEngine._dur_lock", rank=20)
         self._pending: list[tuple[list[Op], int | None]] = []
         self._repair_thread: threading.Thread | None = None
         self._deferrals = 0
 
-        self._queue: "queue.SimpleQueue[object]" = queue.SimpleQueue()
-        self._lock = threading.Lock()
+        self._queue: queue.SimpleQueue[object] = queue.SimpleQueue()
+        self._lock = lockdep.make_lock("ServeEngine._lock", rank=30)
         self._progress = threading.Condition(self._lock)
         self._submitted = 0
         self._consumed = 0
@@ -406,7 +413,7 @@ class ServeEngine:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
-    def start(self) -> "ServeEngine":
+    def start(self) -> ServeEngine:
         """Publish the base epoch (0, or the recovered epoch when the
         engine was opened on an existing data dir) and launch the
         writer thread."""
@@ -522,7 +529,7 @@ class ServeEngine:
                 f"serve writer failed earlier: {failure!r}"
             ) from failure
 
-    def __enter__(self) -> "ServeEngine":
+    def __enter__(self) -> ServeEngine:
         return self.start()
 
     def __exit__(self, exc_type, exc, tb) -> None:
@@ -561,7 +568,7 @@ class ServeEngine:
         ``backpressure`` policy (see the constructor).
         """
         if op not in ("insert", "delete"):
-            raise ValueError(f"unknown serve op {op!r}")
+            raise ConfigurationError(f"unknown serve op {op!r}")
         n = self._counter.graph.n
         if not 0 <= tail < n:
             raise VertexError(tail, n)

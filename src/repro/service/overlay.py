@@ -17,7 +17,8 @@ or the repair thread.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Sequence
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from repro.types import CycleCount, PathCount
 
@@ -41,7 +42,7 @@ class DeferredOverlay:
 
     def __init__(
         self,
-        snapshot: "Snapshot",
+        snapshot: Snapshot,
         stale_in_hubs: frozenset[int] = frozenset(),
         stale_out_hubs: frozenset[int] = frozenset(),
         pending_ops: int = 0,

@@ -11,7 +11,8 @@ property that makes it safe to share across threads.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Sequence
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from repro.errors import VertexError
 from repro.types import CycleCount, PathCount
@@ -41,7 +42,7 @@ class Snapshot:
 
     def __init__(
         self,
-        index: "CSCIndex",
+        index: CSCIndex,
         n: int,
         m: int,
         epoch: int = 0,
@@ -56,10 +57,10 @@ class Snapshot:
     @classmethod
     def capture(
         cls,
-        counter: "ShortestCycleCounter",
+        counter: ShortestCycleCounter,
         epoch: int = 0,
         ops_applied: int = 0,
-    ) -> "Snapshot":
+    ) -> Snapshot:
         """Snapshot ``counter``'s current state (single-writer thread
         only; see :meth:`CSCIndex.snapshot`)."""
         graph = counter.graph

@@ -36,7 +36,7 @@ class ClusterWorkload:
             if self.clusters[name]
         ]
 
-    def sample(self, per_cluster: int, seed: int = 0) -> "ClusterWorkload":
+    def sample(self, per_cluster: int, seed: int = 0) -> ClusterWorkload:
         """Deterministically subsample each cluster to at most
         ``per_cluster`` vertices (for query benchmarks).
 

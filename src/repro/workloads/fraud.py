@@ -23,6 +23,8 @@ from dataclasses import dataclass, field
 from repro.graph.digraph import DiGraph
 from repro.graph.generators import preferential_attachment
 
+from repro.errors import ConfigurationError
+
 __all__ = ["FraudScenario", "make_transaction_network"]
 
 
@@ -70,11 +72,11 @@ def make_transaction_network(
     refunds are rare compared to laundering loops.
     """
     if ring_size < 3:
-        raise ValueError("ring_size must be at least 3 (hub -> ... -> collector -> hub)")
+        raise ConfigurationError("ring_size must be at least 3 (hub -> ... -> collector -> hub)")
     intermediates_per_ring = ring_size - 2
     needed = 2 + rings * intermediates_per_ring
     if n < needed + 10:
-        raise ValueError(
+        raise ConfigurationError(
             f"n={n} too small for {rings} rings of size {ring_size} "
             f"(need at least {needed + 10} accounts)"
         )

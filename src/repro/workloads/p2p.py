@@ -55,7 +55,7 @@ def make_p2p_network(
 
 
 def index_server_candidates(
-    counts: dict[int, "object"], k: int = 5
+    counts: dict[int, object], k: int = 5
 ) -> list[int]:
     """Rank hosts for index-server placement.
 

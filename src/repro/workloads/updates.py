@@ -22,6 +22,8 @@ from dataclasses import dataclass
 from repro.graph.digraph import DiGraph
 from repro.workloads.clusters import CLUSTER_NAMES
 
+from repro.errors import ConfigurationError
+
 __all__ = [
     "UpdateWorkload",
     "BatchUpdateWorkload",
@@ -127,7 +129,7 @@ def mixed_update_stream(
     protocol when ``insert_fraction=0.5``.
     """
     if not 0.0 <= insert_fraction <= 1.0:
-        raise ValueError("insert_fraction must be within [0, 1]")
+        raise ConfigurationError("insert_fraction must be within [0, 1]")
     rng = random.Random(seed)
     edges = list(graph.edges())
     n = graph.n
@@ -168,7 +170,7 @@ def batched_workload(
     the batch engine amortizes.
     """
     if batch_size < 1:
-        raise ValueError("batch_size must be at least 1")
+        raise ConfigurationError("batch_size must be at least 1")
     ops = mixed_update_stream(graph, count, seed, insert_fraction)
     if cluster and ops:
         by_edge: dict[tuple[int, int], list[Op]] = {}

@@ -1,0 +1,7 @@
+"""REP002 fail fixture: packed-store state poked from outside."""
+
+
+def hijack(store, cols, row):
+    store._cols = cols
+    store.packed[3] = row
+    store.canon.append(0)

@@ -1,0 +1,11 @@
+"""REP002 pass fixture: reads plus the sanctioned cache setter."""
+
+
+def project(store, cols):
+    if store._cols is None:
+        return store.cache_columns(cols)
+    return store._cols
+
+
+def peek(store, v):
+    return len(store.packed[v])

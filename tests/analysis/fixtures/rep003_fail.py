@@ -1,0 +1,5 @@
+"""REP003 fail fixture: a drifted width and an unverifiable mask."""
+
+VERTEX_BITS = 22
+
+_DIST_MASK = compute_mask()  # undefined on purpose: parsed, never run

@@ -1,0 +1,9 @@
+"""REP003 pass fixture: widths and masks derived from imported
+authoritative constants, all folding to the declared 23/17/24 layout."""
+
+from repro.labeling.packing import COUNT_BITS, DISTANCE_BITS
+
+VERTEX_BITS = 23
+HUB_SHIFT = DISTANCE_BITS + COUNT_BITS
+_DIST_MASK = (1 << DISTANCE_BITS) - 1
+COUNT_SATURATED = (1 << COUNT_BITS) - 1

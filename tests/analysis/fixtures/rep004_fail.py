@@ -1,0 +1,14 @@
+"""REP004 fail fixture: bare library raises and a swallowed handler."""
+
+
+def load(flag):
+    if flag:
+        raise ValueError("bad flag")
+    raise RuntimeError("unreachable seam")
+
+
+def swallow(op):
+    try:
+        op()
+    except Exception:
+        pass

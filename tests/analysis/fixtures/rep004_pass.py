@@ -1,0 +1,21 @@
+"""REP004 pass fixture: typed raises, routed and re-raising handlers."""
+
+from repro.errors import ConfigurationError
+
+
+class Worker:
+    def check(self, flag):
+        if not flag:
+            raise ConfigurationError("flag must be set")
+
+    def guarded(self, op):
+        try:
+            op()
+        except Exception:
+            self._record_failure(op)
+
+    def reraised(self, op):
+        try:
+            op()
+        except Exception:
+            raise

@@ -1,0 +1,9 @@
+"""REP005 fail fixture: durable writes with no io_event announcement."""
+
+import os
+
+
+def persist(fd, data, path):
+    os.write(fd, data)
+    os.fsync(fd)
+    path.unlink()

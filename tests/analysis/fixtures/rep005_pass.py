@@ -1,0 +1,12 @@
+"""REP005 pass fixture: every durable write is announced first."""
+
+import os
+
+from repro.persist.faults import io_event
+
+
+def persist(fd, data):
+    io_event("fixture.write")
+    os.write(fd, data)
+    io_event("fixture.fsync")
+    os.fsync(fd)

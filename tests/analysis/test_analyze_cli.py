@@ -1,0 +1,55 @@
+"""``repro analyze`` end to end: exit codes, JSON output, perf budget."""
+
+import json
+from pathlib import Path
+
+from repro.analysis.runner import RULES, analyze
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestCli:
+    def test_repo_scan_exits_zero(self, capsys):
+        assert main(["analyze"]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+
+    def test_fixture_corpus_exits_one(self, capsys):
+        assert main(["analyze", str(FIXTURES), "--suppressions",
+                     "/nonexistent-suppressions.txt"]) == 1
+        out = capsys.readouterr().out
+        assert "REP001" in out and "REP005" in out
+
+    def test_json_format_parses_and_carries_schema(self, capsys):
+        rc = main(["analyze", str(FIXTURES), "--format", "json",
+                   "--suppressions", "/nonexistent-suppressions.txt"])
+        assert rc == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == 1
+        assert doc["summary"]["active"] == len(doc["findings"])
+        assert {f["rule"] for f in doc["findings"]} == set(RULES)
+
+    def test_suppression_silences_exactly_the_pinned_finding(self, capsys,
+                                                             tmp_path):
+        target = FIXTURES / "rep003_fail.py"
+        sup = tmp_path / "sup.txt"
+        sup.write_text("REP003 rep003_fail.py fixture grandfathered\n")
+        assert main(["analyze", str(target),
+                     "--suppressions", str(sup)]) == 0
+        assert "[suppressed: fixture grandfathered]" \
+            in capsys.readouterr().out
+
+    def test_list_rules(self, capsys):
+        assert main(["analyze", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in RULES:
+            assert rule in out
+
+    def test_perf_budget_full_repo_under_ten_seconds(self):
+        report = analyze()
+        assert report.files_scanned > 50
+        assert report.elapsed_s < 10.0, (
+            f"analyzer took {report.elapsed_s:.1f}s on "
+            f"{report.files_scanned} files — over the CI smoke budget"
+        )

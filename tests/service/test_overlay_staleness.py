@@ -1,0 +1,110 @@
+"""DeferredOverlay staleness edges.
+
+An overlay is a *point-in-time* view: the snapshot it wraps and the
+staleness metadata it captured must keep describing the instant it was
+taken, no matter what the live store does afterwards — tombstones
+cleared behind a holding reader, or new tombstones landing mid-batch.
+"""
+
+import time
+
+import pytest
+
+from repro.core.counter import ShortestCycleCounter
+from repro.errors import StaleLabelError
+from repro.paperdata import figure2_graph
+from repro.service import DeferredOverlay, ServeEngine
+from repro.service.snapshot import Snapshot
+
+
+def build_counter():
+    return ShortestCycleCounter.build(figure2_graph())
+
+
+class TestOverlayAfterClearTombstones:
+    def test_held_overlay_survives_repair_completion(self):
+        """A reader holding an overlay across the full deferred-repair
+        cycle (tombstone -> repair -> clear_tombstones) keeps its
+        point-in-time answers and staleness metadata."""
+        counter = build_counter()
+        doomed = list(counter.graph.edges())[::4][:3]
+        engine = ServeEngine(counter, batch_size=1, defer_deletions=True)
+        with engine:
+            held = engine.overlay()
+            before = [held.count(v) for v in range(held.snapshot.n)]
+            held_epoch = held.epoch
+
+            engine.submit_many(("delete", a, b) for a, b in doomed)
+            final = engine.flush(timeout=60)
+            # Wait out the repair window: a *fresh* overlay goes clean
+            # once clear_tombstones has run on the live stores.
+            deadline = time.monotonic() + 30
+            while engine.overlay().stale:
+                if time.monotonic() > deadline:  # pragma: no cover
+                    pytest.fail("repair window never closed")
+                time.sleep(0.01)
+
+            # The held overlay still answers from its captured epoch.
+            assert held.epoch == held_epoch
+            assert [held.count(v) for v in range(held.snapshot.n)] \
+                == before
+            assert held.count_many(range(held.snapshot.n)) == before
+            # The live view moved on.
+            assert final.epoch > held_epoch
+            assert not engine.overlay().stale
+
+    def test_overlay_staleness_metadata_is_capture_time(self):
+        """stale_in/out hub sets captured by an overlay are immutable
+        even after the live store's tombstones are cleared."""
+        counter = build_counter()
+        store = counter.index.store_in
+        store.tombstone_hubs([0, 1])
+        snap = Snapshot.capture(counter)
+        overlay = DeferredOverlay(
+            snap, store.stale_hubs,
+            counter.index.store_out.stale_hubs, 0,
+        )
+        assert overlay.stale
+        assert overlay.stale_in_hubs == frozenset({0, 1})
+
+        store.clear_tombstones()
+        # live store healed; the held overlay still reports the window
+        assert store.stale_hubs == frozenset()
+        assert overlay.stale
+        assert overlay.stale_in_hubs == frozenset({0, 1})
+
+
+class TestOverlayWhileLiveStoreStale:
+    def test_count_many_on_snapshot_unaffected_by_live_tombstones(self):
+        """Mid-batch staleness: tombstones land on the live store while
+        a batch runs against an already-captured overlay.  The overlay's
+        snapshot (frozen, copy-on-write) must keep answering; only the
+        live index raises StaleLabelError."""
+        counter = build_counter()
+        n = counter.graph.n
+        clean = [counter.count(v) for v in range(n)]
+
+        snap = Snapshot.capture(counter)
+        overlay = DeferredOverlay(snap, frozenset(), frozenset(), 0)
+        assert not overlay.stale
+
+        counter.index.store_in.tombstone_hubs([0])
+        with pytest.raises(StaleLabelError):
+            counter.index.sccnt(0)
+        with pytest.raises(StaleLabelError):
+            counter.index.sccnt_many(list(range(n)))
+
+        # the captured overlay is blind to the live store's window
+        assert overlay.count_many(range(n)) == clean
+        assert [overlay.count(v) for v in range(n)] == clean
+        assert not overlay.stale
+
+        # a freshly built overlay over the same live index reports it
+        fresh = DeferredOverlay(
+            snap, counter.index.store_in.stale_hubs,
+            counter.index.store_out.stale_hubs, 0,
+        )
+        assert fresh.stale
+
+        counter.index.store_in.clear_tombstones()
+        assert counter.index.sccnt_many(list(range(n))) == clean

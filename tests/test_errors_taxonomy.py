@@ -1,0 +1,59 @@
+"""Regression tests for the REP004 raw-raise conversion.
+
+Every library seam that used to raise a bare ``ValueError`` now raises
+:class:`repro.errors.ConfigurationError` — which deliberately *is* a
+``ValueError`` (and a :class:`ReproError`), so both old ``except``
+clauses and the new taxonomy-aware callers work.  These tests pin a
+representative seam per converted layer.
+"""
+
+import pytest
+
+from repro.core.batch import normalize_batch
+from repro.core.counter import ShortestCycleCounter
+from repro.errors import ConfigurationError, ReproError
+from repro.graph.generators import gnm_random, out_regular
+from repro.monitor import CycleMonitor
+from repro.paperdata import figure2_graph
+from repro.service import ServeEngine
+
+
+def test_configuration_error_is_both_taxonomies():
+    exc = ConfigurationError("x")
+    assert isinstance(exc, ValueError)
+    assert isinstance(exc, ReproError)
+
+
+@pytest.mark.parametrize("catch", [ConfigurationError, ValueError,
+                                   ReproError])
+def test_generator_seams(catch):
+    with pytest.raises(catch):
+        gnm_random(1, 1)
+    with pytest.raises(catch):
+        gnm_random(4, 1000)
+    with pytest.raises(catch):
+        out_regular(3, 3)
+
+
+@pytest.mark.parametrize("catch", [ConfigurationError, ValueError])
+def test_batch_seam(catch):
+    graph = figure2_graph()
+    with pytest.raises(catch):
+        normalize_batch(graph, [("teleport", 0, 1)])
+    with pytest.raises(catch):
+        normalize_batch(graph, [], on_invalid="explode")
+
+
+@pytest.mark.parametrize("catch", [ConfigurationError, ValueError])
+def test_engine_config_seam(catch):
+    counter = ShortestCycleCounter.build(figure2_graph())
+    with pytest.raises(catch):
+        ServeEngine(counter, batch_size=0)
+    with pytest.raises(catch):
+        ServeEngine(counter, max_queue_depth=0)
+
+
+@pytest.mark.parametrize("catch", [ConfigurationError, ValueError])
+def test_monitor_config_seam(catch):
+    with pytest.raises(catch):
+        CycleMonitor(figure2_graph(), threshold=0)
