@@ -86,7 +86,16 @@ Entry = tuple[int, int, int, bool]
 
 def resolve_workers(workers: int | None = None) -> int:
     """The effective worker count: the explicit argument, else
-    ``$REPRO_BUILD_WORKERS``, else 1 (serial)."""
+    ``$REPRO_BUILD_WORKERS``, else 1 (serial).
+
+    Inside a daemonic process the answer is always 1: daemonic
+    processes cannot have children, so the pool is unreachable there —
+    e.g. a cluster replica whose forkserver-inherited environment still
+    carries ``REPRO_BUILD_WORKERS`` from the parent that first started
+    the forkserver.  The serial path is bit-identical by contract.
+    """
+    if multiprocessing.current_process().daemon:
+        return 1
     if workers is None:
         raw = os.environ.get(ENV_WORKERS, "").strip()
         if not raw:

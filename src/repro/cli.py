@@ -17,7 +17,16 @@ Commands
 * ``serve <edgelist>`` — snapshot-isolated concurrent serving: N reader
   threads answer queries against published snapshots while the single
   writer drains an update stream (optionally verifying the final epoch
-  against a serial replay; ``--data-dir`` makes the run durable);
+  against a serial replay; ``--data-dir`` makes the run durable); all
+  engine flags are generated from the :class:`ServeConfig` dataclasses
+  and a whole config loads from ``--config FILE`` (JSON);
+* ``cluster serve <edgelist>`` — sharded replica serving: a durable
+  primary plus ``--replicas`` reader processes, each tailing the
+  primary's WAL and answering queries from its own replica of the
+  counter through a load-balancing router; every replica-published
+  epoch is digest-verified bit-identical to the primary;
+* ``cluster status <data_dir>`` — offline view of a primary's
+  durability directory as a replica bootstrap source;
 * ``recover <data_dir>`` — reconstruct a counter from a durability
   directory (latest checkpoint chain + WAL replay) and report how;
 * ``datasets`` — list the built-in dataset stand-ins;
@@ -36,9 +45,9 @@ from repro.bench.tables import format_table
 from repro.core.batch import DEFAULT_REBUILD_THRESHOLD
 from repro.core.counter import ShortestCycleCounter
 from repro.core.maintenance import STRATEGIES
-from repro.persist.manager import DEFAULT_CHECKPOINT_WAL_BYTES
 from repro.graph.datasets import DATASET_ORDER, DATASETS, PAPER_SIZES
 from repro.graph.io import read_edge_list
+from repro.service.config import add_config_arguments
 
 __all__ = ["main", "build_parser"]
 
@@ -111,41 +120,56 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ops", type=int, default=128,
                    help="update ops to stream through the writer "
                    "(default 128)")
-    p.add_argument("--batch-size", type=int, default=16,
-                   help="max ops per maintenance batch (default 16)")
     p.add_argument("--insert-fraction", type=float, default=0.25,
                    help="fraction of ops that are insertions (default "
                    "0.25: deletion-heavy, the expensive side)")
     p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--strategy", choices=list(STRATEGIES), default=None,
-                   help="insertion-maintenance strategy (default "
-                   "redundancy; when resuming a --data-dir, the "
-                   "recorded strategy is used and an explicit "
-                   "conflicting choice is an error)")
     p.add_argument("--verify", action="store_true",
                    help="replay the stream serially and check the final "
                    "epoch is bit-identical")
-    p.add_argument("--data-dir", default=None,
-                   help="durability directory: WAL every batch before "
-                   "publishing and cut incremental checkpoints, so the "
-                   "run is crash-recoverable (see `repro recover`)")
-    p.add_argument("--wal-fsync", choices=["always", "off"],
-                   default="always",
-                   help="WAL flush policy (default always: each batch "
-                   "record is fsynced before its epoch publishes)")
-    p.add_argument("--checkpoint-bytes", type=int,
-                   default=DEFAULT_CHECKPOINT_WAL_BYTES,
-                   help="checkpoint once the WAL grows past this many "
-                   f"bytes (default {DEFAULT_CHECKPOINT_WAL_BYTES})")
-    p.add_argument("--max-queue-depth", type=int, default=None,
-                   help="bounded admission: cap on submitted-but-not-"
-                   "consumed ops (default unbounded)")
-    p.add_argument("--backpressure",
-                   choices=["block", "reject", "shed"],
-                   default="block",
-                   help="full-queue policy under --max-queue-depth: "
-                   "block until the writer drains (default), reject "
-                   "with an error, or shed the op")
+    p.add_argument("--config", default=None, metavar="FILE",
+                   help="ServeConfig JSON file (ServeConfig.to_dict "
+                   "shape); engine flags below override its values")
+    # Engine flags are generated from the ServeConfig dataclasses (one
+    # flag per field) so the CLI can never drift from the config surface.
+    add_config_arguments(p)
+
+    p = sub.add_parser(
+        "cluster",
+        help="sharded replica serving: reader processes tail the "
+        "primary's WAL",
+    )
+    csub = p.add_subparsers(dest="cluster_command", required=True)
+    pc = csub.add_parser(
+        "serve",
+        help="run a primary + N replica processes and route queries",
+    )
+    pc.add_argument("edgelist")
+    pc.add_argument("--replicas", type=int, default=2,
+                    help="replica reader processes tailing the WAL "
+                    "(default 2)")
+    pc.add_argument("--readers", type=int, default=2,
+                    help="reader threads hammering the router (default 2)")
+    pc.add_argument("--ops", type=int, default=64,
+                    help="update ops to stream through the primary "
+                    "(default 64)")
+    pc.add_argument("--insert-fraction", type=float, default=0.25,
+                    help="fraction of ops that are insertions "
+                    "(default 0.25)")
+    pc.add_argument("--seed", type=int, default=0)
+    pc.add_argument("--config", default=None, metavar="FILE",
+                    help="ServeConfig JSON file; engine flags below "
+                    "override its values (--data-dir is required either "
+                    "way: the WAL is the replication transport)")
+    add_config_arguments(pc)
+    pc = csub.add_parser(
+        "status",
+        help="offline durability-directory status: what a replica "
+        "bootstrapping now would recover and tail",
+    )
+    pc.add_argument("data_dir",
+                    help="primary durability directory (the replication "
+                    "log)")
 
     p = sub.add_parser(
         "recover",
@@ -395,8 +419,19 @@ def _cmd_batch_update(args) -> int:
     return 0
 
 
+def _resolve_config(args, base=None):
+    """The effective :class:`ServeConfig` for a CLI run: defaults (or
+    ``base``), then ``--config FILE``, then any flags actually passed."""
+    from repro.service import config_from_args, load_config_file
+
+    if getattr(args, "config", None) is not None:
+        base = load_config_file(args.config)
+    return config_from_args(args, base=base)
+
+
 def _cmd_serve(args) -> int:
     from repro.service import (
+        ServeConfig,
         ServeEngine,
         drive_mixed,
         idle_read_throughput,
@@ -405,16 +440,10 @@ def _cmd_serve(args) -> int:
     from repro.workloads.updates import mixed_update_stream
 
     graph = read_edge_list(args.edgelist)
-    engine_kwargs = {}
-    if args.data_dir is not None:
-        engine_kwargs = {
-            "data_dir": args.data_dir,
-            "wal_fsync": args.wal_fsync,
-            "checkpoint_wal_bytes": args.checkpoint_bytes,
-        }
-    if args.max_queue_depth is not None:
-        engine_kwargs["max_queue_depth"] = args.max_queue_depth
-        engine_kwargs["backpressure"] = args.backpressure
+    # One flag per ServeConfig field (see add_config_arguments); serve
+    # keeps its historical batch_size=16 default via the base config.
+    config = _resolve_config(args, base=ServeConfig.from_kwargs(batch_size=16))
+    data_dir = config.durability.data_dir
     # Build the engine first: with --data-dir pointing at existing
     # state the engine *resumes* that state (the edge list is only the
     # bootstrap source), and the op stream, idle baseline, and --verify
@@ -423,12 +452,10 @@ def _cmd_serve(args) -> int:
     try:
         engine = ServeEngine(
             ShortestCycleCounter.build(
-                graph, strategy=args.strategy or "redundancy",
+                graph, strategy=config.strategy or "redundancy",
                 copy_graph=False,
-            ) if args.data_dir is None else graph,
-            strategy=args.strategy,
-            batch_size=args.batch_size,
-            **engine_kwargs,
+            ) if data_dir is None else graph,
+            config=config,
         )
     except ValueError as exc:
         # e.g. --strategy conflicting with the data dir's recorded one
@@ -438,7 +465,7 @@ def _cmd_serve(args) -> int:
     if engine.recovery is not None:
         rec = engine.recovery
         print(
-            f"resumed {args.data_dir}: epoch {rec.epoch} "
+            f"resumed {data_dir}: epoch {rec.epoch} "
             f"(ops_applied={rec.ops_applied}, "
             f"{rec.records_replayed} WAL records replayed); "
             "the edge list was ignored"
@@ -468,7 +495,7 @@ def _cmd_serve(args) -> int:
         ["reader", "queries", "qps"],
         rows,
         title=f"{args.readers} readers vs 1 writer "
-        f"({len(ops)} ops, batches of {args.batch_size})",
+        f"({len(ops)} ops, batches of {config.batch_size})",
     ))
     ratio = result.queries_per_second / idle if idle else 0.0
     print(
@@ -494,7 +521,7 @@ def _cmd_serve(args) -> int:
             f"durability: {dur.wal_records} WAL records "
             f"({dur.wal_bytes} bytes, {dur.wal_segments} segments), "
             f"{dur.checkpoints_written} checkpoints "
-            f"({dur.checkpoint_bytes} bytes) -> {args.data_dir}"
+            f"({dur.checkpoint_bytes} bytes) -> {data_dir}"
         )
     if args.verify:
         # The engine's actual strategy (recorded one when resuming).
@@ -509,6 +536,124 @@ def _cmd_serve(args) -> int:
             return 1
         print(f"verify: final epoch bit-identical to serial replay of "
               f"{len(ops)} ops over {final.n} vertices")
+    return 0
+
+
+def _cmd_cluster(args) -> int:
+    if args.cluster_command == "status":
+        return _cluster_status(args)
+    return _cluster_serve(args)
+
+
+def _cluster_serve(args) -> int:
+    from repro.cluster import Cluster
+    from repro.service import ServeConfig, drive_mixed
+    from repro.workloads.updates import mixed_update_stream
+
+    graph = read_edge_list(args.edgelist)
+    # checkpoint_on_stop defaults off here: the final stop-checkpoint
+    # prunes WAL segments, and a still-catching-up replica hitting that
+    # prune resyncs — discarding the digest ledger the closing
+    # verification needs.  --checkpoint-on-stop opts back in.
+    config = _resolve_config(
+        args, base=ServeConfig.from_kwargs(checkpoint_on_stop=False)
+    )
+    cluster = Cluster(graph, config, replicas=args.replicas)
+    try:
+        cluster.start()
+        counter = cluster.engine.counter
+        if cluster.engine.recovery is not None:
+            rec = cluster.engine.recovery
+            print(
+                f"resumed {config.durability.data_dir}: epoch "
+                f"{rec.epoch} (ops_applied={rec.ops_applied}); "
+                "the edge list was ignored"
+            )
+        ops = mixed_update_stream(
+            counter.graph, args.ops, args.seed,
+            insert_fraction=args.insert_fraction,
+        )
+        if not ops:
+            print("no feasible update ops on this graph")
+            return 0
+        result = drive_mixed(
+            cluster.engine, ops, readers=args.readers,
+            query_backend=cluster.router,
+        )
+        if result.errors:
+            for line in result.errors:
+                print(line, file=sys.stderr)
+            return 1
+        final = result.final
+        cluster.wait_for_epoch(final.epoch)
+        checked = cluster.verify_replicas()
+        lag = cluster.router.lag()
+        rows = [
+            [name, info["state"], info["epoch"],
+             "-" if lag[name] is None else lag[name],
+             info["resyncs"], checked.get(name, 0)]
+            for name, info in cluster.router.health().items()
+        ]
+        print(format_table(
+            ["replica", "state", "epoch", "lag", "resyncs", "verified"],
+            rows,
+            title=f"{args.replicas} replicas tailing 1 primary "
+            f"({len(ops)} ops, batches of {config.batch_size})",
+        ))
+        stats = result.stats
+        print(
+            f"primary: drained {stats.ops_consumed} ops in "
+            f"{result.drain_seconds * 1e3:.1f} ms, published "
+            f"{stats.epoch} epochs -> {config.durability.data_dir}"
+        )
+        print(
+            f"router: {result.queries_per_second:.0f} queries/s "
+            f"aggregate across {args.readers} readers "
+            f"({cluster.router.queries_routed} routed, "
+            f"{cluster.router.failovers} failovers)"
+        )
+        print(
+            f"verify: {sum(checked.values())} replica-published epoch "
+            "digests bit-identical to the primary"
+        )
+    finally:
+        cluster.stop()
+    return 0
+
+
+def _cluster_status(args) -> int:
+    from pathlib import Path
+
+    from repro.persist import recover
+    from repro.persist.recovery import WAL_DIR
+
+    start = time.perf_counter()
+    result = recover(args.data_dir)
+    elapsed = time.perf_counter() - start
+    wal_dir = Path(args.data_dir) / WAL_DIR
+    segments = sorted(wal_dir.glob("wal-*.log")) if wal_dir.is_dir() else []
+    wal_bytes = sum(path.stat().st_size for path in segments)
+    counter = result.counter
+    print(
+        f"{args.data_dir}: epoch {result.epoch} "
+        f"(ops_applied={result.ops_applied}), n={counter.graph.n} "
+        f"m={counter.graph.m}"
+    )
+    print(
+        f"checkpoint: seq {result.checkpoint_seq} at epoch "
+        f"{result.checkpoint_epoch} (chain of "
+        f"{result.checkpoint_chain_length})"
+    )
+    print(
+        f"wal: {len(segments)} segments, {wal_bytes} bytes; "
+        f"{result.records_replayed} records past the checkpoint "
+        f"({result.ops_replayed} ops, {result.records_skipped} skipped, "
+        f"{result.torn_bytes_dropped} torn bytes)"
+    )
+    print(
+        f"a replica bootstrapping now recovers in {elapsed * 1e3:.1f} ms "
+        f"and tails from seq {result.last_seq}"
+    )
     return 0
 
 
@@ -653,6 +798,7 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "batch-update": _cmd_batch_update,
     "serve": _cmd_serve,
+    "cluster": _cmd_cluster,
     "recover": _cmd_recover,
     "datasets": _cmd_datasets,
     "experiments": _cmd_experiments,
@@ -671,6 +817,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     from repro.errors import (
         BackpressureError,
         BuildError,
+        ClusterError,
+        ConfigurationError,
         PersistenceError,
         ServiceStoppedError,
     )
@@ -681,6 +829,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     except (
         BackpressureError,
         BuildError,
+        ClusterError,
+        ConfigurationError,
         PersistenceError,
         ServiceStoppedError,
     ) as exc:

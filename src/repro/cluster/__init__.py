@@ -1,0 +1,36 @@
+"""Sharded replica serving: scale reads across processes, not threads.
+
+:mod:`repro.service` scales reads across *threads* of one process;
+this package scales them across *processes* — a primary
+:class:`~repro.service.ServeEngine` owns the write path, and N replica
+processes each maintain their own full copy of the counter, tailing the
+primary's write-ahead log as a replication stream (see
+:mod:`repro.cluster.cluster` for the topology diagram and consistency
+contract).  A :class:`ClusterRouter` load-balances queries over the
+replicas behind the same :class:`repro.service.QueryAPI` protocol the
+local backends implement, so ``drive_mixed``, the monitor, and the
+benchmarks run unmodified against either tier.
+
+Pieces:
+
+* :class:`Cluster` — the facade: primary + replicas + router,
+  ``start``/``stop``, per-epoch digest verification, lag reporting;
+* :class:`ClusterRouter` — round-robin QueryAPI with failover and a
+  monotone min-epoch consistency floor;
+* :class:`ReplicaClient` — QueryAPI over one replica's pipe;
+* :func:`replica_main` — the replica process body (checkpoint
+  bootstrap via :func:`repro.persist.recover`, then
+  :class:`~repro.persist.WalTailer` streaming).
+"""
+
+from repro.cluster.client import ReplicaClient
+from repro.cluster.cluster import Cluster
+from repro.cluster.replica import replica_main
+from repro.cluster.router import ClusterRouter
+
+__all__ = [
+    "Cluster",
+    "ClusterRouter",
+    "ReplicaClient",
+    "replica_main",
+]

@@ -1,0 +1,160 @@
+"""In-process handle to one replica: the pipe side of the QueryAPI.
+
+A :class:`ReplicaClient` owns the parent end of a replica process's
+pipe and implements :class:`repro.service.QueryAPI` over it, so any
+code written against the protocol — ``drive_mixed`` readers, the
+benchmarks, the monitor — can query a replica process exactly as it
+queries a local :class:`~repro.service.Snapshot`.
+
+Failure model: one bad interaction condemns the connection.  A timeout
+or a broken pipe leaves the request/response stream unsynchronized (a
+late reply would be attributed to the wrong request), so the client
+latches ``FAILED`` — the engine's own health vocabulary — and every
+later call raises :class:`~repro.errors.ReplicaUnavailableError`
+immediately.  The router treats a failed client as out of rotation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import repro.errors as _errors
+from repro.analysis import lockdep
+from repro.errors import ClusterError, ReplicaUnavailableError, ReproError
+from repro.service.health import FAILED, HEALTHY
+from repro.types import CycleCount, PathCount
+
+__all__ = ["ReplicaClient"]
+
+
+def _rebuild_error(name: str, message: str) -> Exception:
+    """Re-raise a replica-side error under its own type when it is part
+    of the :mod:`repro.errors` taxonomy (so ``except VertexError:``
+    works across the process boundary), else as a ClusterError."""
+    cls = getattr(_errors, name, None)
+    if isinstance(cls, type) and issubclass(cls, ReproError):
+        err = cls.__new__(cls)
+        Exception.__init__(err, message)
+        return err
+    return ClusterError(f"replica error {name}: {message}")
+
+
+class ReplicaClient:
+    """One replica process, spoken to over its pipe (thread-safe).
+
+    Implements :class:`repro.service.QueryAPI`; ``epoch`` is one
+    ``status`` round-trip.  Lock rank 6 sits below every engine lock:
+    a reader thread holding this lock never calls into the engine, and
+    the router (rank 5) may pick under its own lock before calling here.
+    """
+
+    def __init__(self, conn, process, name: str,
+                 timeout: float = 30.0) -> None:
+        self._conn = conn
+        self._process = process
+        self.name = name
+        self._timeout = timeout
+        self._lock = lockdep.make_lock(
+            f"ReplicaClient[{name}]._lock", rank=6
+        )
+        self._health = HEALTHY
+
+    # ------------------------------------------------------------------
+    @property
+    def health(self) -> str:
+        """``HEALTHY`` or (latched) ``FAILED``."""
+        return self._health
+
+    @property
+    def alive(self) -> bool:
+        return self._health == HEALTHY and self._process.is_alive()
+
+    def _fail(self, why: str, cause: BaseException | None = None):
+        self._health = FAILED
+        err = ReplicaUnavailableError(f"replica {self.name}: {why}")
+        if cause is not None:
+            err.__cause__ = cause
+        return err
+
+    def _call(self, *request):
+        with self._lock:
+            if self._health == FAILED:
+                raise ReplicaUnavailableError(
+                    f"replica {self.name}: connection already failed"
+                )
+            try:
+                self._conn.send(request)
+                if not self._conn.poll(self._timeout):
+                    raise self._fail(
+                        f"no reply to {request[0]!r} within "
+                        f"{self._timeout}s"
+                    )
+                reply = self._conn.recv()
+            except (OSError, EOFError, BrokenPipeError) as exc:
+                raise self._fail("pipe broken", exc) from exc
+        if reply[0] == "ok":
+            return reply[1]
+        raise _rebuild_error(reply[1], reply[2])
+
+    # ------------------------------------------------------------------
+    # QueryAPI
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        return self._call("status")["epoch"]
+
+    def sccnt(self, v: int) -> CycleCount:
+        return self._call("sccnt", v)
+
+    def sccnt_many(self, vertices: Sequence[int]) -> list[CycleCount]:
+        return self._call("sccnt_many", list(vertices))
+
+    def spcnt(self, x: int, y: int) -> PathCount:
+        return self._call("spcnt", x, y)
+
+    def spcnt_many(
+        self, pairs: Sequence[tuple[int, int]]
+    ) -> list[PathCount]:
+        return self._call("spcnt_many", list(pairs))
+
+    def top_suspicious(self, k: int = 10) -> list[tuple[int, CycleCount]]:
+        return self._call("top_suspicious", k)
+
+    # ------------------------------------------------------------------
+    # Cluster management surface
+    # ------------------------------------------------------------------
+    def status(self) -> dict:
+        """The replica's progress counters (epoch, last_seq, resyncs...)."""
+        return self._call("status")
+
+    def digests(self) -> dict[int, str]:
+        """Per-epoch SHA-256 of ``counter.to_bytes()`` (when the replica
+        was started with digest recording)."""
+        return self._call("digests")
+
+    def state_bytes(self) -> bytes:
+        """The replica counter's full ``to_bytes()`` blob, for direct
+        bit-identity checks against the primary."""
+        return self._call("state_bytes")
+
+    def stop(self, timeout: float = 10.0) -> dict | None:
+        """Ask the replica process to exit; returns its final status
+        (``None`` when it was already gone)."""
+        final = None
+        try:
+            final = self._call("stop")
+        except (ReplicaUnavailableError, ClusterError):
+            pass
+        self._health = FAILED
+        self._process.join(timeout)
+        if self._process.is_alive():  # pragma: no cover - defensive
+            self._process.terminate()
+            self._process.join(timeout)
+        try:
+            self._conn.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+        return final
+
+    def __repr__(self) -> str:
+        return f"ReplicaClient({self.name}, health={self._health})"

@@ -36,7 +36,7 @@ from repro.graph.digraph import DiGraph
 from repro.graph.io import graph_from_bytes, graph_to_bytes
 from repro.types import CycleCount, PathCount
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, VertexError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.service.snapshot import Snapshot
@@ -103,6 +103,22 @@ class ShortestCycleCounter:
         available, bit-identical to a scalar loop either way;
         ``workers > 1`` fans the batch out across the build pool)."""
         return self._index.sccnt_many(vertices, workers=workers)
+
+    def sccnt(self, v: int) -> CycleCount:
+        """:class:`~repro.service.QueryAPI` spelling of :meth:`count`
+        (the paper's name for the query); unlike the historical
+        :meth:`count`, an out-of-range vertex raises the taxonomy's
+        :class:`~repro.errors.VertexError` — uniform across every
+        protocol backend."""
+        n = self.graph.n
+        if not 0 <= v < n:
+            raise VertexError(v, n)
+        return self._index.sccnt(v)
+
+    def sccnt_many(self, vertices: Sequence[int]) -> list[CycleCount]:
+        """:class:`~repro.service.QueryAPI` spelling of
+        :meth:`count_many`."""
+        return self._index.sccnt_many(vertices)
 
     def spcnt(self, x: int, y: int) -> PathCount:
         """Count and length of the shortest ``x -> y`` paths (answered
@@ -263,6 +279,15 @@ class ShortestCycleCounter:
     def strategy(self) -> str:
         """Maintenance strategy for insertions."""
         return self._strategy
+
+    @property
+    def epoch(self) -> int:
+        """Updates applied through this counter so far — the live
+        counter's reading of the :class:`~repro.service.QueryAPI` state
+        version (a published :class:`~repro.service.Snapshot` reports
+        its publication epoch instead).  Resets with :meth:`rebuild`,
+        which also clears :attr:`update_log`."""
+        return len(self._updates)
 
     @property
     def update_log(self) -> list[UpdateStats | BatchStats]:

@@ -224,3 +224,39 @@ class WorkerCrashError(BuildError):
     Carries the worker's exit code when the process is gone, or the
     formatted traceback it managed to ship before exiting.
     """
+
+
+class WalTailGapError(PersistenceError):
+    """A WAL tailer's cursor points past the start of the surviving log.
+
+    The segments holding the next record the tailer needs were pruned
+    (folded into a checkpoint and deleted) before the tailer reached
+    them.  The stream cannot be resumed incrementally; the consumer must
+    re-bootstrap from the newest checkpoint via
+    :func:`repro.persist.recover` and tail again from there.
+    """
+
+
+class WalRolledBackError(PersistenceError):
+    """Frames a WAL tailer already delivered were rolled back.
+
+    The single writer truncates its segment back to the last valid
+    record boundary when an append fails mid-frame (or lands but cannot
+    be fsynced).  A tailer that read such a frame before the rollback
+    may have applied a batch the primary never acknowledged — its
+    derived state is suspect, so it must discard it and re-bootstrap
+    from the newest checkpoint.
+    """
+
+
+class ClusterError(ReproError):
+    """Base class for replica/cluster serving errors."""
+
+
+class ReplicaUnavailableError(ClusterError):
+    """A replica process died or stopped answering within its timeout."""
+
+
+class NoReplicaAvailableError(ClusterError):
+    """Every replica behind a router is failed or excluded; a query
+    cannot be routed anywhere."""

@@ -54,6 +54,7 @@ from repro.persist.recovery import (
     recover,
     replay_reference,
 )
+from repro.persist.tail import WalTailer
 from repro.persist.wal import (
     WalRecord,
     WalScan,
@@ -74,6 +75,7 @@ __all__ = [
     "SimulatedCrash",
     "WalRecord",
     "WalScan",
+    "WalTailer",
     "WriteAheadLog",
     "fault_scope",
     "io_event",

@@ -1,0 +1,274 @@
+"""Incremental WAL tailing: the replication transport of the cluster.
+
+A :class:`WalTailer` follows a live WAL directory being appended (and
+rotated, and pruned) by a single writer in *another* process, delivering
+each durable record exactly once, in sequence order.  It is the read
+side of the replication contract: the primary's log-before-publish
+discipline means every epoch a replica needs is a contiguous record
+suffix of the WAL, so tailing it (after a checkpoint bootstrap via
+:func:`repro.persist.recover`) reconstructs the primary's published
+states bit-for-bit.
+
+The tailer is deliberately *pessimistic about the tail and optimistic
+about nothing*:
+
+* An incomplete frame, a CRC mismatch, or a malformed payload at the
+  end of the current segment is **not an error** — the writer may be
+  mid-append, so :meth:`poll` simply stops before it and the next poll
+  retries from the same byte offset.  (This is the live-stream analogue
+  of recovery's torn-tail rule: never deliver a partial record.)
+* A *rotation* is followed when the next segment's recorded first
+  sequence number is exactly contiguous with the records delivered so
+  far; leftover undecodable bytes at the old segment's end are the same
+  torn tail recovery would discard.
+* A *gap* — the next record the cursor needs was pruned away — raises
+  :class:`~repro.errors.WalTailGapError`: the stream is unrecoverable
+  incrementally and the consumer must re-bootstrap from a checkpoint.
+* A *rollback* — the writer truncating away a frame this tailer already
+  delivered (failed-append cleanup) — raises
+  :class:`~repro.errors.WalRolledBackError`.  It is detected two ways:
+  the segment shrinking below the cursor, and a re-CRC of the most
+  recently delivered frame's bytes on every poll (which also catches
+  the shrink-then-regrow race where a different record lands at the
+  same offset before the next poll).
+
+Single-consumer object; share one per process, not across threads.
+"""
+
+from __future__ import annotations
+
+import zlib
+from pathlib import Path
+
+from repro.errors import WalRolledBackError, WalTailGapError
+from repro.persist.wal import (
+    _FRAME,
+    _HEADER,
+    _MAGIC,
+    _VERSION,
+    ABORT,
+    BATCH,
+    WalRecord,
+    _decode_payload,
+)
+
+__all__ = ["WalTailer"]
+
+
+def _segment_first_seq(path: Path) -> int:
+    """The first sequence number a segment file name promises."""
+    return int(path.stem.split("-")[1], 16)
+
+
+class WalTailer:
+    """Cursor over a live WAL directory (see the module docstring).
+
+    Parameters
+    ----------
+    wal_dir:
+        The WAL segment directory a :class:`WriteAheadLog` writer owns.
+    after_seq:
+        Deliver only records with ``seq > after_seq`` — the bootstrap
+        point, normally :attr:`RecoveryResult.last_seq` of the
+        checkpoint+replay state the consumer started from.
+    """
+
+    def __init__(self, wal_dir: str | Path, after_seq: int = 0) -> None:
+        self._dir = Path(wal_dir)
+        self._last_seq = after_seq
+        #: highest ABORT seq delivered — aborts are strictly increasing
+        #: (each immediately follows its batch), so a floor suffices to
+        #: suppress duplicates after a relocation re-read; aborts at or
+        #: below ``after_seq`` were already honoured by the bootstrap
+        #: recovery and are stale.
+        self._abort_floor = after_seq
+        self._path: Path | None = None
+        self._offset = 0
+        #: (start offset, crc32 of frame bytes) of the newest frame
+        #: consumed from the current segment — the rollback witness
+        self._frame_check: tuple[int, int] | None = None
+        self.records_delivered = 0
+        self.segments_crossed = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the newest record delivered (or the
+        ``after_seq`` bootstrap point)."""
+        return self._last_seq
+
+    @property
+    def position(self) -> tuple[str, int] | None:
+        """``(segment name, byte offset)`` of the cursor, or ``None``
+        before the first segment is located."""
+        if self._path is None:
+            return None
+        return self._path.name, self._offset
+
+    # ------------------------------------------------------------------
+    def poll(self) -> list[WalRecord]:
+        """Every record that became durable and contiguous since the
+        last poll (often empty).  Never blocks; never delivers a
+        partial, duplicate, or out-of-order record.
+
+        Raises :class:`WalTailGapError` when the cursor was pruned past
+        and :class:`WalRolledBackError` when already-delivered bytes
+        were rolled back — both mean "re-bootstrap from a checkpoint".
+        """
+        out: list[WalRecord] = []
+        progressed = True
+        relocations = 0
+        while progressed:
+            progressed = False
+            if self._path is None:
+                if not self._locate():
+                    break
+                progressed = True
+            before = len(out)
+            if not self._drain(out):
+                # Current segment vanished under us (pruned after we
+                # fully consumed it, or the directory moved): relocate.
+                # Bounded so a persistently unreadable file degrades to
+                # "no progress this poll" instead of spinning.
+                self._path = None
+                self._frame_check = None
+                relocations += 1
+                progressed = relocations <= 3
+                continue
+            if len(out) > before:
+                progressed = True
+            if self._advance():
+                progressed = True
+        return out
+
+    # ------------------------------------------------------------------
+    def _locate(self) -> bool:
+        """Point the cursor at the newest segment that can contain
+        ``last_seq + 1``; ``False`` when there is nothing to read yet."""
+        segments = sorted(self._dir.glob("wal-*.log"))
+        if not segments:
+            return False
+        best: Path | None = None
+        for path in segments:
+            if _segment_first_seq(path) <= self._last_seq + 1:
+                best = path
+        if best is None:
+            raise WalTailGapError(
+                f"WAL tail lost: every surviving segment starts after "
+                f"seq {self._last_seq + 1} (pruned past the cursor); "
+                "re-bootstrap from the newest checkpoint"
+            )
+        try:
+            header = best.read_bytes()[: _HEADER.size]
+        except OSError:
+            return False
+        if len(header) < _HEADER.size:
+            # Segment mid-creation: the writer has not finished the
+            # header yet; try again on the next poll.
+            return False
+        magic, version, _ = _HEADER.unpack_from(header)
+        if magic != _MAGIC or version != _VERSION:
+            # Unreadable header on the segment we need: wait — if the
+            # writer abandons it (death during creation), reopening
+            # unlinks it and the next poll relocates.
+            return False
+        self._path = best
+        self._offset = _HEADER.size
+        self._frame_check = None
+        return True
+
+    def _drain(self, out: list[WalRecord]) -> bool:
+        """Consume durable frames from the current segment; ``False``
+        when the segment vanished (caller relocates)."""
+        try:
+            blob = self._path.read_bytes()
+        except OSError:
+            return False
+        if len(blob) < self._offset:
+            raise WalRolledBackError(
+                f"WAL segment {self._path.name} shrank below the "
+                f"cursor ({len(blob)} < {self._offset}): the writer "
+                "rolled back a frame this tailer already delivered"
+            )
+        if self._frame_check is not None:
+            start, crc = self._frame_check
+            if zlib.crc32(blob[start:self._offset]) != crc:
+                raise WalRolledBackError(
+                    f"WAL segment {self._path.name} was rewritten at "
+                    f"offset {start}: a delivered frame was rolled "
+                    "back and replaced"
+                )
+        off = self._offset
+        while True:
+            if off + _FRAME.size > len(blob):
+                break
+            length, crc = _FRAME.unpack_from(blob, off)
+            end = off + _FRAME.size + length
+            if end > len(blob):
+                break  # incomplete frame: the writer may be mid-append
+            payload = blob[off + _FRAME.size : end]
+            if zlib.crc32(payload) != crc:
+                break  # not durable yet (or torn): wait, never deliver
+            record = _decode_payload(payload)
+            if record is None:
+                break
+            if record.kind == BATCH:
+                if record.seq > self._last_seq + 1:
+                    raise WalTailGapError(
+                        f"WAL sequence gap at {self._path.name}: "
+                        f"expected seq {self._last_seq + 1}, found "
+                        f"{record.seq}"
+                    )
+                if record.seq == self._last_seq + 1:
+                    self._last_seq = record.seq
+                    out.append(record)
+                    self.records_delivered += 1
+                # else: duplicate of an already-delivered record
+                # (possible after relocation) — consume silently.
+            elif record.kind == ABORT:
+                if record.seq > self._last_seq:
+                    raise WalTailGapError(
+                        f"WAL abort for unseen seq {record.seq} at "
+                        f"{self._path.name} (cursor at "
+                        f"{self._last_seq})"
+                    )
+                if record.seq > self._abort_floor:
+                    self._abort_floor = record.seq
+                    out.append(record)
+                    self.records_delivered += 1
+            self._frame_check = (off, zlib.crc32(blob[off:end]))
+            off = end
+        self._offset = off
+        return True
+
+    def _advance(self) -> bool:
+        """Cross into the next segment once it is contiguous with the
+        records delivered so far."""
+        if self._path is None:
+            return False
+        later = [
+            p
+            for p in sorted(self._dir.glob("wal-*.log"))
+            if p.name > self._path.name
+        ]
+        if not later:
+            return False
+        nxt = later[0]
+        if _segment_first_seq(nxt) > self._last_seq + 1:
+            # The current segment must still hold the records between
+            # the cursor and that segment; keep draining it.
+            return False
+        try:
+            header = nxt.read_bytes()[: _HEADER.size]
+        except OSError:
+            return False
+        if len(header) < _HEADER.size:
+            return False
+        magic, version, _ = _HEADER.unpack_from(header)
+        if magic != _MAGIC or version != _VERSION:
+            return False
+        self._path = nxt
+        self._offset = _HEADER.size
+        self._frame_check = None
+        self.segments_crossed += 1
+        return True

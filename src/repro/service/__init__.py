@@ -53,6 +53,21 @@ crossings once per published epoch, on the writer thread, before the
 epoch becomes visible.
 """
 
+from collections.abc import Sequence
+from typing import Protocol, runtime_checkable
+
+from repro.types import CycleCount, PathCount
+
+from repro.service.config import (
+    AdmissionConfig,
+    DeferConfig,
+    DurabilityConfig,
+    RetryConfig,
+    ServeConfig,
+    add_config_arguments,
+    config_from_args,
+    load_config_file,
+)
 from repro.service.driver import (
     DriveResult,
     drive_mixed,
@@ -64,12 +79,59 @@ from repro.service.overlay import DeferredOverlay
 from repro.service.snapshot import Snapshot
 
 __all__ = [
+    "AdmissionConfig",
+    "DeferConfig",
     "DeferredOverlay",
     "DriveResult",
+    "DurabilityConfig",
+    "QueryAPI",
+    "RetryConfig",
+    "ServeConfig",
     "ServeEngine",
     "ServeStats",
     "Snapshot",
+    "add_config_arguments",
+    "config_from_args",
     "drive_mixed",
     "idle_read_throughput",
+    "load_config_file",
     "serial_replay",
 ]
+
+
+@runtime_checkable
+class QueryAPI(Protocol):
+    """The uniform read surface every query backend implements.
+
+    One protocol, four implementations with very different machinery
+    behind the same answers:
+
+    * :class:`Snapshot` — an immutable published epoch (the serving
+      engine's read primitive);
+    * :class:`DeferredOverlay` — the last *clean* epoch plus deferred
+      repair staleness metadata;
+    * :class:`~repro.core.counter.ShortestCycleCounter` — the live
+      single-threaded counter (``epoch`` counts applied updates);
+    * :class:`repro.cluster.ReplicaClient` — a replica process answering
+      over a pipe from its own tailed copy of the primary's WAL.
+
+    Clients written against this protocol (``drive_mixed`` readers, the
+    monitor, the benchmarks) run unmodified against local or clustered
+    backends.  ``epoch`` is the backend's state version: monotone per
+    backend, and two backends at the same epoch answer bit-identically.
+    """
+
+    @property
+    def epoch(self) -> int: ...
+
+    def sccnt(self, v: int) -> CycleCount: ...
+
+    def sccnt_many(self, vertices: Sequence[int]) -> list[CycleCount]: ...
+
+    def spcnt(self, x: int, y: int) -> PathCount: ...
+
+    def spcnt_many(
+        self, pairs: Sequence[tuple[int, int]]
+    ) -> list[PathCount]: ...
+
+    def top_suspicious(self, k: int = 10) -> list[tuple[int, CycleCount]]: ...

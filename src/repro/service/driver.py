@@ -18,6 +18,7 @@ from collections.abc import Sequence
 from repro.core.counter import ShortestCycleCounter
 from repro.errors import ConfigurationError, BackpressureError, EngineReadOnlyError
 from repro.graph.digraph import DiGraph
+from repro.service.config import ServeConfig
 from repro.service.engine import Op, ServeEngine, ServeStats
 from repro.service.snapshot import Snapshot
 
@@ -114,6 +115,8 @@ def drive_mixed(
     query_vertices: Sequence[int] | None = None,
     strategy: str | None = None,
     bulk_batch: int | None = None,
+    config: ServeConfig | None = None,
+    query_backend=None,
     **engine_kwargs,
 ) -> DriveResult:
     """Run ``ops`` through a serving engine while ``readers`` threads
@@ -127,28 +130,44 @@ def drive_mixed(
     vertices (the vectorized read path) instead of ``_BURST`` scalar
     calls.  ``source`` may be a *not-yet-started* :class:`ServeEngine`
     (so callers can open a durable engine first and generate ``ops``
-    against its possibly-recovered graph); extra keyword arguments pass
-    through when the engine is built here.
+    against its possibly-recovered graph); a full
+    :class:`~repro.service.ServeConfig` may be passed as ``config`` (it
+    wins over ``strategy``/``batch_size``), or flat engine keywords
+    pass through :meth:`ServeConfig.from_kwargs` when the engine is
+    built here.
+
+    ``query_backend`` points the reader threads at any other
+    :class:`~repro.service.QueryAPI` implementation — e.g. a
+    :class:`repro.cluster.ClusterRouter` over replica processes —
+    instead of the engine's own published snapshots, so the same driver
+    measures local and clustered read paths.
     """
     if bulk_batch is not None and bulk_batch < 1:
         raise ConfigurationError("bulk_batch must be at least 1")
     if readers < 1:
         raise ConfigurationError("readers must be at least 1")
     if isinstance(source, ServeEngine):
-        if engine_kwargs:
+        if engine_kwargs or config is not None:
             raise ConfigurationError(
-                "engine kwargs "
-                f"{sorted(engine_kwargs)} cannot be applied to an "
-                "already-constructed ServeEngine source; configure the "
-                "engine directly (strategy/batch_size are likewise "
-                "taken from the engine)"
+                "engine configuration "
+                f"{sorted(engine_kwargs) or '(config=...)'} cannot be "
+                "applied to an already-constructed ServeEngine source; "
+                "configure the engine directly (strategy/batch_size are "
+                "likewise taken from the engine)"
             )
         engine = source
     else:
-        engine = ServeEngine(
-            source, strategy=strategy, batch_size=batch_size,
-            **engine_kwargs,
-        )
+        if config is None:
+            config = ServeConfig.from_kwargs(
+                strategy=strategy, batch_size=batch_size, **engine_kwargs
+            )
+        elif engine_kwargs:
+            raise ConfigurationError(
+                "pass either config=ServeConfig(...) or flat engine "
+                "kwargs, not both: "
+                f"{', '.join(sorted(engine_kwargs))}"
+            )
+        engine = ServeEngine(source, config=config)
     counter = engine.counter
     if query_vertices is None:
         n = counter.graph.n
@@ -171,21 +190,29 @@ def drive_mixed(
         last_epoch = -1
         try:
             while not stop.is_set():
-                snap = engine.snapshot()
-                if snap.epoch < last_epoch:
+                # Pin one backend state per burst: a published snapshot,
+                # or the external QueryAPI backend (whose epoch is read
+                # once per burst — e.g. a router's consistency floor).
+                backend = (
+                    engine.snapshot()
+                    if query_backend is None
+                    else query_backend
+                )
+                epoch = backend.epoch
+                if epoch < last_epoch:
                     raise AssertionError(
-                        f"epoch went backwards: {last_epoch} -> {snap.epoch}"
+                        f"epoch went backwards: {last_epoch} -> {epoch}"
                     )
-                last_epoch = snap.epoch
-                epochs.add(snap.epoch)
+                last_epoch = epoch
+                epochs.add(epoch)
                 if bulk_batch is None:
-                    count = snap.count
+                    count = backend.sccnt
                     for _ in range(_BURST):
                         count(vs[j % k])
                         j += 1
                     local += _BURST
                 else:
-                    snap.count_many(
+                    backend.sccnt_many(
                         [vs[(j + t) % k] for t in range(bulk_batch)]
                     )
                     j += bulk_batch
@@ -200,7 +227,11 @@ def drive_mixed(
         threading.Thread(target=reader, args=(i,), daemon=True)
         for i in range(readers)
     ]
-    engine.start()
+    if not engine.running:
+        # An already-running source (e.g. a cluster primary whose
+        # replicas bootstrapped at start) is driven as-is; it is still
+        # stopped on the way out like any other.
+        engine.start()
     for t in threads:
         t.start()
     try:

@@ -61,12 +61,12 @@ import errno
 import queue
 import threading
 import time
+import warnings
 from dataclasses import dataclass
 from dataclasses import replace as _dc_replace
 from collections.abc import Callable, Iterable, Sequence
 
 from repro.analysis import lockdep
-from repro.core.batch import DEFAULT_REBUILD_THRESHOLD
 from repro.core.counter import ShortestCycleCounter
 from repro.errors import (
     ConfigurationError,
@@ -86,11 +86,8 @@ from repro.persist.deadletter import (
     DeadLetter,
     DeadLetterLog,
 )
-from repro.persist.manager import (
-    DEFAULT_CHECKPOINT_WAL_BYTES,
-    DEFAULT_FULL_CHECKPOINT_EVERY,
-    DurabilityManager,
-)
+from repro.persist.manager import DurabilityManager
+from repro.service.config import ServeConfig
 from repro.service.health import (
     DEGRADED_DURABILITY,
     FAILED,
@@ -164,74 +161,35 @@ class ServeEngine:
         A :class:`DiGraph` (an index is built over a copy) or an already
         built :class:`ShortestCycleCounter` (adopted — after
         :meth:`start`, mutate it only through this engine).
-    batch_size:
-        Maximum ops drained into one maintenance batch.  The writer
-        never waits to fill a batch: it takes whatever is queued (up to
-        this cap) and publishes, so a lone op still lands in one batch.
-    on_invalid:
-        Passed to :meth:`ShortestCycleCounter.apply_batch`.  Defaults to
-        ``"skip"``: with asynchronous application, a client cannot know
-        the graph state its op will meet, so infeasible ops are dropped
-        and counted in :attr:`ServeStats.ops_skipped` rather than
-        poisoning the batch.
+    config:
+        A frozen :class:`~repro.service.config.ServeConfig` — the whole
+        option surface as one validated, JSON-serializable value object
+        (see :mod:`repro.service.config` for every field).  Defaults
+        apply when omitted.  The pre-redesign flat keyword surface
+        (``batch_size=..., data_dir=..., ...``) still works through a
+        shim that emits a :class:`DeprecationWarning` and builds the
+        equivalent config via :meth:`ServeConfig.from_kwargs`; mixing
+        both in one call is a :class:`ConfigurationError`.
     monitor:
         Optional :class:`repro.monitor.CycleMonitor` evaluated on every
         published epoch (writer thread; see
-        :meth:`CycleMonitor.observe_snapshot`).
+        :meth:`CycleMonitor.observe_snapshot`).  A runtime collaborator,
+        not configuration — hence not a :class:`ServeConfig` field.
     on_publish:
         Optional callback invoked with each new :class:`Snapshot`
         *before* it becomes visible to :meth:`snapshot` (writer thread).
-    data_dir:
-        Optional durability directory (see :mod:`repro.persist`).  When
-        it holds recoverable state the engine *recovers* — ``source``
-        is ignored, the counter resumes at the recovered epoch, and
-        :attr:`recovery` reports how it got there; when fresh, the
-        engine bootstraps it with an initial full checkpoint of
-        ``source``.  From then on every batch is durably logged before
-        its epoch is published (log-before-publish), and checkpoints
-        are cut whenever the WAL outgrows ``checkpoint_wal_bytes``.
-    wal_fsync:
-        ``"always"`` (default; each batch record is flushed before its
-        epoch publishes) or ``"off"`` (no flushing: survives process
-        death, not power loss).
-    checkpoint_on_stop:
-        Write a final checkpoint on a clean :meth:`stop` so the next
-        open skips WAL replay (default ``True``).
-    defer_deletions:
-        Hand deletion batches to a background repair thread instead of
-        repairing them on the writer (see the module docstring).
-    workers:
-        Worker-process count for the expensive maintenance phases
-        (parallel per-hub DECCNT repair and the rebuild fallback;
-        ``None`` consults ``$REPRO_BUILD_WORKERS``).  Results are
-        bit-identical to serial for any value.
     on_defer:
         Test/instrumentation seam: called on the repair thread for each
         deferred batch, right after the affected hubs are tombstoned
         and before any label mutation.  Must not touch the engine's
         public API (it runs inside the mutation window).
-    max_queue_depth:
-        Bounded admission: with a depth cap, :meth:`submit` applies the
-        ``backpressure`` policy once ``ops_submitted - ops_consumed``
-        reaches it.  ``None`` (default) keeps the queue unbounded.
-    backpressure:
-        ``"block"`` (default; wait up to ``submit_timeout`` seconds for
-        the writer to drain below the cap, then raise
-        :class:`~repro.errors.BackpressureError`), ``"reject"`` (raise
-        immediately), or ``"shed"`` (drop the op, count it in
-        :attr:`ServeStats.ops_shed`, and return ``False``).
-    submit_timeout:
-        Admission wait bound for the ``"block"`` policy (``None`` waits
-        forever).
-    on_poison:
-        ``"quarantine"`` (default; see the module docstring) or
-        ``"fail"`` (deterministic batch errors stay sticky failures).
-    io_retries:
-        Bounded retries for transient faults (WAL appends and batch
-        applies) before escalating.
-    io_backoff_s / probe_backoff_s / probe_max_backoff_s:
-        Initial retry backoff, initial health-probe backoff, and the
-        exponential cap both climb to.
+
+    With ``config.durability.data_dir`` set, a directory holding
+    recoverable state wins over ``source``: the engine resumes at the
+    recovered epoch (see :attr:`recovery`) under the strategy the data
+    was written with; a fresh directory is bootstrapped with an initial
+    full checkpoint of ``source``.  From then on every batch is durably
+    logged before its epoch is published (log-before-publish).
 
     A callback or batch failure is recorded (see :attr:`failure`) and
     re-raised by :meth:`flush` / :meth:`stop`; the engine keeps serving
@@ -246,58 +204,54 @@ class ServeEngine:
     def __init__(
         self,
         source: DiGraph | ShortestCycleCounter | None = None,
+        config: ServeConfig | None = None,
         *,
-        strategy: str | None = None,
-        batch_size: int = 64,
-        rebuild_threshold: float = DEFAULT_REBUILD_THRESHOLD,
-        on_invalid: str = "skip",
         monitor=None,
         on_publish: Callable[[Snapshot], None] | None = None,
-        data_dir: str | None = None,
-        wal_fsync: str = "always",
-        checkpoint_wal_bytes: int = DEFAULT_CHECKPOINT_WAL_BYTES,
-        full_checkpoint_every: int = DEFAULT_FULL_CHECKPOINT_EVERY,
-        checkpoint_on_stop: bool = True,
-        defer_deletions: bool = False,
-        workers: int | None = None,
         on_defer: Callable[[], None] | None = None,
-        max_queue_depth: int | None = None,
-        backpressure: str = "block",
-        submit_timeout: float | None = 30.0,
-        on_poison: str = "quarantine",
-        io_retries: int = 4,
-        io_backoff_s: float = 0.01,
-        probe_backoff_s: float = 0.05,
-        probe_max_backoff_s: float = 2.0,
+        **options,
     ) -> None:
-        if batch_size < 1:
-            raise ConfigurationError("batch_size must be at least 1")
-        if backpressure not in ("block", "reject", "shed"):
-            raise ConfigurationError(
-                f"unknown backpressure policy {backpressure!r} "
-                "(expected 'block', 'reject', or 'shed')"
+        if options:
+            # Deprecation shim: the pre-redesign flat keyword surface.
+            # from_kwargs rejects unknown names and runs the same field
+            # validation the typed path gets, so behavior is pinned
+            # equivalent (tests/service/test_config.py).
+            if config is not None:
+                raise ConfigurationError(
+                    "pass either config=ServeConfig(...) or the legacy "
+                    "flat keyword options, not both; offending "
+                    f"option(s): {', '.join(sorted(options))}"
+                )
+            warnings.warn(
+                "passing ServeEngine options as flat keyword arguments "
+                "is deprecated; build a repro.service.ServeConfig and "
+                "pass it as config=...",
+                DeprecationWarning,
+                stacklevel=2,
             )
-        if on_poison not in ("quarantine", "fail"):
+            config = ServeConfig.from_kwargs(**options)
+        elif config is None:
+            config = ServeConfig()
+        elif not isinstance(config, ServeConfig):
             raise ConfigurationError(
-                f"unknown on_poison policy {on_poison!r} "
-                "(expected 'quarantine' or 'fail')"
+                "config must be a repro.service.ServeConfig, got "
+                f"{type(config).__name__}"
             )
-        if max_queue_depth is not None and max_queue_depth < 1:
-            raise ConfigurationError("max_queue_depth must be at least 1")
-        if io_retries < 0:
-            raise ConfigurationError("io_retries must be non-negative")
+        self._config = config
+        dur_cfg = config.durability
+        strategy = config.strategy
         self._durability: DurabilityManager | None = None
         self._recovery = None
         self._base_epoch = 0
         self._base_ops = 0
-        self._checkpoint_on_stop = checkpoint_on_stop
+        self._checkpoint_on_stop = dur_cfg.checkpoint_on_stop
         self._final_durability_stats = None
-        if data_dir is not None:
+        if dur_cfg.data_dir is not None:
             manager, recovered = DurabilityManager.open(
-                data_dir,
-                fsync=wal_fsync,
-                checkpoint_wal_bytes=checkpoint_wal_bytes,
-                full_checkpoint_every=full_checkpoint_every,
+                dur_cfg.data_dir,
+                fsync=dur_cfg.wal_fsync,
+                checkpoint_wal_bytes=dur_cfg.checkpoint_wal_bytes,
+                full_checkpoint_every=dur_cfg.full_checkpoint_every,
             )
             self._durability = manager
             self._recovery = recovered
@@ -313,7 +267,7 @@ class ServeEngine:
                     and strategy != recovered.counter.strategy
                 ):
                     raise ConfigurationError(
-                        f"data_dir {data_dir!r} was written with "
+                        f"data_dir {dur_cfg.data_dir!r} was written with "
                         f"strategy {recovered.counter.strategy!r}; "
                         f"cannot resume it as {strategy!r}"
                     )
@@ -322,8 +276,8 @@ class ServeEngine:
                 self._base_ops = recovered.ops_applied
             elif source is None:
                 raise ConfigurationError(
-                    f"data_dir {data_dir!r} holds no recoverable state "
-                    "and no source graph/counter was given"
+                    f"data_dir {dur_cfg.data_dir!r} holds no recoverable "
+                    "state and no source graph/counter was given"
                 )
         if self._recovery is None:
             if isinstance(source, ShortestCycleCounter):
@@ -343,24 +297,24 @@ class ServeEngine:
         if self._durability is not None:
             self._dead_letter = DeadLetterLog(
                 self._durability.data_dir / DEADLETTER_FILE,
-                fsync=wal_fsync,
+                fsync=dur_cfg.wal_fsync,
             )
-        self._batch_size = batch_size
-        self._rebuild_threshold = rebuild_threshold
-        self._on_invalid = on_invalid
+        self._batch_size = config.batch_size
+        self._rebuild_threshold = config.rebuild_threshold
+        self._on_invalid = config.on_invalid
         self._monitor = monitor
         self._on_publish = on_publish
-        self._workers = workers
-        self._defer = defer_deletions
+        self._workers = config.defer.workers
+        self._defer = config.defer.defer_deletions
         self._on_defer = on_defer
-        self._max_queue_depth = max_queue_depth
-        self._backpressure = backpressure
-        self._submit_timeout = submit_timeout
-        self._on_poison = on_poison
-        self._io_retries = io_retries
-        self._io_backoff_s = io_backoff_s
-        self._probe_backoff_s = probe_backoff_s
-        self._probe_max_backoff_s = probe_max_backoff_s
+        self._max_queue_depth = config.admission.max_queue_depth
+        self._backpressure = config.admission.backpressure
+        self._submit_timeout = config.admission.submit_timeout
+        self._on_poison = config.on_poison
+        self._io_retries = config.retry.io_retries
+        self._io_backoff_s = config.retry.io_backoff_s
+        self._probe_backoff_s = config.retry.probe_backoff_s
+        self._probe_max_backoff_s = config.retry.probe_max_backoff_s
         # Deferred-repair hand-off: _repair_thread/_pending are guarded
         # by _defer_lock; the durability manager is single-threaded by
         # contract, so in deferred mode the writer's log_batch and the
@@ -393,7 +347,7 @@ class ServeEngine:
         self._quarantined: list[DeadLetter] = []
         self._health = HEALTHY
         #: probe interval while DEGRADED (writer thread only)
-        self._probe_wait = probe_backoff_s
+        self._probe_wait = self._probe_backoff_s
         # The failure record is *sticky*: it is never cleared, only
         # marked reported, so a caller arriving after the first raise
         # still sees what went wrong instead of waiting on a queue that
@@ -733,6 +687,18 @@ class ServeEngine:
         """The live counter (writer-owned once the engine is running —
         do not mutate it from other threads)."""
         return self._counter
+
+    @property
+    def config(self) -> ServeConfig:
+        """The immutable :class:`ServeConfig` this engine was built
+        from (legacy keyword calls see the equivalent typed config)."""
+        return self._config
+
+    @property
+    def running(self) -> bool:
+        """Whether :meth:`start` has been called (the writer thread was
+        launched; stays ``True`` after :meth:`stop`)."""
+        return self._writer is not None
 
     @property
     def failure(self) -> BaseException | None:

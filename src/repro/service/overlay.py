@@ -81,6 +81,15 @@ class DeferredOverlay:
         """Batch form of :meth:`count`."""
         return self.snapshot.count_many(vertices)
 
+    def sccnt(self, v: int) -> CycleCount:
+        """:class:`~repro.service.QueryAPI` spelling of :meth:`count`."""
+        return self.snapshot.count(v)
+
+    def sccnt_many(self, vertices: Sequence[int]) -> list[CycleCount]:
+        """:class:`~repro.service.QueryAPI` spelling of
+        :meth:`count_many`."""
+        return self.snapshot.count_many(vertices)
+
     def spcnt(self, x: int, y: int) -> PathCount:
         """``SPCnt(x, y)`` at :attr:`epoch`."""
         return self.snapshot.spcnt(x, y)

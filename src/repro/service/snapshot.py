@@ -86,6 +86,11 @@ class Snapshot:
         :class:`VertexError` — naming every out-of-range id)."""
         return self.index.sccnt_many(vertices)
 
+    #: :class:`~repro.service.QueryAPI` spellings (true aliases — no
+    #: extra call frame on the hot read path)
+    sccnt = count
+    sccnt_many = count_many
+
     def spcnt(self, x: int, y: int) -> PathCount:
         """``SPCnt(x, y)`` at the captured state."""
         self._check(x)

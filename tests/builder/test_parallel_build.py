@@ -52,6 +52,22 @@ class TestResolveWorkers:
         with pytest.raises(ValueError):
             resolve_workers(-2)
 
+    def test_daemonic_process_forces_serial(self, monkeypatch):
+        # A daemonic process (cluster replica, pool worker) cannot have
+        # children, so no env var or explicit argument may route it to
+        # the pool.  Regression: the forkserver captures the environment
+        # of whichever process starts it first, so a replica forked
+        # later can inherit REPRO_BUILD_WORKERS it never asked for.
+        import types
+
+        monkeypatch.setenv(ENV_WORKERS, "4")
+        monkeypatch.setattr(
+            "repro.build.parallel.multiprocessing.current_process",
+            lambda: types.SimpleNamespace(daemon=True),
+        )
+        assert resolve_workers(None) == 1
+        assert resolve_workers(4) == 1
+
 
 class TestKernels:
     def test_unknown_kind_rejected(self):

@@ -1,0 +1,282 @@
+"""Live WAL tailing: the cluster's replication transport.
+
+The tailer must deliver exactly the records ``read_wal`` would accept,
+incrementally, while the segment is still being appended, rotated, and
+pruned — and it must convert the two unrecoverable conditions (pruned
+past the cursor; a delivered frame rolled back) into the typed errors a
+replica uses to decide "re-bootstrap from a checkpoint".  The torn-tail
+suite mirrors :mod:`tests.persist.test_wal`'s every-byte harness: at
+every truncation point the tailer delivers the longest complete record
+prefix, waits, and — once the remaining bytes land — the rest, with no
+record ever delivered twice, partially, or out of order.
+"""
+
+import pytest
+
+from repro.errors import WalRolledBackError, WalTailGapError
+from repro.persist import WalTailer, WriteAheadLog, read_wal
+from repro.persist.wal import ABORT, BATCH
+
+from tests.persist.test_wal import OPS_A, OPS_B, OPS_C, write_sample
+
+pytestmark = pytest.mark.persist
+
+
+def seqs(records):
+    return [(r.kind, r.seq) for r in records]
+
+
+class TestBasicTailing:
+    def test_delivers_all_records_of_a_finished_log(self, tmp_path):
+        wal_dir = write_sample(tmp_path)
+        tailer = WalTailer(wal_dir)
+        records = tailer.poll()
+        assert seqs(records) == [
+            (BATCH, 1), (BATCH, 2), (ABORT, 2), (BATCH, 3)
+        ]
+        assert records[0].ops == OPS_A
+        assert records[0].on_invalid == "skip"
+        assert records[0].rebuild_threshold == 0.25
+        assert records[3].ops == OPS_C
+        assert tailer.last_seq == 3
+        # Quiescent log: further polls are empty, state unchanged.
+        assert tailer.poll() == []
+        assert tailer.records_delivered == 4
+
+    def test_matches_read_wal_exactly(self, tmp_path):
+        wal_dir = write_sample(tmp_path)
+        assert WalTailer(wal_dir).poll() == read_wal(wal_dir).records
+
+    def test_after_seq_skips_bootstrapped_prefix(self, tmp_path):
+        wal_dir = write_sample(tmp_path)
+        tailer = WalTailer(wal_dir, after_seq=2)
+        # Batches 1-2 and the abort of 2 were already honoured by the
+        # bootstrap recovery; only the suffix streams.
+        assert seqs(tailer.poll()) == [(BATCH, 3)]
+
+    def test_empty_and_missing_directories_wait(self, tmp_path):
+        assert WalTailer(tmp_path / "nowhere").poll() == []
+        (tmp_path / "wal").mkdir()
+        assert WalTailer(tmp_path / "wal").poll() == []
+
+    def test_incremental_appends_stream_in_order(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        tailer = WalTailer(tmp_path / "wal")
+        wal.append_batch(1, OPS_A)
+        assert seqs(tailer.poll()) == [(BATCH, 1)]
+        assert tailer.poll() == []
+        wal.append_batch(2, OPS_B)
+        wal.append_abort(2)
+        wal.append_batch(3, OPS_C)
+        assert seqs(tailer.poll()) == [(BATCH, 2), (ABORT, 2), (BATCH, 3)]
+        wal.close()
+
+    def test_follows_rotation(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        tailer = WalTailer(tmp_path / "wal")
+        wal.append_batch(1, OPS_A)
+        wal.rotate()
+        wal.append_batch(2, OPS_B)
+        assert seqs(tailer.poll()) == [(BATCH, 1), (BATCH, 2)]
+        assert tailer.segments_crossed == 1
+        wal.rotate()
+        wal.append_batch(3, OPS_C)
+        assert seqs(tailer.poll()) == [(BATCH, 3)]
+        wal.close()
+
+    def test_survives_prune_behind_the_cursor(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        tailer = WalTailer(tmp_path / "wal")
+        wal.append_batch(1, OPS_A)
+        assert seqs(tailer.poll()) == [(BATCH, 1)]
+        wal.rotate()
+        wal.append_batch(2, OPS_B)
+        # Checkpoint through seq 1: the consumed segment disappears.
+        wal.prune_segments_through(1)
+        assert seqs(tailer.poll()) == [(BATCH, 2)]
+        wal.close()
+
+    def test_position_and_resume_semantics(self, tmp_path):
+        wal_dir = write_sample(tmp_path)
+        tailer = WalTailer(wal_dir)
+        tailer.poll()
+        name, offset = tailer.position
+        assert name.startswith("wal-") and offset > 16
+        # A second tailer started at the first's last_seq sees nothing.
+        assert WalTailer(wal_dir, after_seq=tailer.last_seq).poll() == []
+
+
+class TestGapDetection:
+    def test_pruned_past_cursor_raises_gap(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.append_batch(1, OPS_A)
+        wal.append_batch(2, OPS_B)
+        wal.rotate()
+        wal.append_batch(3, OPS_C)
+        # A tailer that never consumed seqs 1-2 loses them to the prune.
+        tailer = WalTailer(tmp_path / "wal")
+        wal.prune_segments_through(2)
+        with pytest.raises(WalTailGapError):
+            tailer.poll()
+        wal.close()
+
+    def test_gap_inside_segment_sequence_raises(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.append_batch(1, OPS_A)
+        wal.append_batch(3, OPS_B)  # seq 2 never written
+        wal.close()
+        tailer = WalTailer(tmp_path / "wal")
+        with pytest.raises(WalTailGapError):
+            tailer.poll()
+
+    def test_abort_for_unseen_seq_raises(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.append_batch(1, OPS_A)
+        wal.append_abort(5)
+        wal.close()
+        with pytest.raises(WalTailGapError):
+            WalTailer(tmp_path / "wal").poll()
+
+
+class TestRollbackDetection:
+    def test_shrink_below_cursor_raises(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.append_batch(1, OPS_A)
+        wal.append_batch(2, OPS_B)
+        wal.close()
+        tailer = WalTailer(tmp_path / "wal")
+        assert tailer.last_seq == 0 or True
+        tailer.poll()
+        seg = sorted((tmp_path / "wal").glob("wal-*.log"))[0]
+        seg.write_bytes(seg.read_bytes()[:-4])  # roll back into frame 2
+        with pytest.raises(WalRolledBackError):
+            tailer.poll()
+
+    def test_rewrite_at_same_length_raises(self, tmp_path):
+        # Shrink-then-regrow race: a rolled-back frame is replaced by a
+        # different record of the same length before the next poll.
+        # Size alone cannot catch this; the frame re-CRC must.
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.append_batch(1, OPS_A)
+        wal.append_batch(2, OPS_B)
+        wal.close()
+        tailer = WalTailer(tmp_path / "wal")
+        tailer.poll()
+        seg = sorted((tmp_path / "wal").glob("wal-*.log"))[0]
+        blob = seg.read_bytes()
+        other = tmp_path / "other"
+        wal2 = WriteAheadLog(other)
+        wal2.append_batch(1, OPS_A)
+        wal2.append_batch(2, (("insert", 0, 5),))  # same length as OPS_B
+        wal2.close()
+        replacement = sorted(other.glob("wal-*.log"))[0].read_bytes()
+        assert len(replacement) == len(blob)
+        seg.write_bytes(replacement)
+        with pytest.raises(WalRolledBackError):
+            tailer.poll()
+
+    def test_shrink_above_cursor_is_fine_after_rebootstrap(self, tmp_path):
+        # A rollback of bytes the tailer never delivered is invisible.
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.append_batch(1, OPS_A)
+        wal.append_batch(2, OPS_B)
+        wal.close()
+        tailer = WalTailer(tmp_path / "wal", after_seq=0)
+        # Consume only seq 1 by truncating, polling, then restoring.
+        seg = sorted((tmp_path / "wal").glob("wal-*.log"))[0]
+        blob = seg.read_bytes()
+        scan = read_wal(tmp_path / "wal")
+        assert len(scan.records) == 2
+        # Find the boundary after record 1.
+        import struct
+
+        length = struct.unpack_from("<I", blob, 16)[0]
+        boundary = 16 + 8 + length
+        seg.write_bytes(blob[:boundary])
+        assert seqs(tailer.poll()) == [(BATCH, 1)]
+        seg.write_bytes(blob)  # record 2 "lands"
+        assert seqs(tailer.poll()) == [(BATCH, 2)]
+
+
+class TestTornTail:
+    def test_every_truncation_point_waits_then_catches_up(self, tmp_path):
+        """At every byte prefix: deliver the complete-record prefix,
+        report nothing torn as an error, then deliver exactly the rest
+        once the missing bytes arrive."""
+        wal_dir = write_sample(tmp_path)
+        seg = sorted(wal_dir.glob("wal-*.log"))[0]
+        blob = seg.read_bytes()
+        full = read_wal(wal_dir).records
+        # Frame boundaries, as in test_wal's truncation harness.
+        import struct
+
+        boundaries = [16]
+        offset = 16
+        for _ in full:
+            length = struct.unpack_from("<I", blob, offset)[0]
+            offset += 8 + length
+            boundaries.append(offset)
+        assert offset == len(blob)
+
+        live = tmp_path / "live"
+        live.mkdir()
+        target = live / seg.name
+        for cut in range(16, len(blob) + 1):
+            target.write_bytes(blob[:cut])
+            tailer = WalTailer(live)
+            got = tailer.poll()
+            expect = sum(1 for b in boundaries[1:] if b <= cut)
+            assert got == full[:expect], f"cut at {cut}"
+            # The writer finishes the append: only the rest arrives.
+            target.write_bytes(blob)
+            assert tailer.poll() == full[expect:], f"cut at {cut}"
+            assert tailer.poll() == []
+
+    def test_half_written_header_waits(self, tmp_path):
+        wal_dir = tmp_path / "wal"
+        wal_dir.mkdir()
+        seg = wal_dir / f"wal-{1:016x}.log"
+        seg.write_bytes(b"RPWL\x01")
+        tailer = WalTailer(wal_dir)
+        assert tailer.poll() == []
+        # The writer process finishes creating the segment and appends.
+        seg.unlink()
+        wal = WriteAheadLog(wal_dir)
+        wal.append_batch(1, OPS_A)
+        wal.close()
+        assert seqs(tailer.poll()) == [(BATCH, 1)]
+
+    def test_half_written_rotation_header_blocks_advance(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.append_batch(1, OPS_A)
+        tailer = WalTailer(tmp_path / "wal")
+        tailer.poll()
+        # Death mid-rotation: next segment exists but has a torn header.
+        torn = tmp_path / "wal" / f"wal-{2:016x}.log"
+        torn.write_bytes(b"RPWL")
+        assert tailer.poll() == []
+        # The writer reopens (dropping the torn segment) and continues.
+        wal.close()
+        wal2 = WriteAheadLog(tmp_path / "wal")
+        wal2.append_batch(2, OPS_B)
+        wal2.close()
+        assert seqs(tailer.poll()) == [(BATCH, 2)]
+
+    def test_duplicate_records_never_delivered_after_relocation(
+        self, tmp_path
+    ):
+        # Force a relocation that re-reads a segment from its start:
+        # already-delivered batches AND aborts must be suppressed.
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.append_batch(1, OPS_A)
+        wal.append_batch(2, OPS_B)
+        wal.append_abort(2)
+        wal.close()
+        tailer = WalTailer(tmp_path / "wal")
+        assert len(tailer.poll()) == 3
+        # Simulate the current file handle going stale: rename the
+        # segment away and back (glob sees it again; cursor relocates).
+        seg = sorted((tmp_path / "wal").glob("wal-*.log"))[0]
+        tailer._path = tmp_path / "wal" / "wal-gone.log"  # vanished
+        assert tailer.poll() == []  # relocation re-read, no duplicates
+        assert seg.exists()

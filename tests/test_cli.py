@@ -28,12 +28,28 @@ class TestParser:
             ["profile", "g.txt"],
             ["batch-update", "g.txt"],
             ["serve", "g.txt"],
+            ["cluster", "serve", "g.txt"],
+            ["cluster", "status", "ddir"],
             ["recover", "ddir"],
             ["datasets"],
             ["experiments", "table2"],
         ):
             args = parser.parse_args(argv)
             assert args.command == argv[0]
+
+    def test_serve_flags_generated_from_config(self):
+        # One flag per ServeConfig field: the CLI surface cannot drift
+        # from the dataclasses.
+        from repro.service.config import _flat_fields
+
+        parser = build_parser()
+        args = parser.parse_args(["serve", "g.txt"])
+        for _, f in _flat_fields():
+            assert hasattr(args, f.name)
+            assert getattr(args, f.name) is None  # "not set" sentinel
+        args = parser.parse_args(["cluster", "serve", "g.txt"])
+        for _, f in _flat_fields():
+            assert hasattr(args, f.name)
 
 
 class TestCommands:
@@ -320,6 +336,92 @@ class TestSelfHealingCli:
         assert not (data_dir / DEADLETTER_FILE).exists()
         assert main(["recover", str(data_dir), "--dead-letter"]) == 0
         assert "no dead letters in" in capsys.readouterr().out
+
+
+class TestServeConfigFile:
+    def _cfg(self, tmp_path, data):
+        import json
+
+        path = tmp_path / "cfg.json"
+        path.write_text(json.dumps(data))
+        return str(path)
+
+    def test_serve_loads_config_file(self, fig2_file, tmp_path, capsys):
+        cfg = self._cfg(tmp_path, {"batch_size": 3})
+        assert main(
+            ["serve", fig2_file, "--readers", "1", "--ops", "4",
+             "--config", cfg]
+        ) == 0
+        assert "batches of 3" in capsys.readouterr().out
+
+    def test_flags_override_config_file(self, fig2_file, tmp_path, capsys):
+        cfg = self._cfg(tmp_path, {"batch_size": 3})
+        assert main(
+            ["serve", fig2_file, "--readers", "1", "--ops", "4",
+             "--config", cfg, "--batch-size", "2"]
+        ) == 0
+        assert "batches of 2" in capsys.readouterr().out
+
+    def test_serve_keeps_historical_batch_default(
+        self, fig2_file, capsys
+    ):
+        assert main(
+            ["serve", fig2_file, "--readers", "1", "--ops", "4"]
+        ) == 0
+        assert "batches of 16" in capsys.readouterr().out
+
+    def test_unknown_config_key_exits_one(self, fig2_file, tmp_path,
+                                          capsys):
+        cfg = self._cfg(tmp_path, {"batch_sise": 3})
+        assert main(["serve", fig2_file, "--config", cfg]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "batch_sise" in err
+
+    def test_invalid_flag_value_exits_one(self, fig2_file, capsys):
+        assert main(
+            ["serve", fig2_file, "--batch-size", "0"]
+        ) == 1
+        assert "batch_size must be at least 1" in capsys.readouterr().err
+
+    def test_missing_config_file_exits_one(self, fig2_file, capsys):
+        assert main(
+            ["serve", fig2_file, "--config", "/nonexistent.json"]
+        ) == 1
+        assert "cannot read config file" in capsys.readouterr().err
+
+
+@pytest.mark.persist
+class TestClusterCli:
+    def test_cluster_serve_then_status(self, fig2_file, tmp_path, capsys):
+        data_dir = str(tmp_path / "cdir")
+        assert main(
+            ["cluster", "serve", fig2_file, "--replicas", "2",
+             "--readers", "1", "--ops", "8", "--batch-size", "2",
+             "--seed", "3", "--data-dir", data_dir]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2 replicas tailing 1 primary" in out
+        assert "replica-0" in out and "replica-1" in out
+        assert "bit-identical to the primary" in out
+        assert main(["cluster", "status", data_dir]) == 0
+        out = capsys.readouterr().out
+        assert "checkpoint: seq" in out
+        assert "tails from seq" in out
+
+    def test_cluster_serve_requires_data_dir(self, fig2_file, capsys):
+        assert main(["cluster", "serve", fig2_file]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "data_dir" in err
+
+    def test_cluster_status_missing_dir_exits_one(self, tmp_path, capsys):
+        assert main(
+            ["cluster", "status", str(tmp_path / "nope")]
+        ) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "Traceback" not in err
 
 
 class TestBatchQuery:
